@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments all
+
+examples:
+	python examples/quickstart.py
+	python examples/streaming_video_analytics.py
+	python examples/field_study.py
+	python examples/resnet_dag_energy.py
+	python examples/train_compress_distill.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures with the
+real pipeline at a reduced episode budget (the numbers printed by
+``python -m repro.experiments`` use larger budgets but identical code). The
+heavy search benches run a single round via ``benchmark.pedantic`` so the
+whole suite finishes in a couple of minutes.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture
+def bench_config():
+    return ExperimentConfig(
+        tree_episodes=8,
+        branch_episodes=15,
+        emulation_requests=20,
+        trace_duration_s=120.0,
+        seed=0,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive benchmark exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

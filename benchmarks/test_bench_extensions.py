@@ -1,0 +1,34 @@
+"""Benches for the extension experiments: energy accounting and regret."""
+
+from conftest import run_once
+
+from repro.experiments.common import run_scenario
+from repro.experiments.energy import render_energy, run_energy
+from repro.experiments.regret import render_regret, run_regret
+from repro.network.scenarios import get_scenario
+
+SCENES = [
+    ("vgg11", "phone", "4G (weak) indoor"),
+    ("alexnet", "phone", "WiFi (weak) indoor"),
+]
+
+
+def test_bench_energy(benchmark, bench_config):
+    scenarios = [get_scenario(*key) for key in SCENES]
+    rows = run_once(benchmark, run_energy, bench_config, scenarios)
+    print("\n" + render_energy(rows))
+    for row in rows:
+        assert all(e > 0 for e in row.energies_mj)
+        # The tree never burns meaningfully more edge energy than surgery.
+        assert row.energies_mj[2] <= row.energies_mj[0] * 1.25
+
+
+def test_bench_regret(benchmark, bench_config):
+    scenarios = [get_scenario(*key) for key in SCENES]
+    rows = run_once(benchmark, run_regret, bench_config, scenarios)
+    print("\n" + render_regret(rows))
+    for row in rows:
+        report = row.report
+        for method in report.method_mean_rewards:
+            assert report.regret(method) >= -1e-9
+        assert report.regret("tree") <= report.regret("surgery") + 1.0

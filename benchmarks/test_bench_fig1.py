@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 1 (real-world bandwidth traces)."""
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+
+
+def test_bench_fig1(benchmark):
+    series = benchmark(run_fig1)
+    print("\n" + render_fig1(series))
+    # The figure's claim: drastic change within a 1-second window.
+    for s in series:
+        assert s.max_change_within(1.0) > 0.3

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 5 (latency estimation model fits)."""
+
+from repro.experiments.fig5 import render_fig5, run_fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark(run_fig5)
+    print("\n" + render_fig5(result))
+    for device, fits in result.compute_fits.items():
+        for fit in fits.values():
+            assert fit.r_squared > 0.95, device
+    for _, (model, r2) in result.transfer_fits.items():
+        assert r2 > 0.99

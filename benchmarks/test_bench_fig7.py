@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 7 (RL vs random vs ε-greedy tree search)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_bench_fig7(benchmark):
+    curves = run_once(benchmark, run_fig7, episodes=12, seed=0)
+    print("\n" + render_fig7(curves))
+    by_name = {c.method: c.max_reward for c in curves}
+    # Paper ordering: RL (367.70) > ε-greedy (358.90) ≥ random (358.77).
+    assert by_name["rl"] >= by_name["epsilon_greedy"] - 1e-9
+    assert by_name["rl"] >= by_name["random"] - 1e-9

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 8 (search-process illustration, '4G indoor static')."""
+
+from conftest import run_once
+
+from repro.experiments.fig8 import render_fig8, run_fig8
+
+
+def test_bench_fig8(benchmark, bench_config):
+    plans, tree = run_once(benchmark, run_fig8, bench_config)
+    print("\n" + render_fig8(plans))
+    surgery = next(p.reward for p in plans if p.method == "surgery")
+    branch = next(p.reward for p in plans if p.method == "branch")
+    tree_best = max(p.reward for p in plans if p.method == "tree branch")
+    # Paper: 348.06 (surgery) <= 349.51 (branch) <= 354.81 (tree).
+    assert surgery <= branch + 1e-6 <= tree_best + 2e-6
+    assert len(tree.branches()) >= 1

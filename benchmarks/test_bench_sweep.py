@@ -1,0 +1,27 @@
+"""Bench: N x K design-space sweep (extension; the paper fixes N=3, K=2)."""
+
+from conftest import run_once
+
+from repro.experiments.sweep import render_sweep, run_sweep
+
+
+def test_bench_sweep(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_sweep,
+        ("vgg11", "phone", "4G (weak) indoor"),
+        (1, 3),
+        (1, 2),
+        bench_config,
+    )
+    print("\n" + render_sweep(rows))
+    by_nk = {(r.num_blocks, r.num_types): r for r in rows}
+    # Adding bandwidth types never hurts the replayed reward (same trace).
+    assert (
+        by_nk[(3, 2)].replay_reward >= by_nk[(3, 1)].replay_reward - 2.0
+    )
+    # Deeper trees carry more storage but sharing keeps it sub-linear in
+    # the branch count.
+    deep = by_nk[(3, 2)]
+    assert deep.sharing_factor >= 1.0
+    assert deep.node_count >= by_nk[(1, 2)].node_count

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table I (phone inference latencies, 224×224 input)."""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(run_table1)
+    print("\n" + render_table1(rows))
+    latencies = {r.model: r.latency_ms for r in rows}
+    # Paper ordering: VGG19 > ResNet152 > ResNet101 > ResNet50.
+    assert (
+        latencies["VGG19"]
+        > latencies["ResNet152"]
+        > latencies["ResNet101"]
+        > latencies["ResNet50"]
+    )
+    for row in rows:
+        assert abs(row.relative_error) < 0.20

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (compression technique catalogue, verified)."""
+
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_bench_table2(benchmark):
+    rows = benchmark(run_table2)
+    print("\n" + render_table2(rows))
+    assert [r.technique for r in rows] == ["F1", "F2", "F3", "C1", "C2", "C3", "W1"]
+    for row in rows:
+        assert row.param_reduction > 0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table III (offline training reward) on sentinel scenes.
+
+The full 14-scene table is produced by ``python -m repro.experiments table3``;
+the bench runs a representative subset (one scene per device/model block) so
+the suite stays minutes-scale, and asserts the table's shape:
+Surgery ≤ Branch ≤ Tree in every row.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table3 import render_table3, run_table3
+from repro.network.scenarios import get_scenario
+
+SENTINEL_SCENES = [
+    ("vgg11", "phone", "4G indoor static"),
+    ("vgg11", "phone", "WiFi (weak) outdoor"),
+    ("vgg11", "tx2", "4G (weak) indoor"),
+    ("alexnet", "phone", "WiFi (weak) indoor"),
+]
+
+
+def test_bench_table3(benchmark, bench_config):
+    scenarios = [get_scenario(*key) for key in SENTINEL_SCENES]
+    rows = run_once(benchmark, run_table3, bench_config, scenarios)
+    print("\n" + render_table3(rows))
+    for row in rows:
+        assert row.surgery <= row.branch + 1e-6, row.scenario
+        assert row.branch <= row.tree + 1e-6, row.scenario

@@ -1,0 +1,101 @@
+"""Streaming inference under a fluctuating network — the intro's workload.
+
+The paper motivates context-awareness with applications that "continuously
+receive and process inputs" on a device whose connectivity swings between 4G
+and WiFi-grade conditions. This example emulates a 2-minute video-analytics
+session on a smartphone: a frame is classified every 250 ms while the
+bandwidth follows the '4G outdoor quick' trace (Fig. 1's left panel).
+
+It compares the three deployment strategies end to end and prints a
+per-strategy latency timeline, showing the model tree switching branches as
+the network degrades and recovers.
+
+Run:  python examples/streaming_video_analytics.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_context,
+    build_environment,
+    run_scenario,
+)
+from repro.network.scenarios import get_scenario
+from repro.runtime.emulator import run_emulation
+
+
+def timeline(outcomes, width: int = 60) -> str:
+    """Coarse ASCII latency timeline (one char per request bucket)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    latencies = np.array([o.latency_ms for o in outcomes])
+    if len(latencies) > width:
+        chunks = np.array_split(latencies, width)
+        latencies = np.array([c.mean() for c in chunks])
+    low, high = latencies.min(), latencies.max()
+    span = max(high - low, 1e-9)
+    return "".join(
+        blocks[1 + int((v - low) / span * (len(blocks) - 2))] for v in latencies
+    )
+
+
+def main() -> None:
+    scenario = get_scenario("vgg11", "phone", "4G outdoor quick")
+    config = ExperimentConfig(
+        tree_episodes=20,
+        branch_episodes=40,
+        emulation_requests=1,  # we replay manually below
+        trace_duration_s=120.0,
+    )
+    print(f"scene: {scenario}  (mean {scenario.trace_model.mean_mbps} Mbps, "
+          f"quick outdoor movement)")
+    outcome = run_scenario(scenario, config, run_emu=False, run_field=False)
+
+    env = build_environment(scenario, outcome.context, outcome.trace)
+    print(f"bandwidth types (quartiles): "
+          f"{[round(t, 1) for t in outcome.bandwidth_types]} Mbps")
+    print()
+
+    results = {}
+    for method in outcome.methods:
+        # A frame every 250 ms across the whole trace.
+        replay = run_emulation(
+            method.plan, env, num_requests=480, seed=7, spacing_ms=250.0
+        )
+        results[method.name] = replay
+
+    surgery = results["surgery"]
+    print(f"{'strategy':8s} {'mean lat':>9s} {'p95 lat':>9s} {'accuracy':>9s} "
+          f"{'reward':>8s} {'offload%':>9s} {'vs surgery':>11s}")
+    for name, replay in results.items():
+        reduction = 1 - replay.mean_latency_ms / surgery.mean_latency_ms
+        print(
+            f"{name:8s} {replay.mean_latency_ms:8.1f}m {replay.p95_latency_ms:8.1f}m "
+            f"{replay.mean_accuracy * 100:8.2f}% {replay.mean_reward:8.1f} "
+            f"{replay.offload_rate * 100:8.1f}% {reduction * 100:+10.1f}%"
+        )
+
+    print("\nper-frame latency timelines (dark = slow):")
+    for name, replay in results.items():
+        print(f"  {name:8s} {timeline(replay.outcomes)}")
+
+    tree_replay = results["tree"]
+    switches = sum(
+        1
+        for a, b in zip(tree_replay.outcomes, tree_replay.outcomes[1:])
+        if a.fork_choices != b.fork_choices
+    )
+    print(f"\nthe model tree re-evaluated its branch before every block and "
+          f"switched {switches} times during the session.")
+    if tree_replay.mean_latency_ms < results["branch"].mean_latency_ms - 0.5:
+        print("that adaptivity is where its advantage over the static branch "
+              "comes from.")
+    else:
+        print("in this scene both bandwidth types favor the same plan, so the "
+              "tree matches the optimal branch — its advantage appears when "
+              "the two contexts want different deployments (see the weak "
+              "scenes in Table IV).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Really train, compress, and distill a model with the numpy substrate.
+
+The search experiments use a calibrated accuracy surrogate for speed; this
+example closes the loop the way the paper does offline: a small CNN is
+*actually trained* on the synthetic dataset, each Table II technique is
+applied to it, and the compressed variants are distilled from the base model
+("we train each composed DNN with the output logits of the corresponding
+base DNN", Sec. VI-D). The printout is a miniature accuracy/latency
+trade-off table.
+
+Run:  python examples/train_compress_distill.py   (~1-2 minutes, pure numpy)
+"""
+
+from repro.accuracy.distillation import distill, evaluate_accuracy, train_classifier
+from repro.compression import default_registry
+from repro.latency import XIAOMI_MI_6X, total_maccs
+from repro.model.spec import ModelSpec, TensorShape, conv, fc, flatten, max_pool, relu
+from repro.nn.build import build_network
+from repro.nn.data import SyntheticImageDataset
+
+
+def base_model() -> ModelSpec:
+    return ModelSpec(
+        [
+            conv(12, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            conv(24, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            conv(32, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            flatten(),
+            fc(64),
+            relu(),
+            fc(10),
+        ],
+        TensorShape(3, 16, 16),
+        name="edge_cnn",
+    )
+
+
+def main() -> None:
+    spec = base_model()
+    data = SyntheticImageDataset(
+        num_classes=10, image_size=16, num_train=256, num_test=128, noise=1.5, seed=0
+    )
+
+    print("training the base model (pure numpy)...")
+    teacher = build_network(spec, seed=0)
+    result = train_classifier(teacher, data, epochs=10, seed=0)
+    base_latency = XIAOMI_MI_6X.model_latency_ms(spec)
+    print(
+        f"base: accuracy {result.test_accuracy * 100:5.1f}%  "
+        f"maccs {total_maccs(spec) / 1e6:5.2f}M  "
+        f"phone latency {base_latency:5.2f} ms\n"
+    )
+
+    registry = default_registry()
+    candidates = [
+        ("C1", 3),   # MobileNet on the mid conv
+        ("C2", 6),   # MobileNetV2 on the last conv
+        ("C3", 3),   # SqueezeNet Fire on the mid conv
+        ("W1", 3),   # prune half the mid conv's filters
+        ("F1", 10),  # SVD on the hidden FC
+        ("F3", 10),  # GAP replaces the FC stack
+    ]
+    print(f"{'technique':26s} {'acc (raw)':>9s} {'acc (KD)':>9s} "
+          f"{'maccs':>8s} {'latency':>8s}")
+    for name, index in candidates:
+        technique = registry.get(name)
+        if not technique.applies_to(spec, index):
+            print(f"{name}: not applicable at layer {index}")
+            continue
+        compressed = technique.apply(spec, index)
+        student = build_network(compressed, seed=1)
+        raw_accuracy = evaluate_accuracy(student, data)
+        distilled = distill(student, teacher, data, epochs=14, seed=1)
+        latency = XIAOMI_MI_6X.model_latency_ms(compressed)
+        print(
+            f"{name} ({technique.label})".ljust(26)
+            + f" {raw_accuracy * 100:8.1f}% {distilled.test_accuracy * 100:8.1f}%"
+            f" {total_maccs(compressed) / 1e6:6.2f}M {latency:6.2f}ms"
+        )
+
+    print(
+        "\ndistillation recovers most of each technique's raw accuracy loss "
+        "while the MACC/latency savings persist — the trade-off the decision "
+        "engine's reward navigates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The sandbox has setuptools but no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail. ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on toolchains with wheel) works
+either way.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — Context-Aware Deep Model Compression for Edge Cloud Computing.
+
+A from-scratch reproduction of Wang et al., ICDCS 2020: a reinforcement
+learning-based decision engine that jointly searches DNN *partition* (edge
+vs cloud) and *compression* strategies per network context, emitting a
+context-aware **model tree** that the runtime walks block-by-block as the
+measured bandwidth changes.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro import (
+        PAPER_REWARD, SearchContext, default_registry, model_tree_search,
+    )
+    from repro.accuracy import MemoizedEvaluator, SurrogateAccuracyModel
+    from repro.latency import CLOUD_SERVER, XIAOMI_MI_6X, LatencyEstimator
+    from repro.latency.transfer import CELLULAR_TRANSFER
+    from repro.nn import vgg11
+
+    base = vgg11()
+    context = SearchContext(
+        base,
+        default_registry(),
+        LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER),
+        MemoizedEvaluator(SurrogateAccuracyModel(base, 0.9201)),
+        PAPER_REWARD,
+    )
+    result = model_tree_search(context, bandwidth_types=[5.0, 20.0])
+    print(result.best_reward, result.tree.node_count())
+
+Subpackages
+-----------
+``repro.nn``
+    Pure-numpy deep-learning substrate (autodiff, layers, LSTM, training).
+``repro.model``
+    Structural layer/model specs — the MDP state (Eqn. 1).
+``repro.compression``
+    Table II techniques: SVD, KSVD, GAP, MobileNet(V2), SqueezeNet, pruning.
+``repro.latency``
+    MACC counting and the Eqn. 3-6 latency models; Table I/Fig. 5 calibration.
+``repro.network``
+    Bandwidth traces, the 14 evaluation scenes, the trace-driven channel.
+``repro.mdp``
+    MDP states/actions and the Eqn. 7 reward.
+``repro.accuracy``
+    Surrogate and really-trained accuracy evaluators; knowledge distillation.
+``repro.rl``
+    BiLSTM controllers, REINFORCE with baseline, fair-chance exploration.
+``repro.search``
+    Alg. 1 optimal branch, Alg. 3 model tree, Alg. 2 composition, baselines.
+``repro.runtime``
+    Online decision engine, emulation (Table IV) and field (Table V) harnesses.
+``repro.experiments``
+    One module per paper table/figure; ``python -m repro.experiments all``.
+"""
+
+from .compression import default_registry
+from .mdp import PAPER_REWARD, RewardConfig
+from .search import (
+    ModelTree,
+    SearchContext,
+    compose_from_tree,
+    dynamic_dnn_surgery,
+    model_tree_search,
+    optimal_branch_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "default_registry",
+    "PAPER_REWARD",
+    "RewardConfig",
+    "ModelTree",
+    "SearchContext",
+    "compose_from_tree",
+    "dynamic_dnn_surgery",
+    "model_tree_search",
+    "optimal_branch_search",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface: search, persist, compose, and emulate.
+
+Usage::
+
+    python -m repro scenes                      # list evaluation scenes
+    python -m repro models                      # list base models
+    python -m repro search --model vgg11 --device phone \
+        --environment "4G indoor static" --out tree.json
+    python -m repro compose --tree tree.json --bandwidth 6.5
+    python -m repro emulate --model vgg11 --device phone \
+        --environment "4G (weak) indoor" --field
+
+Table/figure regeneration lives under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.common import (
+    ExperimentConfig,
+    build_context,
+    build_environment,
+    format_table,
+    run_scenario,
+)
+from .network.scenarios import ALL_SCENARIOS, get_scenario
+from .nn.zoo import BASE_MODELS, get_model
+from .runtime.emulator import run_emulation
+from .runtime.engine import TreePlan
+from .runtime.field import fieldify
+from .search.compose import compose_from_tree
+from .search.serialize import load_tree, save_tree
+from .search.tree import TreeSearchConfig, model_tree_search
+
+
+def _cmd_scenes(args: argparse.Namespace) -> int:
+    rows = [
+        [s.model_name, s.device_name, s.environment, s.link,
+         f"{s.trace_model.mean_mbps:.0f} Mbps"]
+        for s in ALL_SCENARIOS
+    ]
+    print(format_table(["Model", "Device", "Environment", "Link", "Mean BW"], rows))
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BASE_MODELS):
+        spec = get_model(name)
+        rows.append(
+            [name, str(len(spec)), f"{spec.parameter_count() / 1e6:.1f}M",
+             str(spec.input_shape.height)]
+        )
+    print(format_table(["Model", "Layers", "Params", "Input"], rows))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.model, args.device, args.environment)
+    context = build_context(scenario)
+    trace = scenario.trace()
+    types = trace.bandwidth_types(args.types)
+    print(f"scene {scenario}: bandwidth types {[round(t, 1) for t in types]} Mbps")
+    result = model_tree_search(
+        context,
+        types,
+        config=TreeSearchConfig(
+            num_blocks=args.blocks,
+            episodes=args.episodes,
+            branch_episodes=args.branch_episodes,
+            seed=args.seed,
+        ),
+    )
+    print(
+        f"model tree: {result.tree.node_count()} nodes, "
+        f"best branch reward {result.best_reward:.2f}, "
+        f"expected reward {result.expected_reward:.2f}"
+    )
+    if args.out:
+        save_tree(result.tree, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    tree = load_tree(args.tree)
+    composed = compose_from_tree(tree, probe=lambda block: args.bandwidth)
+    print(f"measured bandwidth: {args.bandwidth} Mbps")
+    print(f"path: {len(composed.path)} tree nodes")
+    edge_layers = len(composed.edge_spec) if composed.edge_spec else 0
+    cloud_layers = len(composed.cloud_spec) if composed.cloud_spec else 0
+    print(f"edge layers: {edge_layers}, cloud layers: {cloud_layers}")
+    print("offloads to cloud" if composed.offloads else "stays on edge")
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.model, args.device, args.environment)
+    config = ExperimentConfig(
+        tree_episodes=args.episodes,
+        branch_episodes=args.branch_episodes,
+        emulation_requests=args.requests,
+        seed=args.seed,
+    )
+    outcome = run_scenario(scenario, config, run_emu=False, run_field=False)
+    env = build_environment(scenario, outcome.context, outcome.trace)
+    if args.field:
+        env = fieldify(env)
+    rows = []
+    for method in outcome.methods:
+        replay = run_emulation(
+            method.plan, env, num_requests=args.requests, seed=args.seed + 11,
+            queued=args.queued, pipelined=args.pipelined,
+        )
+        rows.append(
+            [
+                method.name,
+                f"{replay.mean_reward:.1f}",
+                f"{replay.mean_latency_ms:.1f}",
+                f"{replay.p95_latency_ms:.1f}",
+                f"{replay.mean_accuracy * 100:.2f}",
+                f"{replay.offload_rate * 100:.0f}%",
+            ]
+        )
+    mode = "field" if args.field else "emulation"
+    print(f"{scenario} ({mode}{', queued' if args.queued else ''})")
+    print(
+        format_table(
+            ["Method", "Reward", "Lat (ms)", "p95 (ms)", "Acc (%)", "Offload"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Context-aware deep model compression for edge cloud computing.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list the evaluation scenes").set_defaults(
+        func=_cmd_scenes
+    )
+    sub.add_parser("models", help="list the base models").set_defaults(
+        func=_cmd_models
+    )
+
+    search = sub.add_parser("search", help="train a model tree for one scene")
+    search.add_argument("--model", default="vgg11", choices=["vgg11", "alexnet"])
+    search.add_argument("--device", default="phone", choices=["phone", "tx2"])
+    search.add_argument("--environment", default="4G indoor static")
+    search.add_argument("--blocks", type=int, default=3)
+    search.add_argument("--types", type=int, default=2, help="K bandwidth types")
+    search.add_argument("--episodes", type=int, default=20)
+    search.add_argument("--branch-episodes", type=int, default=40)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--out", help="write the trained tree as JSON")
+    search.set_defaults(func=_cmd_search)
+
+    compose = sub.add_parser("compose", help="compose a DNN from a saved tree")
+    compose.add_argument("--tree", required=True)
+    compose.add_argument("--bandwidth", type=float, required=True)
+    compose.set_defaults(func=_cmd_compose)
+
+    emulate = sub.add_parser("emulate", help="replay all methods on one scene")
+    emulate.add_argument("--model", default="vgg11", choices=["vgg11", "alexnet"])
+    emulate.add_argument("--device", default="phone", choices=["phone", "tx2"])
+    emulate.add_argument("--environment", default="4G indoor static")
+    emulate.add_argument("--episodes", type=int, default=15)
+    emulate.add_argument("--branch-episodes", type=int, default=30)
+    emulate.add_argument("--requests", type=int, default=40)
+    emulate.add_argument("--seed", type=int, default=0)
+    emulate.add_argument("--field", action="store_true", help="inject field noise")
+    emulate.add_argument("--queued", action="store_true", help="queued streaming")
+    emulate.add_argument(
+        "--pipelined", action="store_true",
+        help="overlap cloud tails with the next request (with --queued)",
+    )
+    emulate.set_defaults(func=_cmd_emulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Accuracy evaluation: memoized surrogate and really-trained evaluators."""
+
+from .base import AccuracyEvaluator, FixedAccuracy, MemoizedEvaluator
+from .distillation import TrainResult, distill, evaluate_accuracy, train_classifier
+from .surrogate import (
+    PAPER_BASE_ACCURACY,
+    TECHNIQUE_COSTS,
+    AlignmentError,
+    AppliedTechnique,
+    SurrogateAccuracyModel,
+    align_specs,
+)
+from .trained import TrainedAccuracyEvaluator
+
+__all__ = [
+    "AccuracyEvaluator",
+    "FixedAccuracy",
+    "MemoizedEvaluator",
+    "TrainResult",
+    "distill",
+    "evaluate_accuracy",
+    "train_classifier",
+    "PAPER_BASE_ACCURACY",
+    "TECHNIQUE_COSTS",
+    "AlignmentError",
+    "AppliedTechnique",
+    "SurrogateAccuracyModel",
+    "align_specs",
+    "TrainedAccuracyEvaluator",
+]

@@ -1,0 +1,63 @@
+"""Accuracy-evaluator protocol and the memoization pool.
+
+The reward (Eqn. 7) needs the accuracy of every candidate model the search
+visits. The paper notes accuracy "has nothing to do with where we partition"
+— it is a property of the composed model — so evaluators consume a single
+:class:`~repro.model.spec.ModelSpec` regardless of placement.
+
+The paper's Sec. VII-A "memory pool storing the hash code of searched models
+to avoid redundant computations" is :class:`MemoizedEvaluator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, runtime_checkable
+
+from ..model.spec import ModelSpec
+
+
+@runtime_checkable
+class AccuracyEvaluator(Protocol):
+    """Anything that maps a composed model spec to top-1 accuracy in [0, 1]."""
+
+    def evaluate(self, spec: ModelSpec) -> float: ...
+
+
+class MemoizedEvaluator:
+    """Caches accuracy by model fingerprint — the paper's memory pool."""
+
+    def __init__(self, inner: AccuracyEvaluator) -> None:
+        self.inner = inner
+        self._cache: Dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, spec: ModelSpec) -> float:
+        key = spec.fingerprint()
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        value = self.inner.evaluate(spec)
+        self._cache[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class FixedAccuracy:
+    """Evaluator returning a constant — useful in tests and ablations."""
+
+    def __init__(self, accuracy: float) -> None:
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        self.accuracy = accuracy
+
+    def evaluate(self, spec: ModelSpec) -> float:
+        return self.accuracy

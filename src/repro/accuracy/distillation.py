@@ -1,0 +1,105 @@
+"""Knowledge-distillation training — Sec. VI-D.
+
+"To facilitate convergence, we also adopt the technique of knowledge
+distillation, i.e., we train each composed DNN with the output logits of the
+corresponding base DNN instead of ground-truth labels."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.data import SyntheticImageDataset
+from ..nn.layers import Module, Sequential
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    train_loss: float
+    test_accuracy: float
+    epochs: int
+
+
+def evaluate_accuracy(
+    network: Module, dataset: SyntheticImageDataset, batch_size: int = 64
+) -> float:
+    """Top-1 test accuracy of ``network`` on the dataset's test split."""
+    network.eval()
+    correct = 0
+    total = 0
+    for batch in dataset.batches(batch_size, train=False, shuffle=False):
+        logits = network(Tensor(batch.images))
+        correct += int((logits.data.argmax(axis=-1) == batch.labels).sum())
+        total += len(batch)
+    network.train()
+    return correct / max(total, 1)
+
+
+def train_classifier(
+    network: Module,
+    dataset: SyntheticImageDataset,
+    epochs: int = 8,
+    batch_size: int = 32,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> TrainResult:
+    """Plain cross-entropy training (used for base models)."""
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(network.parameters(), lr=lr)
+    network.train()
+    loss_value = float("nan")
+    for _ in range(epochs):
+        for batch in dataset.batches(batch_size, train=True, rng=rng):
+            logits = network(Tensor(batch.images))
+            loss = F.cross_entropy(logits, batch.labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            loss_value = loss.item()
+    return TrainResult(loss_value, evaluate_accuracy(network, dataset), epochs)
+
+
+def distill(
+    student: Module,
+    teacher: Module,
+    dataset: SyntheticImageDataset,
+    epochs: int = 4,
+    batch_size: int = 32,
+    lr: float = 3e-3,
+    temperature: float = 4.0,
+    alpha: float = 0.7,
+    seed: int = 0,
+) -> TrainResult:
+    """Train ``student`` against the teacher's logits plus hard labels."""
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(student.parameters(), lr=lr)
+    teacher.eval()
+    student.train()
+    loss_value = float("nan")
+    for _ in range(epochs):
+        for batch in dataset.batches(batch_size, train=True, rng=rng):
+            images = Tensor(batch.images)
+            teacher_logits = teacher(images).data
+            student_logits = student(images)
+            loss = F.distillation_loss(
+                student_logits,
+                teacher_logits,
+                batch.labels,
+                temperature=temperature,
+                alpha=alpha,
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            loss_value = loss.item()
+    return TrainResult(loss_value, evaluate_accuracy(student, dataset), epochs)

@@ -1,0 +1,247 @@
+"""Calibrated analytical accuracy model.
+
+Training VGG11/AlexNet on CIFAR-10 is out of reach for a pure-numpy offline
+substrate, but the RL engine only consumes accuracy as a black-box scalar in
+the reward. This surrogate reproduces the *behaviour* that drives the search
+(DESIGN.md §2):
+
+- the base model scores its published baseline accuracy (VGG11 92.01 %,
+  AlexNet 84.04 % — Sec. VII Setup);
+- every compression action costs accuracy, with technique-specific
+  magnitudes calibrated to the papers the techniques come from (SVD mild,
+  GAP/SqueezeNet harsher);
+- compressing *early* layers hurts more than late layers (standard
+  structured-compression finding);
+- multiple compressions interact sub-additively (knowledge distillation and
+  fine-tuning recover part of the stacked loss);
+- a small deterministic per-model jitter separates otherwise-tied
+  candidates, like real training runs would.
+
+The surrogate identifies which techniques were applied by *structurally
+aligning* the composed spec against the base spec — the replacement patterns
+of Table II are unambiguous. If alignment fails (a spec produced outside the
+registry), it falls back to a MACC-ratio heuristic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..latency.maccs import total_maccs
+from ..model.spec import LayerSpec, LayerType, ModelSpec
+
+#: Post-distillation accuracy cost of one application, in fraction-of-1
+#: percentage points (0.0020 == 0.20 points).
+TECHNIQUE_COSTS: Dict[str, float] = {
+    "F1": 0.0015,  # SVD: near-lossless at moderate rank
+    "F2": 0.0030,  # KSVD: sparsity costs a little extra
+    "F3": 0.0055,  # GAP: removes the whole FC stack
+    "C1": 0.0035,  # MobileNet depthwise factorization
+    "C2": 0.0028,  # MobileNetV2: residual links soften the loss
+    "C3": 0.0050,  # SqueezeNet Fire: aggressive squeeze
+    "W1": 0.0045,  # 50% filter pruning
+    "Q1": 0.0015,  # INT8 quantization: near-lossless post-training
+}
+
+#: Stacking is *super*additive: every compressed layer feeds degraded
+#: features to the next, so errors compound —
+#: total = raw_sum · (1 + STACKING_BETA · (count − 1)). This is what keeps
+#: the paper's found models at ~1 % loss: its engine stops compressing well
+#: before the whole network is transformed, which only happens if the
+#: marginal accuracy cost *rises* with each additional layer.
+STACKING_BETA = 0.40
+
+#: Early layers hurt more: factor = EARLY - SLOPE * depth_fraction.
+DEPTH_FACTOR_EARLY = 1.40
+DEPTH_FACTOR_SLOPE = 0.90
+
+#: Deterministic per-model jitter amplitude (fraction of 1).
+JITTER = 0.0012
+
+
+@dataclass(frozen=True)
+class AppliedTechnique:
+    """One detected compression: technique name at a base-layer position."""
+
+    technique: str
+    base_layer_index: int
+    depth_fraction: float
+
+
+class AlignmentError(ValueError):
+    """Composed spec could not be aligned with the base spec."""
+
+
+def _same_layer(a: LayerSpec, b: LayerSpec) -> bool:
+    return a == b
+
+
+def align_specs(base: ModelSpec, composed: ModelSpec) -> List[AppliedTechnique]:
+    """Detect Table II applications by aligning ``composed`` against ``base``.
+
+    Raises :class:`AlignmentError` when the composed spec contains structure
+    not producible from the base by the registry's techniques.
+    """
+    applied: List[AppliedTechnique] = []
+    n_base = len(base)
+    i = j = 0  # i -> composed, j -> base
+    while j < n_base:
+        base_layer = base[j]
+        comp_layer = composed[i] if i < len(composed) else None
+        depth = j / max(n_base - 1, 1)
+
+        if comp_layer is not None and _same_layer(comp_layer, base_layer):
+            i += 1
+            j += 1
+            continue
+
+        if base_layer.layer_type == LayerType.CONV and comp_layer is not None:
+            lt = comp_layer.layer_type
+            if (
+                lt == LayerType.DEPTHWISE_CONV
+                and i + 1 < len(composed)
+                and composed[i + 1].layer_type == LayerType.POINTWISE_CONV
+                and composed[i + 1].out_channels == base_layer.out_channels
+            ):
+                applied.append(AppliedTechnique("C1", j, depth))
+                i += 2
+                j += 1
+                continue
+            if (
+                lt == LayerType.INVERTED_RESIDUAL
+                and comp_layer.out_channels == base_layer.out_channels
+            ):
+                applied.append(AppliedTechnique("C2", j, depth))
+                i += 1
+                j += 1
+                continue
+            if (
+                lt == LayerType.FIRE
+                and comp_layer.out_channels == base_layer.out_channels
+            ):
+                applied.append(AppliedTechnique("C3", j, depth))
+                i += 1
+                j += 1
+                continue
+            if (
+                lt == LayerType.CONV
+                and comp_layer.kernel_size == base_layer.kernel_size
+                and comp_layer.stride == base_layer.stride
+                and comp_layer.out_channels < base_layer.out_channels
+            ):
+                applied.append(AppliedTechnique("W1", j, depth))
+                i += 1
+                j += 1
+                continue
+
+        if (
+            comp_layer is not None
+            and comp_layer.bits < base_layer.bits
+            and comp_layer.replace(bits=base_layer.bits) == base_layer
+        ):
+            applied.append(AppliedTechnique("Q1", j, depth))
+            i += 1
+            j += 1
+            continue
+
+        if base_layer.layer_type == LayerType.FC and comp_layer is not None:
+            if (
+                comp_layer.layer_type == LayerType.FC
+                and comp_layer.rank > 0
+                and comp_layer.out_channels == base_layer.out_channels
+            ):
+                name = "F2" if comp_layer.sparsity < 1.0 else "F1"
+                applied.append(AppliedTechnique(name, j, depth))
+                i += 1
+                j += 1
+                continue
+
+        if (
+            base_layer.layer_type == LayerType.FLATTEN
+            and comp_layer is not None
+            and comp_layer.layer_type == LayerType.GLOBAL_AVG_POOL
+        ):
+            # F3 replaced [flatten .. last FC] with [GAP, FC(classes)].
+            applied.append(AppliedTechnique("F3", j, depth))
+            last_fc = max(
+                idx
+                for idx, layer in enumerate(base.layers)
+                if layer.layer_type == LayerType.FC
+            )
+            j = last_fc + 1
+            i += 2  # skip GAP + class-projection FC
+            continue
+
+        raise AlignmentError(
+            f"cannot align composed layer {i} ({comp_layer}) with base layer "
+            f"{j} ({base_layer})"
+        )
+    if i != len(composed):
+        raise AlignmentError(
+            f"composed spec has {len(composed) - i} unmatched trailing layers"
+        )
+    return applied
+
+
+class SurrogateAccuracyModel:
+    """Analytical accuracy of composed variants of one base model."""
+
+    def __init__(
+        self,
+        base: ModelSpec,
+        base_accuracy: float,
+        technique_costs: Optional[Dict[str, float]] = None,
+        floor: float = 0.5,
+    ) -> None:
+        if not 0.0 < base_accuracy <= 1.0:
+            raise ValueError("base_accuracy must be in (0, 1]")
+        self.base = base
+        self.base_accuracy = base_accuracy
+        self.costs = dict(technique_costs or TECHNIQUE_COSTS)
+        self.floor = floor
+        self._base_maccs = total_maccs(base)
+
+    # -- public API --------------------------------------------------------
+    def evaluate(self, spec: ModelSpec) -> float:
+        """Top-1 accuracy estimate for ``spec`` (a transform of the base)."""
+        try:
+            applied = align_specs(self.base, spec)
+        except AlignmentError:
+            return self._macc_ratio_estimate(spec)
+        if not applied:
+            return self.base_accuracy  # untransformed: the published baseline
+        loss = self._stacked_loss(applied)
+        accuracy = self.base_accuracy - loss + self._jitter(spec)
+        return float(min(max(accuracy, self.floor), 1.0))
+
+    # -- internals --------------------------------------------------------
+    def _depth_factor(self, depth_fraction: float) -> float:
+        return DEPTH_FACTOR_EARLY - DEPTH_FACTOR_SLOPE * depth_fraction
+
+    def _stacked_loss(self, applied: List[AppliedTechnique]) -> float:
+        if not applied:
+            return 0.0
+        raw = sum(
+            self.costs.get(a.technique, 0.01) * self._depth_factor(a.depth_fraction)
+            for a in applied
+        )
+        return raw * (1.0 + STACKING_BETA * (len(applied) - 1))
+
+    def _jitter(self, spec: ModelSpec) -> float:
+        digest = hashlib.sha256(spec.fingerprint().encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+        return (unit - 0.5) * 2.0 * JITTER
+
+    def _macc_ratio_estimate(self, spec: ModelSpec) -> float:
+        """Fallback: loss grows with the fraction of compute removed."""
+        ratio = total_maccs(spec) / max(self._base_maccs, 1)
+        ratio = min(max(ratio, 0.0), 1.5)
+        loss = 0.06 * max(0.0, 1.0 - ratio)
+        accuracy = self.base_accuracy - loss + self._jitter(spec)
+        return float(min(max(accuracy, self.floor), 1.0))
+
+
+#: Published baseline accuracies (Sec. VII Setup).
+PAPER_BASE_ACCURACY = {"vgg11": 0.9201, "alexnet": 0.8404}

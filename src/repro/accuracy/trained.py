@@ -1,0 +1,73 @@
+"""Really-train-it accuracy evaluation.
+
+Closes the loop the surrogate approximates: every candidate spec is built
+as a real numpy network, distilled from a trained base model on the
+synthetic dataset, and scored on held-out data. Used by tests and examples
+to validate the full pipeline end-to-end at small scale (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model.spec import ModelSpec
+from ..nn.build import build_network
+from ..nn.data import SyntheticImageDataset
+from ..nn.layers import Sequential
+from .distillation import distill, evaluate_accuracy, train_classifier
+
+
+class TrainedAccuracyEvaluator:
+    """Evaluate composed specs by actually training them.
+
+    Parameters
+    ----------
+    base:
+        The base model spec. Its network is trained once with plain
+        cross-entropy and then acts as the distillation teacher.
+    dataset:
+        The classification task. Defaults to a small synthetic dataset the
+        numpy substrate can learn in seconds.
+    epochs:
+        Distillation epochs per candidate (keep small; candidates are many).
+    """
+
+    def __init__(
+        self,
+        base: ModelSpec,
+        dataset: Optional[SyntheticImageDataset] = None,
+        epochs: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.base = base
+        self.dataset = dataset or SyntheticImageDataset(
+            image_size=base.input_shape.height,
+            channels=base.input_shape.channels,
+            num_train=256,
+            num_test=128,
+            seed=seed,
+        )
+        self.epochs = epochs
+        self.seed = seed
+        self.teacher: Sequential = build_network(base, seed=seed)
+        self._teacher_result = train_classifier(
+            self.teacher, self.dataset, epochs=max(epochs, 8), seed=seed
+        )
+
+    @property
+    def base_accuracy(self) -> float:
+        return self._teacher_result.test_accuracy
+
+    def evaluate(self, spec: ModelSpec) -> float:
+        """Build, distill and score one candidate spec."""
+        if spec.fingerprint() == self.base.fingerprint():
+            return self.base_accuracy
+        student = build_network(spec, seed=self.seed + 1)
+        result = distill(
+            student,
+            self.teacher,
+            self.dataset,
+            epochs=self.epochs,
+            seed=self.seed + 2,
+        )
+        return result.test_accuracy

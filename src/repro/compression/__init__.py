@@ -1,0 +1,69 @@
+"""DNN compression techniques (Table II) operating on model specs."""
+
+from .base import (
+    CompressionError,
+    CompressionTechnique,
+    IdentityCompression,
+    TechniqueRegistry,
+)
+from .convs import (
+    FilterPruning,
+    MobileNetCompression,
+    MobileNetV2Compression,
+    SqueezeNetCompression,
+)
+from .fc import GAPCompression, KSVDCompression, SVDCompression
+from .quantize import WeightQuantization, quantize_array, quantize_network
+from .weights import (
+    factorize_linear,
+    filter_importance,
+    prune_conv_filters,
+    prune_network_layer,
+)
+
+
+def default_registry() -> TechniqueRegistry:
+    """The paper's full technique set (Table II) plus the identity no-op."""
+    return TechniqueRegistry(
+        [
+            IdentityCompression(),
+            SVDCompression(),
+            KSVDCompression(),
+            GAPCompression(),
+            MobileNetCompression(),
+            MobileNetV2Compression(),
+            SqueezeNetCompression(),
+            FilterPruning(),
+        ]
+    )
+
+
+def extended_registry() -> TechniqueRegistry:
+    """Table II plus Q1 (INT8 quantization) — the extension action space."""
+    registry = default_registry()
+    registry.register(WeightQuantization())
+    return registry
+
+
+__all__ = [
+    "CompressionError",
+    "CompressionTechnique",
+    "IdentityCompression",
+    "TechniqueRegistry",
+    "FilterPruning",
+    "MobileNetCompression",
+    "MobileNetV2Compression",
+    "SqueezeNetCompression",
+    "GAPCompression",
+    "KSVDCompression",
+    "SVDCompression",
+    "factorize_linear",
+    "filter_importance",
+    "prune_conv_filters",
+    "prune_network_layer",
+    "default_registry",
+    "extended_registry",
+    "WeightQuantization",
+    "quantize_array",
+    "quantize_network",
+]

@@ -1,0 +1,168 @@
+"""Conv-layer compression techniques: C1, C2, C3, W1 of Table II.
+
+- **C1 (MobileNet)** — replace a conv layer with a 3×3 depthwise conv plus a
+  1×1 pointwise conv.
+- **C2 (MobileNetV2)** — same with an additional pointwise (expansion) conv
+  and residual links: an inverted-residual block.
+- **C3 (SqueezeNet)** — replace a conv layer with a Fire layer.
+- **W1 (Filter Pruning)** — prune insignificant filters (smallest L1 norm at
+  the weight level), shrinking the output channel count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..model.spec import LayerSpec, LayerType, ModelSpec
+from .base import CompressionTechnique
+
+
+def _is_plain_conv(layer: LayerSpec) -> bool:
+    return layer.layer_type == LayerType.CONV and layer.groups == 1
+
+
+class MobileNetCompression(CompressionTechnique):
+    """C1: K×K conv -> depthwise K×K conv + pointwise 1×1 conv."""
+
+    name = "C1"
+    label = "MobileNet"
+    applicable_types = frozenset({LayerType.CONV})
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        layer = spec[index]
+        # Depthwise factorization only pays off for spatial kernels.
+        return _is_plain_conv(layer) and layer.kernel_size >= 3
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        return [
+            LayerSpec(
+                LayerType.DEPTHWISE_CONV,
+                layer.kernel_size,
+                layer.stride,
+                layer.padding,
+                0,  # depthwise keeps the channel count
+            ),
+            LayerSpec(LayerType.POINTWISE_CONV, 1, 1, 0, layer.out_channels),
+        ]
+
+
+class MobileNetV2Compression(CompressionTechnique):
+    """C2: conv -> inverted residual (expand 1×1, depthwise K×K, project 1×1)."""
+
+    name = "C2"
+    label = "MobileNetV2"
+    applicable_types = frozenset({LayerType.CONV})
+
+    def __init__(self, expansion: int = 2) -> None:
+        if expansion < 1:
+            raise ValueError("expansion must be >= 1")
+        self.expansion = expansion
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        layer = spec[index]
+        return _is_plain_conv(layer) and layer.kernel_size >= 3
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        return [
+            LayerSpec(
+                LayerType.INVERTED_RESIDUAL,
+                layer.kernel_size,
+                layer.stride,
+                layer.padding,
+                layer.out_channels,
+                expansion=self.expansion,
+            )
+        ]
+
+
+class SqueezeNetCompression(CompressionTechnique):
+    """C3: conv -> Fire layer (squeeze 1×1 + parallel 1×1/3×3 expands)."""
+
+    name = "C3"
+    label = "SqueezeNet"
+    applicable_types = frozenset({LayerType.CONV})
+
+    def __init__(self, squeeze_ratio: float = 0.125) -> None:
+        if not 0.0 < squeeze_ratio <= 1.0:
+            raise ValueError("squeeze_ratio must be in (0, 1]")
+        self.squeeze_ratio = squeeze_ratio
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        layer = spec[index]
+        # Fire output concatenates two halves, and its expand convs share a
+        # 3x3/1x1 geometry: require stride 1 and an even channel count.
+        return (
+            _is_plain_conv(layer)
+            and layer.kernel_size == 3
+            and layer.stride == 1
+            and layer.padding == 1
+            and layer.out_channels % 2 == 0
+        )
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        return [
+            LayerSpec(
+                LayerType.FIRE,
+                layer.kernel_size,
+                layer.stride,
+                layer.padding,
+                layer.out_channels,
+                squeeze_ratio=self.squeeze_ratio,
+            )
+        ]
+
+
+class FilterPruning(CompressionTechnique):
+    """W1: shrink a conv layer by pruning insignificant filters.
+
+    Structurally the output channel count drops by ``prune_ratio``; at the
+    weight level (:func:`repro.compression.weights.prune_filters`) the
+    filters with the smallest L1 norm are removed and the next layer's input
+    channels are sliced accordingly.
+    """
+
+    name = "W1"
+    label = "Filter Pruning"
+    applicable_types = frozenset({LayerType.CONV})
+
+    def __init__(self, prune_ratio: float = 0.5) -> None:
+        if not 0.0 < prune_ratio < 1.0:
+            raise ValueError("prune_ratio must be in (0, 1)")
+        self.prune_ratio = prune_ratio
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        layer = spec[index]
+        if not _is_plain_conv(layer) or layer.out_channels < 2:
+            return False
+        # Pruning changes this layer's output channels, so the *consumer*
+        # must be shape-flexible. A following conv/bn/relu/pool adapts; the
+        # final layer of the model does not (it sets the class count), and a
+        # downstream FLATTEN -> FC pins the flattened feature count unless we
+        # also rewrite the FC, which we do in apply().
+        return index < len(spec) - 1
+
+    def pruned_channels(self, out_channels: int) -> int:
+        kept = max(1, int(round(out_channels * (1.0 - self.prune_ratio))))
+        return kept
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        return [layer.replace(out_channels=self.pruned_channels(layer.out_channels))]
+
+    def apply(self, spec: ModelSpec, index: int) -> ModelSpec:
+        from .base import CompressionError
+
+        if not self.applies_to(spec, index):
+            raise CompressionError(f"W1 cannot be applied to layer {index}")
+        out = spec.replace_layer(index, self.transform_layer(spec, index))
+        # If a later FC consumed the flattened map, its in_features changed
+        # implicitly (FC specs only record out_features, so the spec is
+        # still valid); nothing further to rewrite structurally.
+        if out.output_shape != spec.output_shape:
+            raise CompressionError(
+                f"W1 changed the model output shape at layer {index}"
+            )
+        return out

@@ -1,0 +1,128 @@
+"""FC-layer compression techniques: F1 (SVD), F2 (KSVD), F3 (GAP).
+
+Table II:
+
+- **F1 (SVD)** — replace an ``m × n`` weight matrix with ``m × k`` and
+  ``k × n`` factors, ``k ≪ m``.
+- **F2 (KSVD)** — the same factorization with *sparse* factor matrices,
+  modeled structurally as a density multiplier on the factors.
+- **F3 (Global Average Pooling)** — replace the FC stack with a global
+  average pooling layer; a minimal class-projection FC is kept so the model
+  still emits ``num_classes`` logits (Network-in-Network style).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..model.spec import LayerSpec, LayerType, ModelSpec
+from .base import CompressionTechnique
+
+
+def default_rank(in_features: int, out_features: int, ratio: float) -> int:
+    """Factorization rank giving ~``ratio`` of the dense parameter count."""
+    dense = in_features * out_features
+    rank = int(dense * ratio / max(in_features + out_features, 1))
+    return max(1, min(rank, min(in_features, out_features)))
+
+
+class SVDCompression(CompressionTechnique):
+    """F1: low-rank SVD factorization of an FC layer."""
+
+    name = "F1"
+    label = "SVD"
+    applicable_types = frozenset({LayerType.FC})
+
+    def __init__(self, rank_ratio: float = 0.25) -> None:
+        if not 0.0 < rank_ratio <= 1.0:
+            raise ValueError("rank_ratio must be in (0, 1]")
+        self.rank_ratio = rank_ratio
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        # Factorizing an already-factorized layer is not allowed.
+        return spec[index].rank == 0
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        in_features = spec.input_shape_of(index).num_values
+        rank = default_rank(in_features, layer.out_channels, self.rank_ratio)
+        return [layer.replace(rank=rank)]
+
+
+class KSVDCompression(CompressionTechnique):
+    """F2: sparse low-rank factorization (KSVD) of an FC layer."""
+
+    name = "F2"
+    label = "KSVD"
+    applicable_types = frozenset({LayerType.FC})
+
+    def __init__(self, rank_ratio: float = 0.25, density: float = 0.5) -> None:
+        if not 0.0 < rank_ratio <= 1.0:
+            raise ValueError("rank_ratio must be in (0, 1]")
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        self.rank_ratio = rank_ratio
+        self.density = density
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        return spec[index].rank == 0
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        layer = spec[index]
+        in_features = spec.input_shape_of(index).num_values
+        rank = default_rank(in_features, layer.out_channels, self.rank_ratio)
+        return [layer.replace(rank=rank, sparsity=self.density)]
+
+
+class GAPCompression(CompressionTechnique):
+    """F3: replace the FC stack with global average pooling.
+
+    Applied to the *first* FC layer of a classifier stack (immediately after
+    flattening), it removes the flatten + hidden FC layers and pools the last
+    convolutional feature map instead, keeping only the class-projection FC.
+    """
+
+    name = "F3"
+    label = "Global Average Pooling"
+    applicable_types = frozenset({LayerType.FC})
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        # Must be the first FC after a FLATTEN, with at least one more FC
+        # after it (otherwise there is no stack to remove) and a spatial
+        # feature map before the flatten.
+        before = index - 1
+        while before >= 0 and spec[before].layer_type in (
+            LayerType.DROPOUT,
+            LayerType.RELU,
+        ):
+            before -= 1
+        if before < 0 or spec[before].layer_type != LayerType.FLATTEN:
+            return False
+        if spec.input_shape_of(before).flat:
+            return False
+        return any(
+            later.layer_type == LayerType.FC for later in spec.layers[index + 1 :]
+        )
+
+    def apply(self, spec: ModelSpec, index: int) -> ModelSpec:
+        if not self.applies_to(spec, index):
+            from .base import CompressionError
+
+            raise CompressionError(f"F3 cannot be applied to layer {index}")
+        # Locate the flatten and the final class-projection FC.
+        flatten_index = index - 1
+        while spec[flatten_index].layer_type != LayerType.FLATTEN:
+            flatten_index -= 1
+        last_fc = max(
+            i for i, layer in enumerate(spec.layers) if layer.layer_type == LayerType.FC
+        )
+        num_classes = spec[last_fc].out_channels
+        replacement = [
+            LayerSpec(LayerType.GLOBAL_AVG_POOL),
+            LayerSpec(LayerType.FC, 0, 1, 0, num_classes),
+        ]
+        return spec.replace_range(flatten_index, last_fc + 1, replacement)
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        # F3 rewrites a range, not a single layer; apply() is overridden.
+        raise NotImplementedError("GAPCompression overrides apply()")

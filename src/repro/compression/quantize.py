@@ -1,0 +1,69 @@
+"""Q1: 8-bit weight quantization — an extension from the paper's citations.
+
+Table II omits quantization, but the paper's compression survey leans on
+Han et al.'s Deep Compression ("along with quantization, their method has
+reduced the neural network size by 35×"). This module adds it to the action
+space as technique **Q1**:
+
+- *structurally*, a layer's ``bits`` drops from 32 to 8: storage shrinks 4×
+  and integer arithmetic speeds the layer up on CPU-class devices (the
+  device profile applies its ``quantized_speedup``);
+- *at the weight level*, :func:`quantize_array` fake-quantizes trained
+  weights (symmetric per-tensor affine, round-to-nearest), so the accuracy
+  effect can be measured on really-trained models.
+
+Use :func:`repro.compression.extended_registry` to search with Q1 included;
+the default registry stays exactly Table II so the paper's experiments are
+regenerated with the paper's action space.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..model.spec import LayerSpec, LayerType, ModelSpec
+from .base import CompressionTechnique
+
+
+class WeightQuantization(CompressionTechnique):
+    """Q1: quantize a conv/FC layer's weights to ``bits`` (default 8)."""
+
+    name = "Q1"
+    label = "INT8 Quantization"
+    applicable_types = frozenset({LayerType.CONV, LayerType.FC})
+
+    def __init__(self, bits: int = 8) -> None:
+        if bits not in (4, 8, 16):
+            raise ValueError("supported widths: 4, 8, 16 bits")
+        self.bits = bits
+
+    def _applies_to(self, spec: ModelSpec, index: int) -> bool:
+        return spec[index].bits > self.bits
+
+    def transform_layer(self, spec: ModelSpec, index: int) -> List[LayerSpec]:
+        return [spec[index].replace(bits=self.bits)]
+
+
+def quantize_array(weights: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric per-tensor fake quantization (quantize + dequantize).
+
+    Maps weights onto ``2^bits − 1`` levels spanning ±max|w|; returns the
+    dequantized float array so it can drop into the numpy substrate.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits")
+    scale = float(np.abs(weights).max())
+    if scale == 0.0:
+        return weights.copy()
+    levels = 2 ** (bits - 1) - 1
+    quantized = np.round(weights / scale * levels)
+    quantized = np.clip(quantized, -levels - 1, levels)
+    return quantized / levels * scale
+
+
+def quantize_network(network, bits: int = 8) -> None:
+    """Fake-quantize every parameter of a trained network in place."""
+    for parameter in network.parameters():
+        parameter.data = quantize_array(parameter.data, bits)

@@ -1,0 +1,114 @@
+"""Weight-level counterparts of the compression techniques.
+
+The RL search works on structure alone, but when a composed model is really
+trained (examples, trained accuracy evaluator), carrying over weights from
+the base model beats retraining from scratch. This module implements the
+weight transfers that have a faithful closed form:
+
+- SVD / KSVD factorization of a trained FC layer (F1/F2);
+- L1-norm filter pruning of a trained conv layer with downstream channel
+  slicing (W1), following Li et al.'s "Pruning Filters for Efficient
+  ConvNets" criterion cited by the paper's reference [17].
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d, FactorizedLinear, Linear, Sequential
+
+
+def factorize_linear(layer: Linear, rank: int, density: float = 1.0) -> FactorizedLinear:
+    """F1/F2: SVD-factorize a trained Linear layer; optionally sparsify.
+
+    ``density < 1`` keeps only the largest-magnitude fraction of each factor
+    (a structural stand-in for KSVD's sparse coding).
+    """
+    factored = FactorizedLinear.from_linear(layer, rank)
+    if density < 1.0:
+        for factor in (factored.first.weight, factored.second.weight):
+            flat = np.abs(factor.data).ravel()
+            keep = max(1, int(round(flat.size * density)))
+            threshold = np.partition(flat, flat.size - keep)[flat.size - keep]
+            factor.data = np.where(np.abs(factor.data) >= threshold, factor.data, 0.0)
+    return factored
+
+
+def filter_importance(conv: Conv2d) -> np.ndarray:
+    """Per-filter L1 norms — the pruning significance criterion."""
+    return np.abs(conv.weight.data).sum(axis=(1, 2, 3))
+
+
+def prune_conv_filters(conv: Conv2d, keep: int) -> Tuple[Conv2d, np.ndarray]:
+    """W1: keep the ``keep`` filters with largest L1 norm.
+
+    Returns the pruned layer and the sorted indices of the kept filters so
+    the consumer layer's input channels can be sliced to match.
+    """
+    if not 1 <= keep <= conv.out_channels:
+        raise ValueError(f"keep must be in [1, {conv.out_channels}]")
+    importance = filter_importance(conv)
+    kept = np.sort(np.argsort(importance)[::-1][:keep])
+    pruned = Conv2d(
+        conv.in_channels,
+        keep,
+        conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        groups=conv.groups,
+        bias=conv.bias is not None,
+    )
+    pruned.weight.data = conv.weight.data[kept].copy()
+    if conv.bias is not None and pruned.bias is not None:
+        pruned.bias.data = conv.bias.data[kept].copy()
+    return pruned, kept
+
+
+def slice_consumer_channels(layer, kept: np.ndarray):
+    """Adapt the layer consuming a pruned feature map to the kept channels."""
+    if isinstance(layer, Conv2d):
+        if layer.groups != 1:
+            raise ValueError("cannot slice grouped conv inputs")
+        sliced = Conv2d(
+            len(kept),
+            layer.out_channels,
+            layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            bias=layer.bias is not None,
+        )
+        sliced.weight.data = layer.weight.data[:, kept].copy()
+        if layer.bias is not None and sliced.bias is not None:
+            sliced.bias.data = layer.bias.data.copy()
+        return sliced
+    raise ValueError(f"cannot slice inputs of {type(layer).__name__}")
+
+
+def prune_network_layer(
+    network: Sequential, conv_index: int, keep: int
+) -> Sequential:
+    """Prune filters of ``network[conv_index]`` and fix the next conv's inputs.
+
+    Works for chains where the next weighted layer is a plain Conv2d (the
+    common case in VGG/AlexNet feature extractors). The returned network
+    shares unmodified layers with the input network.
+    """
+    modules = list(network)
+    conv = modules[conv_index]
+    if not isinstance(conv, Conv2d):
+        raise ValueError(f"layer {conv_index} is not Conv2d")
+    pruned, kept = prune_conv_filters(conv, keep)
+    modules[conv_index] = pruned
+    for later in range(conv_index + 1, len(modules)):
+        module = modules[later]
+        if isinstance(module, Conv2d):
+            modules[later] = slice_consumer_channels(module, kept)
+            break
+        if isinstance(module, (Linear, FactorizedLinear)):
+            raise ValueError(
+                "pruning a conv feeding an FC head requires rebuilding the "
+                "head; use build_network on the transformed spec instead"
+            )
+    return Sequential(*modules)

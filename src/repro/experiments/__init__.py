@@ -1,0 +1,21 @@
+"""Experiment reproductions: one module per table/figure of the paper."""
+
+from .common import (
+    ExperimentConfig,
+    MethodOutcome,
+    ScenarioOutcome,
+    build_context,
+    build_environment,
+    format_table,
+    run_scenario,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "MethodOutcome",
+    "ScenarioOutcome",
+    "build_context",
+    "build_environment",
+    "format_table",
+    "run_scenario",
+]

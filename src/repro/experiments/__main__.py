@@ -1,0 +1,84 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table4 --episodes 30
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import energy, fig1, fig5, fig7, fig8, regret, sweep, table1, table2, table3, table45
+from .common import ExperimentConfig
+
+
+def _tables45(config):
+    return table45.main(config)
+
+
+EXPERIMENTS = {
+    "table1": lambda config: table1.main(),
+    "table2": lambda config: table2.main(),
+    "table3": table3.main,
+    "table4": _tables45,
+    "table5": _tables45,
+    "fig1": lambda config: fig1.main(),
+    "fig5": lambda config: fig5.main(),
+    "fig7": lambda config: fig7.main(),
+    "fig8": fig8.main,
+    "sweep": sweep.main,
+    "energy": energy.main,
+    "regret": regret.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--tree-episodes", type=int, default=20, help="Alg. 3 episodes per scene"
+    )
+    parser.add_argument(
+        "--branch-episodes", type=int, default=40, help="Alg. 1 episodes per search"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=40, help="inference requests per replay"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        tree_episodes=args.tree_episodes,
+        branch_episodes=args.branch_episodes,
+        emulation_requests=args.requests,
+        seed=args.seed,
+    )
+
+    if args.experiment == "all":
+        seen = set()
+        for name in sorted(EXPERIMENTS):
+            runner = EXPERIMENTS[name]
+            if id(runner) in seen:
+                continue
+            seen.add(id(runner))
+            print(f"===== {name} =====")
+            runner(config)
+            print()
+    else:
+        EXPERIMENTS[args.experiment](config)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Shared infrastructure for the experiment reproductions.
+
+Each table/figure module builds on :func:`run_scenario`: one evaluation
+scene is searched offline by all three methods (Dynamic DNN Surgery, optimal
+branch, model tree) and then replayed through the emulation and field
+harnesses. Results carry everything the corresponding paper table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..accuracy.base import MemoizedEvaluator
+from ..accuracy.surrogate import PAPER_BASE_ACCURACY, SurrogateAccuracyModel
+from ..compression import default_registry
+from ..latency.compute import LatencyEstimator
+from ..latency.devices import CLOUD_SERVER
+from ..mdp.reward import PAPER_REWARD
+from ..network.channel import Channel
+from ..network.scenarios import Scenario
+from ..network.traces import BandwidthTrace
+from ..nn.zoo import get_model
+from ..runtime.emulator import EmulationResult, run_emulation
+from ..runtime.engine import FixedPlan, RuntimeEnvironment, TreePlan
+from ..runtime.field import FieldConditions, fieldify
+from ..search.branch import BranchPlan, optimal_branch_search, realize_branch_plan
+from ..search.baselines import dynamic_dnn_surgery
+from ..search.context import SearchContext
+from ..search.policies import RLPolicy
+from ..search.tree import ModelTree, TreeSearchConfig, model_tree_search
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment reproductions.
+
+    The defaults match the paper's setup (N = 3 blocks, K = 2 bandwidth
+    types); episode counts are sized for minutes-scale runs — raise them for
+    higher-fidelity searches.
+    """
+
+    num_blocks: int = 3
+    num_bandwidth_types: int = 2
+    tree_episodes: int = 25
+    branch_episodes: int = 30
+    emulation_requests: int = 40
+    trace_duration_s: float = 120.0
+    seed: int = 0
+
+
+@dataclass
+class MethodOutcome:
+    """One search method's offline solution and runtime replays."""
+
+    name: str
+    offline_reward: float
+    plan: object  # FixedPlan or TreePlan
+    emulation: Optional[EmulationResult] = None
+    field: Optional[EmulationResult] = None
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything measured for one evaluation scene."""
+
+    scenario: Scenario
+    trace: BandwidthTrace
+    bandwidth_types: List[float]
+    surgery: MethodOutcome
+    branch: MethodOutcome
+    tree: MethodOutcome
+    context: SearchContext = field(repr=False, default=None)
+
+    @property
+    def methods(self) -> List[MethodOutcome]:
+        return [self.surgery, self.branch, self.tree]
+
+
+def build_context(scenario: Scenario) -> SearchContext:
+    """Search context (base model + models of Sec. V) for one scene."""
+    base = get_model(scenario.model_name)
+    registry = default_registry()
+    estimator = LatencyEstimator(
+        edge=scenario.device,
+        cloud=CLOUD_SERVER,
+        transfer=scenario.transfer_model,
+    )
+    accuracy = MemoizedEvaluator(
+        SurrogateAccuracyModel(
+            base, PAPER_BASE_ACCURACY.get(scenario.model_name, 0.92)
+        )
+    )
+    return SearchContext(base, registry, estimator, accuracy, PAPER_REWARD)
+
+
+def build_environment(
+    scenario: Scenario,
+    context: SearchContext,
+    trace: BandwidthTrace,
+) -> RuntimeEnvironment:
+    return RuntimeEnvironment(
+        edge=scenario.device,
+        cloud=CLOUD_SERVER,
+        trace=trace,
+        channel=Channel(trace, scenario.transfer_model),
+        accuracy=context.accuracy,
+        reward=PAPER_REWARD,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: Optional[ExperimentConfig] = None,
+    run_field: bool = True,
+    run_emu: bool = True,
+) -> ScenarioOutcome:
+    """Search offline and replay online for one scene (one table row)."""
+    config = config or ExperimentConfig()
+    context = build_context(scenario)
+    trace = scenario.trace(duration_s=config.trace_duration_s)
+    types = trace.bandwidth_types(config.num_bandwidth_types)
+    median_bandwidth = float(np.median(trace.samples))
+
+    # Offline rewards are the *expected* reward over the K context types
+    # (each equally likely — the distribution the tree's backward estimation
+    # assumes), so the three methods are compared on one scale.
+    def expected_plan_reward(plan: BranchPlan) -> float:
+        return float(
+            np.mean(
+                [realize_branch_plan(context, plan, w).reward for w in types]
+            )
+        )
+
+    # --- offline: the three methods -----------------------------------
+    surgery_result = dynamic_dnn_surgery(context, median_bandwidth)
+    surgery_plan = BranchPlan(
+        surgery_result.partition_index,
+        tuple(["ID"] * surgery_result.partition_index),
+    )
+    surgery = MethodOutcome(
+        name="surgery",
+        offline_reward=expected_plan_reward(surgery_plan),
+        plan=FixedPlan(
+            surgery_result.result.edge_spec, surgery_result.result.cloud_spec
+        ),
+    )
+
+    # The optimal branch is one static plan for the whole scene. The RL
+    # search proposes candidates; the deployed plan is the candidate with
+    # the best expected reward (the search space strictly contains every
+    # pure partition, so the branch can never lose to surgery).
+    branch_policy = RLPolicy(context.registry, seed=config.seed + 1)
+    branch_result = optimal_branch_search(
+        context,
+        median_bandwidth,
+        branch_policy,
+        episodes=config.branch_episodes,
+        seed=config.seed + 2,
+    )
+    branch_candidates = [branch_result.plan, surgery_plan] + [
+        BranchPlan(p, tuple(["ID"] * p)) for p in range(len(context.base) + 1)
+    ]
+    branch_plan = max(branch_candidates, key=expected_plan_reward)
+    branch_realized = realize_branch_plan(context, branch_plan, median_bandwidth)
+    branch = MethodOutcome(
+        name="branch",
+        offline_reward=expected_plan_reward(branch_plan),
+        plan=FixedPlan(branch_realized.edge_spec, branch_realized.cloud_spec),
+    )
+
+    tree_result = model_tree_search(
+        context,
+        types,
+        config=TreeSearchConfig(
+            num_blocks=config.num_blocks,
+            episodes=config.tree_episodes,
+            branch_episodes=config.branch_episodes,
+            extra_plans=(branch_plan,),
+            seed=config.seed + 3,
+        ),
+    )
+    tree = MethodOutcome(
+        name="tree",
+        offline_reward=tree_result.expected_reward,
+        plan=TreePlan(tree_result.tree),
+    )
+
+    # --- online: emulation and field replays ---------------------------
+    if run_emu or run_field:
+        env = build_environment(scenario, context, trace)
+        for method in (surgery, branch, tree):
+            if run_emu:
+                method.emulation = run_emulation(
+                    method.plan,
+                    env,
+                    num_requests=config.emulation_requests,
+                    seed=config.seed + 11,
+                )
+            if run_field:
+                field_env = fieldify(env, FieldConditions())
+                method.field = run_emulation(
+                    method.plan,
+                    field_env,
+                    num_requests=config.emulation_requests,
+                    seed=config.seed + 13,
+                )
+
+    return ScenarioOutcome(
+        scenario=scenario,
+        trace=trace,
+        bandwidth_types=types,
+        surgery=surgery,
+        branch=branch,
+        tree=tree,
+        context=context,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plain-text table rendering
+# ---------------------------------------------------------------------------
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)

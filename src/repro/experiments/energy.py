@@ -1,0 +1,140 @@
+"""Edge-energy comparison per method — extension experiment.
+
+Sec. I motivates compression with "the computation time, the storage space
+and the energy consumption on edge devices", but the evaluation only
+reports latency. This experiment fills the gap: for each scene, the three
+methods' deployments are costed with the edge energy model
+(`repro.latency.energy`) — compute energy for the on-device half, radio
+energy for the transfer — alongside storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..latency.energy import (
+    PHONE_4G_ENERGY,
+    PHONE_WIFI_ENERGY,
+    TX2_WIFI_ENERGY,
+    EnergyEstimator,
+    EnergyProfile,
+)
+from ..latency.compute import LatencyEstimator
+from ..latency.devices import CLOUD_SERVER
+from ..network.scenarios import ALL_SCENARIOS, Scenario
+from ..runtime.engine import FixedPlan, TreePlan
+from ..search.compose import compose_from_tree
+from .common import ExperimentConfig, ScenarioOutcome, format_table, run_scenario
+
+
+def energy_profile_for(scenario: Scenario) -> EnergyProfile:
+    if scenario.device_name == "tx2":
+        return TX2_WIFI_ENERGY
+    return PHONE_4G_ENERGY if scenario.link == "4g" else PHONE_WIFI_ENERGY
+
+
+@dataclass
+class EnergyRow:
+    """One scene's per-inference edge energy for the three methods."""
+
+    scenario: Scenario
+    energies_mj: Tuple[float, float, float]  # surgery, branch, tree
+    storages_mb: Tuple[float, float, float]
+
+    def energy_reduction_vs_surgery(self) -> float:
+        return 1.0 - self.energies_mj[2] / max(self.energies_mj[0], 1e-12)
+
+
+def _plan_energy_and_storage(
+    method_plan, estimator: EnergyEstimator, bandwidth: float
+) -> Tuple[float, float]:
+    if isinstance(method_plan, TreePlan):
+        tree = method_plan.tree
+        # Energy of the branch the runtime would pick at this bandwidth.
+        composed = compose_from_tree(tree, probe=lambda block: bandwidth)
+        edge_spec, cloud_spec = composed.edge_spec, composed.cloud_spec
+        storage = tree.storage_bytes() / 1e6
+    else:
+        edge_spec, cloud_spec = method_plan.edge_spec, method_plan.cloud_spec
+        storage = (
+            edge_spec.parameter_bytes() / 1e6
+            if edge_spec is not None and len(edge_spec)
+            else 0.0
+        )
+    breakdown = estimator.estimate_composed(edge_spec, cloud_spec, bandwidth)
+    return breakdown.total_mj, storage
+
+
+def run_energy(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Optional[List[Scenario]] = None,
+    outcomes: Optional[List[ScenarioOutcome]] = None,
+) -> List[EnergyRow]:
+    """Per-scene edge energy of each method's deployment."""
+    if outcomes is None:
+        scenarios = scenarios or ALL_SCENARIOS
+        outcomes = [
+            run_scenario(s, config, run_field=False, run_emu=False)
+            for s in scenarios
+        ]
+    rows = []
+    for outcome in outcomes:
+        scenario = outcome.scenario
+        latency_estimator = LatencyEstimator(
+            scenario.device, CLOUD_SERVER, scenario.transfer_model
+        )
+        estimator = EnergyEstimator(latency_estimator, energy_profile_for(scenario))
+        median_bw = float(np.median(outcome.trace.samples))
+        energies = []
+        storages = []
+        for method in outcome.methods:
+            energy, storage = _plan_energy_and_storage(
+                method.plan, estimator, median_bw
+            )
+            energies.append(energy)
+            storages.append(storage)
+        rows.append(
+            EnergyRow(
+                scenario=scenario,
+                energies_mj=tuple(energies),
+                storages_mb=tuple(storages),
+            )
+        )
+    return rows
+
+
+def render_energy(rows: List[EnergyRow]) -> str:
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.scenario.model_name,
+                row.scenario.device_name,
+                row.scenario.environment,
+                "/".join(f"{e:.1f}" for e in row.energies_mj),
+                "/".join(f"{s:.1f}" for s in row.storages_mb),
+                f"{row.energy_reduction_vs_surgery() * 100:+.0f}%",
+            ]
+        )
+    return format_table(
+        ["Model", "Device", "Environment", "Energy S/B/T (mJ)",
+         "Storage S/B/T (MB)", "Tree vs S"],
+        body,
+    )
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_energy(config)
+    output = (
+        "Edge energy per inference (extension; Sec. I's unmeasured claim)\n"
+        + render_energy(rows)
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

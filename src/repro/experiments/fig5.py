@@ -1,0 +1,86 @@
+"""Fig. 5 — estimation models for computational and transfer latency.
+
+The paper verifies its latency models by fitting measurements on the phone,
+the TX2 and the cloud (latency vs MACCs per kernel size, plus FC) and
+transfer timings (latency vs file size per bandwidth). We regenerate the
+figure's content: simulated measurement sweeps, least-squares fits, and the
+per-series R² — with CPU fits near-perfect and GPU fits visibly weaker
+("the latency of Conv-layers on TX2 and the cloud do not strictly follow
+due to the parallel execution of GPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..latency.calibration import (
+    LinearFit,
+    MeasurementSimulator,
+    calibrate_compute_model,
+    calibrate_transfer_model,
+    compute_measurement_sweep,
+    transfer_measurement_sweep,
+)
+from ..latency.devices import CLOUD_SERVER, JETSON_TX2, XIAOMI_MI_6X
+from ..latency.transfer import CELLULAR_TRANSFER, WIFI_TRANSFER
+from .common import format_table
+
+
+@dataclass
+class Fig5Result:
+    compute_fits: Dict[str, Dict[Tuple[str, int], LinearFit]]  # device -> fits
+    transfer_fits: Dict[str, Tuple[object, float]]  # link -> (model, R²)
+
+
+def run_fig5(seed: int = 0) -> Fig5Result:
+    rng = np.random.default_rng(seed)
+    simulator = MeasurementSimulator(rng, noise=0.03)
+    compute_fits = {}
+    for device in (XIAOMI_MI_6X, JETSON_TX2, CLOUD_SERVER):
+        measurements = compute_measurement_sweep(device, simulator)
+        compute_fits[device.name] = calibrate_compute_model(measurements)
+    transfer_fits = {}
+    for name, model in (("wifi", WIFI_TRANSFER), ("4g", CELLULAR_TRANSFER)):
+        measurements = transfer_measurement_sweep(model, simulator)
+        transfer_fits[name] = calibrate_transfer_model(measurements)
+    return Fig5Result(compute_fits, transfer_fits)
+
+
+def render_fig5(result: Fig5Result) -> str:
+    rows = []
+    for device, fits in result.compute_fits.items():
+        for (kind, kernel), fit in sorted(fits.items()):
+            label = f"conv {kernel}x{kernel}" if kind == "conv" else "fc"
+            rows.append(
+                [
+                    device,
+                    label,
+                    f"{fit.coeff:.3e}",
+                    f"{fit.intercept:+.3f}",
+                    f"{fit.r_squared:.4f}",
+                ]
+            )
+    compute_table = format_table(
+        ["Device", "Layer", "ms/MACC", "Intercept (ms)", "R²"], rows
+    )
+    transfer_rows = [
+        [link, f"{fit[1]:.4f}"] for link, fit in result.transfer_fits.items()
+    ]
+    transfer_table = format_table(["Link", "Transfer model R²"], transfer_rows)
+    return (
+        "Fig. 5: latency estimation model fits\n"
+        f"{compute_table}\n\nTransfer latency (Eqn. 6) fits:\n{transfer_table}"
+    )
+
+
+def main() -> str:
+    output = render_fig5(run_fig5())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Terminal-friendly plotting for the figure reproductions.
+
+The paper's figures are line charts; in a dependency-light terminal repo we
+render them as ASCII: multi-series line charts for convergence curves
+(Fig. 7) and sparklines for traces (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Characters used for distinct series, in legend order.
+SERIES_MARKS = "*+ox#@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render named series as one ASCII line chart.
+
+    Series are resampled to ``width`` columns; the y-axis spans the joint
+    min/max. Later series overwrite earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    resampled: Dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        values = np.asarray(list(values), dtype=float)
+        if values.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        if values.size == 1:
+            resampled[name] = np.full(width, values[0])
+        else:
+            x_old = np.linspace(0.0, 1.0, values.size)
+            x_new = np.linspace(0.0, 1.0, width)
+            resampled[name] = np.interp(x_new, x_old, values)
+
+    low = min(float(v.min()) for v in resampled.values())
+    high = max(float(v.max()) for v in resampled.values())
+    span = max(high - low, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, values) in zip(SERIES_MARKS, resampled.items()):
+        for x, value in enumerate(values):
+            y = int(round((value - low) / span * (height - 1)))
+            grid[height - 1 - y][x] = mark
+
+    lines: List[str] = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:8.1f} |"
+        elif row_index == height - 1:
+            label = f"{low:8.1f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{mark} {name}" for mark, name in zip(SERIES_MARKS, resampled)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

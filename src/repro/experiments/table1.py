@@ -1,0 +1,88 @@
+"""Table I — inference latencies on the Xiaomi MI 6X.
+
+The paper measures VGG19 / ResNet50 / ResNet101 / ResNet152 with input
+1×224×224×3 on the phone to motivate edge-cloud offloading. We regenerate
+the table from the MACC-based latency model (Eqns. 4–5) with the phone
+profile calibrated in :mod:`repro.latency.devices`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..latency.devices import XIAOMI_MI_6X
+from ..latency.maccs import total_maccs
+from ..model.spec import TensorShape
+from ..nn.zoo import resnet50, resnet101, resnet152, vgg19
+from .common import format_table
+
+#: The paper's measured values (ms), for side-by-side comparison.
+PAPER_LATENCIES_MS: Dict[str, float] = {
+    "VGG19": 5734.89,
+    "ResNet50": 1103.20,
+    "ResNet101": 2238.79,
+    "ResNet152": 3729.10,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    model: str
+    maccs: int
+    latency_ms: float
+    paper_latency_ms: float
+
+    @property
+    def relative_error(self) -> float:
+        return (self.latency_ms - self.paper_latency_ms) / self.paper_latency_ms
+
+
+def run_table1() -> List[Table1Row]:
+    """Compute the phone latency of each Table I model."""
+    shape = TensorShape(3, 224, 224)
+    builders = {
+        "VGG19": vgg19,
+        "ResNet50": resnet50,
+        "ResNet101": resnet101,
+        "ResNet152": resnet152,
+    }
+    rows = []
+    for name, builder in builders.items():
+        spec = builder(input_shape=shape)
+        rows.append(
+            Table1Row(
+                model=name,
+                maccs=total_maccs(spec),
+                latency_ms=XIAOMI_MI_6X.model_latency_ms(spec),
+                paper_latency_ms=PAPER_LATENCIES_MS[name],
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    return format_table(
+        ["Model", "MACCs (G)", "Latency (ms)", "Paper (ms)", "Δ"],
+        [
+            [
+                r.model,
+                f"{r.maccs / 1e9:.2f}",
+                f"{r.latency_ms:.2f}",
+                f"{r.paper_latency_ms:.2f}",
+                f"{r.relative_error * 100:+.1f}%",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def main() -> str:
+    output = "Table I: inference latencies on Xiaomi MI 6X (1x224x224x3)\n"
+    output += render_table1(run_table1())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Table II — the compression technique catalogue.
+
+Table II is the paper's taxonomy of techniques (replaced structure → new
+structure → applicable layer types). This module regenerates it *live*: each
+technique is applied to a probe model and the structural replacement,
+parameter reduction and MACC reduction are reported — verifying every row's
+claim rather than just printing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..compression import default_registry
+from ..latency.maccs import total_maccs
+from ..model.spec import LayerType, ModelSpec
+from ..nn.zoo import alexnet
+from .common import format_table
+
+#: Paper description per technique (Table II columns).
+PAPER_ROWS = {
+    "F1": ("SVD", "m×n weight matrix", "m×k and k×n (k<<m) weight matrices", "FC"),
+    "F2": ("KSVD", "same above", "same above with sparse matrices", "FC"),
+    "F3": ("Global Average Pooling", "FC layers", "a global average pooling layer", "FC"),
+    "C1": ("MobileNet", "Conv layer", "3×3 depth-wise + 1×1 point-wise Conv", "some Conv"),
+    "C2": ("MobileNetV2", "Conv layer", "same above + extra point-wise Conv and residual links", "some Conv"),
+    "C3": ("SqueezeNet", "Conv layer", "a Fire layer", "some Conv"),
+    "W1": ("Filter Pruning", "Conv layer", "insignificant filters pruned Conv layer", "Conv"),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    technique: str
+    label: str
+    replaced: str
+    new_structure: str
+    applied_types: str
+    example_layer: int
+    param_reduction: float  # fraction of probe-model parameters removed
+    macc_reduction: float
+
+
+def _first_applicable(spec: ModelSpec, technique) -> Optional[int]:
+    for i in range(len(spec)):
+        if technique.applies_to(spec, i):
+            return i
+    return None
+
+
+def run_table2() -> List[Table2Row]:
+    """Apply each technique to the AlexNet probe and measure the effect."""
+    registry = default_registry()
+    probe = alexnet()
+    base_params = probe.parameter_count()
+    base_maccs = total_maccs(probe)
+    rows = []
+    for name, (label, replaced, new_structure, applied) in PAPER_ROWS.items():
+        technique = registry.get(name)
+        index = _first_applicable(probe, technique)
+        if index is None:
+            raise RuntimeError(f"{name} not applicable anywhere on the probe")
+        # For conv techniques prefer a mid-network conv (more representative).
+        if "Conv" in applied:
+            conv_indices = [
+                i
+                for i in range(len(probe))
+                if probe[i].layer_type == LayerType.CONV
+                and technique.applies_to(probe, i)
+            ]
+            if conv_indices:
+                index = conv_indices[len(conv_indices) // 2]
+        transformed = technique.apply(probe, index)
+        rows.append(
+            Table2Row(
+                technique=name,
+                label=label,
+                replaced=replaced,
+                new_structure=new_structure,
+                applied_types=applied,
+                example_layer=index,
+                param_reduction=1.0 - transformed.parameter_count() / base_params,
+                macc_reduction=1.0 - total_maccs(transformed) / base_maccs,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    return format_table(
+        ["Name", "Replaced", "New structure", "Layers", "Params↓", "MACCs↓"],
+        [
+            [
+                f"{r.technique} ({r.label})",
+                r.replaced,
+                r.new_structure,
+                r.applied_types,
+                f"{r.param_reduction * 100:.1f}%",
+                f"{r.macc_reduction * 100:.1f}%",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def main() -> str:
+    output = "Table II: compression techniques (verified on the AlexNet probe)\n"
+    output += render_table2(run_table2())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

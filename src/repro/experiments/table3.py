@@ -1,0 +1,119 @@
+"""Table III — offline training reward per scene.
+
+Surgery vs optimal branch vs model tree across all 14 evaluation scenes
+(10 VGG11 rows, 4 AlexNet rows), reporting the expected Eqn. 7 reward of
+each method's offline solution plus the per-model averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..network.scenarios import ALL_SCENARIOS, Scenario
+from .common import ExperimentConfig, ScenarioOutcome, format_table, run_scenario
+
+#: Paper values (reward), keyed by (model, device, environment).
+PAPER_TABLE3 = {
+    ("vgg11", "phone", "4G (weak) indoor"): (353.57, 354.29, 355.93),
+    ("vgg11", "phone", "4G indoor static"): (358.90, 362.06, 365.64),
+    ("vgg11", "phone", "4G indoor slow"): (354.45, 355.94, 357.08),
+    ("vgg11", "phone", "4G outdoor quick"): (360.43, 365.99, 368.68),
+    ("vgg11", "phone", "WiFi (weak) indoor"): (359.75, 363.94, 365.07),
+    ("vgg11", "phone", "WiFi (weak) outdoor"): (359.25, 363.47, 366.53),
+    ("vgg11", "phone", "WiFi outdoor slow"): (357.88, 361.77, 363.69),
+    ("vgg11", "tx2", "4G (weak) indoor"): (335.94, 340.54, 346.33),
+    ("vgg11", "tx2", "4G indoor static"): (337.89, 343.83, 353.13),
+    ("vgg11", "tx2", "WiFi (weak) indoor"): (343.30, 347.31, 353.64),
+    ("alexnet", "phone", "4G indoor static"): (348.64, 358.54, 359.77),
+    ("alexnet", "phone", "WiFi (weak) indoor"): (341.08, 356.59, 359.96),
+    ("alexnet", "phone", "WiFi (weak) outdoor"): (354.34, 358.02, 359.61),
+    ("alexnet", "phone", "WiFi outdoor slow"): (344.13, 357.42, 358.89),
+}
+
+
+@dataclass
+class Table3Row:
+    scenario: Scenario
+    surgery: float
+    branch: float
+    tree: float
+
+    @property
+    def paper(self):
+        return PAPER_TABLE3.get(self.scenario.key)
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Optional[List[Scenario]] = None,
+    outcomes: Optional[List[ScenarioOutcome]] = None,
+) -> List[Table3Row]:
+    """Offline reward per scene. Pass precomputed ``outcomes`` to reuse."""
+    if outcomes is None:
+        scenarios = scenarios or ALL_SCENARIOS
+        outcomes = [
+            run_scenario(s, config, run_field=False, run_emu=False)
+            for s in scenarios
+        ]
+    return [
+        Table3Row(
+            scenario=o.scenario,
+            surgery=o.surgery.offline_reward,
+            branch=o.branch.offline_reward,
+            tree=o.tree.offline_reward,
+        )
+        for o in outcomes
+    ]
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    body = []
+    for model in ("vgg11", "alexnet"):
+        model_rows = [r for r in rows if r.scenario.model_name == model]
+        if not model_rows:
+            continue
+        for r in model_rows:
+            paper = r.paper
+            paper_str = (
+                f"{paper[0]:.1f}/{paper[1]:.1f}/{paper[2]:.1f}" if paper else "-"
+            )
+            body.append(
+                [
+                    r.scenario.model_name,
+                    r.scenario.device_name,
+                    r.scenario.environment,
+                    f"{r.surgery:.2f}",
+                    f"{r.branch:.2f}",
+                    f"{r.tree:.2f}",
+                    paper_str,
+                ]
+            )
+        body.append(
+            [
+                model,
+                "",
+                "Average",
+                f"{np.mean([r.surgery for r in model_rows]):.2f}",
+                f"{np.mean([r.branch for r in model_rows]):.2f}",
+                f"{np.mean([r.tree for r in model_rows]):.2f}",
+                "",
+            ]
+        )
+    return format_table(
+        ["Model", "Device", "Environment", "Surgery", "Branch", "Tree", "Paper S/B/T"],
+        body,
+    )
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_table3(config)
+    output = "Table III: offline training reward\n" + render_table3(rows)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Tables IV and V — emulation and field-test results.
+
+Both tables report reward / latency / accuracy for Surgery vs Branch vs Tree
+per scene; Table IV replays the offline solutions against the bandwidth
+trace with estimated compute latencies (emulation), Table V additionally
+injects the field error sources (latency-model inaccuracy, coarse bandwidth
+estimation). One pipeline run serves both tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..network.scenarios import ALL_SCENARIOS, Scenario
+from ..runtime.emulator import EmulationResult
+from .common import ExperimentConfig, ScenarioOutcome, format_table, run_scenario
+
+#: Paper Table IV (emulation): (surgery, branch, tree) × (reward, latency, acc%).
+PAPER_TABLE4 = {
+    ("vgg11", "phone", "4G (weak) indoor"): ((334.92, 346.48, 344.21), (81.83, 61.12, 64.96), (92.01, 91.58, 91.59)),
+    ("vgg11", "phone", "4G indoor static"): ((335.65, 340.35, 352.27), (80.62, 69.72, 50.21), (92.01, 91.09, 91.20)),
+    ("vgg11", "phone", "4G indoor slow"): ((326.19, 345.63, 345.76), (96.39, 60.55, 60.42), (92.01, 90.98, 91.01)),
+    ("vgg11", "phone", "4G outdoor quick"): ((349.39, 354.99, 361.36), (57.71, 57.71, 31.86), (92.01, 89.52, 90.24)),
+    ("vgg11", "phone", "WiFi (weak) indoor"): ((351.85, 357.26, 358.71), (53.62, 40.45, 38.27), (92.01, 90.76, 90.84)),
+    ("vgg11", "phone", "WiFi (weak) outdoor"): ((334.66, 353.83, 354.03), (82.27, 38.67, 38.90), (92.01, 88.52, 88.69)),
+    ("vgg11", "phone", "WiFi outdoor slow"): ((351.33, 356.26, 356.57), (54.48, 44.45, 43.96), (92.01, 91.47, 91.47)),
+    ("vgg11", "tx2", "4G (weak) indoor"): ((326.85, 328.82, 329.66), (95.28, 87.25, 85.93), (92.01, 90.58, 90.61)),
+    ("vgg11", "tx2", "4G indoor static"): ((323.31, 330.27, 332.58), (101.18, 88.46, 84.77), (92.01, 91.67, 91.72)),
+    ("vgg11", "tx2", "WiFi (weak) indoor"): ((336.36, 344.18, 343.54), (79.43, 60.78, 61.84), (92.01, 90.32, 90.32)),
+    ("alexnet", "phone", "4G indoor static"): ((342.68, 341.73, 343.43), (42.47, 44.29, 41.42), (84.08, 84.15, 84.14)),
+    ("alexnet", "phone", "WiFi (weak) indoor"): ((348.46, 356.87, 357.19), (32.83, 19.43, 18.88), (84.08, 84.26, 84.26)),
+    ("alexnet", "phone", "WiFi (weak) outdoor"): ((346.68, 346.58, 347.15), (35.80, 34.97, 34.10), (84.08, 83.78, 83.80)),
+    ("alexnet", "phone", "WiFi outdoor slow"): ((339.50, 354.49, 354.84), (47.77, 19.58, 19.10), (84.08, 83.12, 83.15)),
+}
+
+#: Paper Table V (field test), same layout.
+PAPER_TABLE5 = {
+    ("vgg11", "phone", "4G (weak) indoor"): ((297.96, 319.65, 324.87), (143.44, 104.85, 98.58), (92.01, 91.28, 92.01)),
+    ("vgg11", "phone", "4G indoor static"): ((339.63, 344.40, 345.27), (73.99, 66.03, 64.58), (92.01, 92.01, 92.01)),
+    ("vgg11", "phone", "4G indoor slow"): ((296.77, 304.92, 319.89), (145.41, 131.83, 106.89), (92.01, 92.01, 92.01)),
+    ("vgg11", "phone", "4G outdoor quick"): ((327.02, 335.68, 337.78), (95.00, 65.46, 77.07), (92.01, 87.48, 92.01)),
+    ("vgg11", "phone", "WiFi (weak) indoor"): ((308.19, 325.87, 322.46), (126.38, 90.71, 96.41), (92.01, 90.15, 90.15)),
+    ("vgg11", "phone", "WiFi (weak) outdoor"): ((293.21, 328.73, 333.16), (151.36, 74.82, 84.77), (92.01, 86.81, 92.01)),
+    ("vgg11", "phone", "WiFi outdoor slow"): ((305.65, 312.24, 317.93), (130.62, 116.91, 107.41), (92.01, 91.19, 91.19)),
+    ("vgg11", "tx2", "4G (weak) indoor"): ((272.46, 323.66, 328.96), (185.93, 100.60, 91.77), (92.01, 92.01, 92.01)),
+    ("vgg11", "tx2", "4G indoor static"): ((323.73, 322.45, 323.43), (100.49, 102.61, 100.98), (92.01, 92.01, 92.01)),
+    ("vgg11", "tx2", "WiFi (weak) indoor"): ((249.94, 343.17, 347.81), (223.47, 54.42, 46.68), (92.01, 87.91, 87.91)),
+    ("alexnet", "phone", "4G indoor static"): ((351.15, 353.12, 353.73), (28.35, 25.06, 25.91), (84.08, 84.08, 84.64)),
+    ("alexnet", "phone", "WiFi (weak) indoor"): ((257.74, 325.12, 329.70), (184.04, 73.17, 64.10), (84.08, 84.519, 84.08)),
+    ("alexnet", "phone", "WiFi (weak) outdoor"): ((254.43, 265.29, 294.71), (189.55, 171.46, 114.22), (84.08, 84.08, 81.62)),
+    ("alexnet", "phone", "WiFi outdoor slow"): ((277.76, 337.07, 327.07), (150.67, 46.85, 63.52), (84.08, 82.59, 82.59)),
+}
+
+
+@dataclass
+class RuntimeRow:
+    """One scene's emulation or field results for the three methods."""
+
+    scenario: Scenario
+    rewards: Tuple[float, float, float]
+    latencies_ms: Tuple[float, float, float]
+    accuracies: Tuple[float, float, float]  # percentages
+
+    def latency_reduction_vs_surgery(self) -> float:
+        """Fractional latency cut of the tree against surgery."""
+        return 1.0 - self.latencies_ms[2] / self.latencies_ms[0]
+
+
+def _row_from_results(
+    scenario: Scenario, results: List[EmulationResult]
+) -> RuntimeRow:
+    return RuntimeRow(
+        scenario=scenario,
+        rewards=tuple(r.mean_reward for r in results),
+        latencies_ms=tuple(r.mean_latency_ms for r in results),
+        accuracies=tuple(r.mean_accuracy * 100.0 for r in results),
+    )
+
+
+def run_tables45(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Optional[List[Scenario]] = None,
+    outcomes: Optional[List[ScenarioOutcome]] = None,
+) -> Tuple[List[RuntimeRow], List[RuntimeRow]]:
+    """Run (or reuse) the pipeline; return (Table IV rows, Table V rows)."""
+    if outcomes is None:
+        scenarios = scenarios or ALL_SCENARIOS
+        outcomes = [run_scenario(s, config) for s in scenarios]
+    emulation_rows = [
+        _row_from_results(o.scenario, [m.emulation for m in o.methods])
+        for o in outcomes
+    ]
+    field_rows = [
+        _row_from_results(o.scenario, [m.field for m in o.methods])
+        for o in outcomes
+    ]
+    return emulation_rows, field_rows
+
+
+def render_runtime_table(
+    rows: List[RuntimeRow], paper: Dict, title: str
+) -> str:
+    body = []
+    for model in ("vgg11", "alexnet"):
+        model_rows = [r for r in rows if r.scenario.model_name == model]
+        if not model_rows:
+            continue
+        for r in model_rows:
+            body.append(
+                [
+                    r.scenario.model_name,
+                    r.scenario.device_name,
+                    r.scenario.environment,
+                    "/".join(f"{v:.1f}" for v in r.rewards),
+                    "/".join(f"{v:.1f}" for v in r.latencies_ms),
+                    "/".join(f"{v:.2f}" for v in r.accuracies),
+                ]
+            )
+        body.append(
+            [
+                model,
+                "",
+                "Average",
+                "/".join(
+                    f"{np.mean([r.rewards[i] for r in model_rows]):.1f}"
+                    for i in range(3)
+                ),
+                "/".join(
+                    f"{np.mean([r.latencies_ms[i] for r in model_rows]):.1f}"
+                    for i in range(3)
+                ),
+                "/".join(
+                    f"{np.mean([r.accuracies[i] for r in model_rows]):.2f}"
+                    for i in range(3)
+                ),
+            ]
+        )
+    table = format_table(
+        [
+            "Model",
+            "Device",
+            "Environment",
+            "Reward S/B/T",
+            "Latency S/B/T (ms)",
+            "Accuracy S/B/T (%)",
+        ],
+        body,
+    )
+    return f"{title}\n{table}"
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    emulation_rows, field_rows = run_tables45(config)
+    output = render_runtime_table(emulation_rows, PAPER_TABLE4, "Table IV: emulation results")
+    output += "\n\n"
+    output += render_runtime_table(field_rows, PAPER_TABLE5, "Table V: field test results")
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

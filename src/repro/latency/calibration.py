@@ -1,0 +1,181 @@
+"""Latency-model calibration and verification — reproduces Fig. 5.
+
+The paper "conduct[s] a series of experiments to verify that [the] latency
+model truthfully reflects the real-world latency" by measuring conv/FC
+primitives on the phone, the TX2 and the cloud, and transfer times across
+file sizes and bandwidths, then fitting the linear models of Sec. V-B.
+
+Real devices are unavailable offline, so a :class:`MeasurementSimulator`
+plays their role: it produces noisy "measurements" from ground-truth device
+behavior (including the GPU latency floor that bends the small-layer points
+off the line — the paper's "obscure" linearity on TX2/cloud). Fitting the
+Eqn. 4–6 models to these measurements and reporting R² regenerates Fig. 5's
+content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .devices import DeviceProfile
+from .maccs import MaccEntry
+from .transfer import TransferModel, transmission_delay_ms
+
+
+@dataclass(frozen=True)
+class ComputeMeasurement:
+    """One simulated on-device primitive timing."""
+
+    kind: str  # "conv" or "fc"
+    kernel_size: int
+    maccs: int
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class TransferMeasurement:
+    """One simulated file transfer timing."""
+
+    size_bytes: float
+    bandwidth_mbps: float
+    latency_ms: float
+
+
+class MeasurementSimulator:
+    """Generates noisy timing measurements from a ground-truth device."""
+
+    def __init__(self, rng: np.random.Generator, noise: float = 0.03) -> None:
+        self.rng = rng
+        self.noise = noise
+
+    def measure_compute(
+        self,
+        device: DeviceProfile,
+        kind: str,
+        kernel_size: int,
+        maccs: int,
+    ) -> ComputeMeasurement:
+        entry = MaccEntry(layer_index=0, kind=kind, kernel_size=kernel_size, maccs=maccs)
+        truth = device.primitive_latency_ms(entry)
+        noisy = truth * (1.0 + self.rng.normal(0.0, self.noise))
+        return ComputeMeasurement(kind, kernel_size, maccs, max(noisy, 1e-6))
+
+    def measure_transfer(
+        self,
+        model: TransferModel,
+        size_bytes: float,
+        bandwidth_mbps: float,
+    ) -> TransferMeasurement:
+        truth = model.latency_ms(size_bytes, bandwidth_mbps)
+        noisy = truth * (1.0 + self.rng.normal(0.0, self.noise))
+        return TransferMeasurement(size_bytes, bandwidth_mbps, max(noisy, 1e-6))
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = coeff · x + intercept, with goodness of fit."""
+
+    coeff: float
+    intercept: float
+    r_squared: float
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares of y on x."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    design = np.stack([x, np.ones_like(x)], axis=1)
+    (coeff, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = coeff * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(coeff), float(intercept), r2)
+
+
+def calibrate_compute_model(
+    measurements: Sequence[ComputeMeasurement],
+) -> Dict[Tuple[str, int], LinearFit]:
+    """Fit latency = coeff · MACCs per (kind, kernel size) group.
+
+    This is exactly the structure of the paper's compute model: "the
+    coefficients between the MACCs and the computational latency are the
+    same for the same device [for FC layers], whereas the coefficients
+    differ by kernel sizes for Conv layers."
+    """
+    groups: Dict[Tuple[str, int], List[ComputeMeasurement]] = {}
+    for m in measurements:
+        key = (m.kind, m.kernel_size if m.kind == "conv" else 0)
+        groups.setdefault(key, []).append(m)
+    return {
+        key: fit_linear([m.maccs for m in ms], [m.latency_ms for m in ms])
+        for key, ms in groups.items()
+    }
+
+
+def calibrate_transfer_model(
+    measurements: Sequence[TransferMeasurement],
+) -> Tuple[TransferModel, float]:
+    """Fit Eqn. 6 to transfer measurements; returns (model, R²)."""
+    sizes = [m.size_bytes for m in measurements]
+    bandwidths = [m.bandwidth_mbps for m in measurements]
+    latencies = [m.latency_ms for m in measurements]
+    model = TransferModel.fit(sizes, bandwidths, latencies)
+    return model, model.r_squared(sizes, bandwidths, latencies)
+
+
+def compute_measurement_sweep(
+    device: DeviceProfile,
+    simulator: MeasurementSimulator,
+    kernel_sizes: Sequence[int] = (1, 3, 5),
+    macc_points: Sequence[int] = (
+        1_000_000,
+        5_000_000,
+        20_000_000,
+        50_000_000,
+        100_000_000,
+        250_000_000,
+        500_000_000,
+    ),
+    repeats: int = 3,
+) -> List[ComputeMeasurement]:
+    """The Fig. 5 measurement sweep for one device."""
+    measurements = []
+    for kernel in kernel_sizes:
+        for maccs in macc_points:
+            for _ in range(repeats):
+                measurements.append(
+                    simulator.measure_compute(device, "conv", kernel, maccs)
+                )
+    for maccs in macc_points:
+        for _ in range(repeats):
+            measurements.append(simulator.measure_compute(device, "fc", 0, maccs))
+    return measurements
+
+
+def transfer_measurement_sweep(
+    model: TransferModel,
+    simulator: MeasurementSimulator,
+    sizes_bytes: Sequence[float] = (
+        4_096,
+        16_384,
+        65_536,
+        262_144,
+        1_048_576,
+        4_194_304,
+    ),
+    bandwidths_mbps: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 50.0),
+    repeats: int = 3,
+) -> List[TransferMeasurement]:
+    """The Fig. 5 transfer sweep across file sizes and bandwidths."""
+    measurements = []
+    for size in sizes_bytes:
+        for bandwidth in bandwidths_mbps:
+            for _ in range(repeats):
+                measurements.append(simulator.measure_transfer(model, size, bandwidth))
+    return measurements

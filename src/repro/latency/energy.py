@@ -1,0 +1,108 @@
+"""Edge-device energy model — an extension the paper motivates but omits.
+
+Sec. I argues that trading accuracy for a smaller model reduces "the
+computation time, the storage space and the energy consumption on edge
+devices", but the evaluation only measures latency. This module adds the
+standard mobile energy accounting so the trade-off can be quantified:
+
+    E_edge = P_compute · T_edge + P_radio · T_transfer + E_tx/byte · S
+
+- compute energy is active-power × on-device compute time (the MACC-linear
+  latency model supplies the time);
+- radio energy has a *time* term (the radio stays in its high-power state
+  for the duration of the transfer — dominant on cellular, where tail
+  states are expensive) and a *per-byte* term (modulation cost);
+- the cloud's energy is out of scope: the paper's objective only concerns
+  the device's budget.
+
+Power presets follow typical published measurements for the evaluated
+platforms (smartphone SoC ~2-4 W active, LTE radio ~1-2.5 W, WiFi ~0.8 W;
+Jetson TX2 ~7-15 W board power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..model.spec import ModelSpec
+from .compute import LatencyBreakdown, LatencyEstimator
+from .devices import DeviceProfile
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Power characteristics of one edge platform + link combination."""
+
+    name: str
+    compute_power_w: float  # SoC active power while running the DNN
+    radio_power_w: float  # radio interface power while transferring
+    tx_nj_per_byte: float  # marginal transmission energy (nanojoules/byte)
+    idle_power_w: float = 0.0  # subtracted baseline (not charged to the task)
+
+
+#: Smartphone on LTE: power-hungry radio with long high-power occupancy.
+PHONE_4G_ENERGY = EnergyProfile(
+    name="phone_4g", compute_power_w=3.0, radio_power_w=2.2, tx_nj_per_byte=350.0
+)
+#: Smartphone on WiFi: cheaper radio.
+PHONE_WIFI_ENERGY = EnergyProfile(
+    name="phone_wifi", compute_power_w=3.0, radio_power_w=0.9, tx_nj_per_byte=120.0
+)
+#: Jetson TX2: higher compute power, typically tethered WiFi.
+TX2_WIFI_ENERGY = EnergyProfile(
+    name="tx2_wifi", compute_power_w=9.0, radio_power_w=1.0, tx_nj_per_byte=120.0
+)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Millijoules spent by the edge device for one inference."""
+
+    compute_mj: float
+    radio_mj: float
+    tx_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.compute_mj + self.radio_mj + self.tx_mj
+
+
+class EnergyEstimator:
+    """Energy counterpart of :class:`~repro.latency.compute.LatencyEstimator`."""
+
+    def __init__(self, latency: LatencyEstimator, profile: EnergyProfile) -> None:
+        self.latency = latency
+        self.profile = profile
+
+    def estimate_composed(
+        self,
+        edge_spec: Optional[ModelSpec],
+        cloud_spec: Optional[ModelSpec],
+        bandwidth_mbps: float,
+    ) -> EnergyBreakdown:
+        """Edge energy for an (edge, cloud) deployment at one bandwidth."""
+        breakdown = self.latency.estimate_composed(
+            edge_spec, cloud_spec, bandwidth_mbps
+        )
+        return self.from_latency(breakdown, edge_spec, cloud_spec)
+
+    def from_latency(
+        self,
+        breakdown: LatencyBreakdown,
+        edge_spec: Optional[ModelSpec],
+        cloud_spec: Optional[ModelSpec],
+    ) -> EnergyBreakdown:
+        """Convert a latency breakdown into edge-device energy."""
+        compute_mj = self.profile.compute_power_w * breakdown.edge_ms
+        radio_mj = self.profile.radio_power_w * breakdown.transfer_ms
+        if cloud_spec is not None and len(cloud_spec):
+            if edge_spec is not None and len(edge_spec):
+                size_bytes = edge_spec.output_shape.num_bytes
+            else:
+                size_bytes = cloud_spec.input_shape.num_bytes
+        else:
+            size_bytes = 0
+        tx_mj = self.profile.tx_nj_per_byte * size_bytes * 1e-6
+        # P[W] × t[ms] = mJ directly; nJ/byte × bytes × 1e-6 = mJ.
+        return EnergyBreakdown(compute_mj=compute_mj, radio_mj=radio_mj, tx_mj=tx_mj)

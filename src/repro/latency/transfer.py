@@ -1,0 +1,123 @@
+"""Transfer-latency model — Eqn. 6 of the paper.
+
+File-transfer protocols pipeline packets, so the latency of shipping an
+intermediate feature map splits into the first packet's propagation delay
+and the transmission delay of the rest::
+
+    Tt = f(S | W) + S / W                                       (Eqn. 6)
+
+with ``S`` the file size in bytes, ``W`` the bandwidth, and ``f`` a linear
+function of ``S`` given ``W``, fit from measurements. We use
+``f(S | W) = a(W) + b(W) · S`` where ``a`` captures the RTT-like setup cost
+(larger on cellular links) and ``b`` captures per-byte protocol overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+BITS_PER_BYTE = 8.0
+
+
+def transmission_delay_ms(size_bytes: float, bandwidth_mbps: float) -> float:
+    """S / W in milliseconds for S bytes at W megabits per second."""
+    if bandwidth_mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return size_bytes * BITS_PER_BYTE / (bandwidth_mbps * 1e6) * 1e3
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Eqn. 6 with a fitted linear first-packet term.
+
+    Parameters
+    ----------
+    setup_ms:
+        ``a``: bandwidth-independent setup/propagation delay of the first
+        packet (handshake + RTT/2).
+    per_byte_overhead_ms:
+        ``b``: protocol overhead per payload byte (headers, ACK pacing).
+    setup_per_inverse_mbps_ms:
+        Additional setup cost that scales with 1/W — slow links also have
+        slower control packets.
+    """
+
+    setup_ms: float = 8.0
+    per_byte_overhead_ms: float = 2.0e-5
+    setup_per_inverse_mbps_ms: float = 30.0
+
+    def first_packet_delay_ms(self, size_bytes: float, bandwidth_mbps: float) -> float:
+        """f(S | W): linear in S for a given W."""
+        return (
+            self.setup_ms
+            + self.setup_per_inverse_mbps_ms / bandwidth_mbps
+            + self.per_byte_overhead_ms * size_bytes
+        )
+
+    def latency_ms(self, size_bytes: float, bandwidth_mbps: float) -> float:
+        """Total Tt for ``size_bytes`` at constant ``bandwidth_mbps``."""
+        if size_bytes <= 0:
+            return 0.0
+        return self.first_packet_delay_ms(size_bytes, bandwidth_mbps) + (
+            transmission_delay_ms(size_bytes, bandwidth_mbps)
+        )
+
+    @classmethod
+    def fit(
+        cls,
+        sizes_bytes: Sequence[float],
+        bandwidths_mbps: Sequence[float],
+        measured_ms: Sequence[float],
+    ) -> "TransferModel":
+        """Least-squares fit of (a, b, c) from transfer measurements.
+
+        Solves ``T - S/W = a + c/W + b·S`` for the three coefficients; this
+        is the "series of experiments to fit function f(·)" of Sec. V-B.
+        """
+        sizes = np.asarray(sizes_bytes, dtype=float)
+        bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+        measured = np.asarray(measured_ms, dtype=float)
+        if not (len(sizes) == len(bandwidths) == len(measured)):
+            raise ValueError("mismatched measurement arrays")
+        if len(sizes) < 3:
+            raise ValueError("need at least 3 measurements to fit 3 coefficients")
+        residual = measured - np.array(
+            [transmission_delay_ms(s, w) for s, w in zip(sizes, bandwidths)]
+        )
+        design = np.stack([np.ones_like(sizes), 1.0 / bandwidths, sizes], axis=1)
+        coeffs, *_ = np.linalg.lstsq(design, residual, rcond=None)
+        a, c, b = coeffs
+        return cls(
+            setup_ms=float(max(a, 0.0)),
+            per_byte_overhead_ms=float(max(b, 0.0)),
+            setup_per_inverse_mbps_ms=float(max(c, 0.0)),
+        )
+
+    def r_squared(
+        self,
+        sizes_bytes: Sequence[float],
+        bandwidths_mbps: Sequence[float],
+        measured_ms: Sequence[float],
+    ) -> float:
+        """Coefficient of determination of this model on measurements."""
+        measured = np.asarray(measured_ms, dtype=float)
+        predicted = np.array(
+            [self.latency_ms(s, w) for s, w in zip(sizes_bytes, bandwidths_mbps)]
+        )
+        ss_res = float(((measured - predicted) ** 2).sum())
+        ss_tot = float(((measured - measured.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            return 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+#: Default models per link type (cellular has a costlier first packet).
+WIFI_TRANSFER = TransferModel(
+    setup_ms=10.0, per_byte_overhead_ms=1.2e-5, setup_per_inverse_mbps_ms=40.0
+)
+CELLULAR_TRANSFER = TransferModel(
+    setup_ms=25.0, per_byte_overhead_ms=2.5e-5, setup_per_inverse_mbps_ms=60.0
+)

@@ -1,0 +1,20 @@
+"""MDP formalization of DNN transformation and placement (Sec. V-A)."""
+
+from .reward import PAPER_REWARD, RewardConfig
+from .state import (
+    CompressionAction,
+    DnnState,
+    PartitionAction,
+    apply_partition,
+    initial_state,
+)
+
+__all__ = [
+    "PAPER_REWARD",
+    "RewardConfig",
+    "CompressionAction",
+    "DnnState",
+    "PartitionAction",
+    "apply_partition",
+    "initial_state",
+]

@@ -1,0 +1,65 @@
+"""Reward function — Eqn. 7 with the Sec. VII normalization.
+
+    R = N1(A) + N2(T)
+    N1(x) = (x - min_x) / (max_x - min_x)        (accuracy, higher better)
+    N2(x) = (max_x - x) / (max_x - min_x)        (latency, lower better)
+
+Setup constants from the paper: accuracy normalized over [50 %, 100 %],
+latency over [0 ms, 500 ms], total reward 400 with latency worth 300 points
+and accuracy 100.
+
+This reproduces the published numbers exactly: Table V's Dynamic-DNN-Surgery
+row for VGG11 / phone / "4G indoor static" reports latency 73.99 ms and
+accuracy 92.01 %, and indeed
+``100·(0.9201−0.5)/0.5 + 300·(500−73.99)/500 = 339.63`` — the table's
+reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Normalization bounds and weights of Eqn. 7."""
+
+    min_accuracy: float = 0.50
+    max_accuracy: float = 1.00
+    min_latency_ms: float = 0.0
+    max_latency_ms: float = 500.0
+    accuracy_weight: float = 100.0
+    latency_weight: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.max_accuracy <= self.min_accuracy:
+            raise ValueError("accuracy bounds are degenerate")
+        if self.max_latency_ms <= self.min_latency_ms:
+            raise ValueError("latency bounds are degenerate")
+
+    @property
+    def max_reward(self) -> float:
+        return self.accuracy_weight + self.latency_weight
+
+    def normalize_accuracy(self, accuracy: float) -> float:
+        """N1: clipped accuracy mapped to [0, 1]."""
+        span = self.max_accuracy - self.min_accuracy
+        value = (accuracy - self.min_accuracy) / span
+        return min(max(value, 0.0), 1.0)
+
+    def normalize_latency(self, latency_ms: float) -> float:
+        """N2: clipped latency mapped to [0, 1] (lower latency → higher)."""
+        span = self.max_latency_ms - self.min_latency_ms
+        value = (self.max_latency_ms - latency_ms) / span
+        return min(max(value, 0.0), 1.0)
+
+    def reward(self, accuracy: float, latency_ms: float) -> float:
+        """Eqn. 7: the weighted sum of the two normalized metrics."""
+        return (
+            self.accuracy_weight * self.normalize_accuracy(accuracy)
+            + self.latency_weight * self.normalize_latency(latency_ms)
+        )
+
+
+#: The paper's evaluation configuration.
+PAPER_REWARD = RewardConfig()

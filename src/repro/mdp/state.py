@@ -1,0 +1,107 @@
+"""MDP states and actions — Sec. V-A.
+
+A state is the DNN model with its configuration in terms of partition and
+compression; actions transform one state into another. Transitions are
+deterministic ("every action definitely changes the state"), the discount
+factor is 1, and rewards are only assigned to terminal states (when both
+partition and compression are done).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class PartitionAction:
+    """Cut the model after ``layer_index`` edge layers.
+
+    ``layer_index == num_layers`` keeps everything on the edge (the "no
+    partition" choice, the L+1-th softmax output of the partition
+    controller).
+    """
+
+    layer_index: int
+
+
+@dataclass(frozen=True)
+class CompressionAction:
+    """Apply one technique (by registry name) to one layer."""
+
+    layer_index: int
+    technique: str
+
+
+@dataclass(frozen=True)
+class DnnState:
+    """One MDP state: the (possibly transformed) model and its placement.
+
+    ``partition_index`` is expressed in the coordinates of ``edge_spec`` +
+    ``cloud_spec``: the edge runs ``edge_spec`` entirely; ``cloud_spec`` (if
+    any) runs remotely. ``bandwidth_mbps`` is the network context the state
+    was optimized for.
+    """
+
+    edge_spec: Optional[ModelSpec]
+    cloud_spec: Optional[ModelSpec]
+    bandwidth_mbps: float
+    terminal: bool = False
+
+    @property
+    def is_fully_on_edge(self) -> bool:
+        return self.cloud_spec is None or len(self.cloud_spec) == 0
+
+    @property
+    def is_fully_on_cloud(self) -> bool:
+        return self.edge_spec is None or len(self.edge_spec) == 0
+
+    def composed(self) -> ModelSpec:
+        """The complete model: edge half concatenated with the cloud half."""
+        if self.is_fully_on_edge:
+            assert self.edge_spec is not None
+            return self.edge_spec
+        if self.is_fully_on_cloud:
+            assert self.cloud_spec is not None
+            return self.cloud_spec
+        assert self.edge_spec is not None and self.cloud_spec is not None
+        return self.edge_spec.concatenate(self.cloud_spec, name="composed")
+
+    def to_strings(self) -> List[str]:
+        """The Eqn. 1 string sequence for this state (edge then cloud)."""
+        strings: List[str] = []
+        if self.edge_spec is not None:
+            strings += [f"edge:{s}" for s in self.edge_spec.to_strings()]
+        if self.cloud_spec is not None:
+            strings += [f"cloud:{s}" for s in self.cloud_spec.to_strings()]
+        return strings
+
+
+def initial_state(base: ModelSpec, bandwidth_mbps: float) -> DnnState:
+    """The MDP's start state: the whole base model on the edge, unmodified."""
+    return DnnState(edge_spec=base, cloud_spec=None, bandwidth_mbps=bandwidth_mbps)
+
+
+def apply_partition(state: DnnState, action: PartitionAction) -> DnnState:
+    """Split the state's edge model at the action's layer index."""
+    if state.edge_spec is None:
+        raise ValueError("cannot partition a state with no edge model")
+    spec = state.edge_spec
+    if not 0 <= action.layer_index <= len(spec):
+        raise ValueError(
+            f"partition index {action.layer_index} out of range for "
+            f"{len(spec)} layers"
+        )
+    if action.layer_index == len(spec):
+        return replace(state)  # no partition; edge keeps everything
+    edge = spec.slice(0, action.layer_index) if action.layer_index > 0 else None
+    cloud_half = spec.slice(action.layer_index, len(spec))
+    if state.cloud_spec is not None and len(state.cloud_spec):
+        cloud_half = cloud_half.concatenate(state.cloud_spec)
+    return DnnState(
+        edge_spec=edge,
+        cloud_spec=cloud_half,
+        bandwidth_mbps=state.bandwidth_mbps,
+    )

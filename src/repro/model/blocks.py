@@ -1,0 +1,108 @@
+"""Block-level view of a model spec.
+
+The model tree (Sec. VI) operates on *blocks*: groups of consecutive layers
+("each node of the tree stands for a DNN block containing one or a few
+layers"). The paper slices the base DNN into N = 3 blocks. We slice at
+natural stage boundaries — after each spatial down-sampling (pooling or
+strided conv) — and merge stages so the requested block count comes out with
+roughly balanced compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .spec import LayerSpec, LayerType, ModelSpec
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """A contiguous run of layers [start, stop) of a base model spec."""
+
+    model: ModelSpec  # the sliced sub-model (has correct input shape)
+    start: int
+    stop: int
+    index: int  # position of this block in the block sequence
+
+    def __len__(self) -> int:
+        return len(self.model)
+
+    @property
+    def layers(self) -> Tuple[LayerSpec, ...]:
+        return self.model.layers
+
+    def fingerprint(self) -> str:
+        return self.model.fingerprint()
+
+
+def _stage_boundaries(spec: ModelSpec) -> List[int]:
+    """Indices *after* each down-sampling layer — natural cut points."""
+    boundaries = []
+    for i, layer in enumerate(spec.layers):
+        downsamples = layer.layer_type in (LayerType.MAX_POOL, LayerType.AVG_POOL) or (
+            layer.layer_type == LayerType.CONV and layer.stride > 1
+        )
+        if downsamples and i + 1 < len(spec.layers):
+            boundaries.append(i + 1)
+    return boundaries
+
+
+def slice_into_blocks(spec: ModelSpec, num_blocks: int) -> List[BlockSpec]:
+    """Slice ``spec`` into ``num_blocks`` contiguous blocks (Alg. 3 line 2).
+
+    Cuts are placed at stage boundaries when enough exist, choosing the
+    subset that best balances the per-block layer counts; otherwise layers
+    are split as evenly as possible.
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    total = len(spec)
+    if num_blocks > total:
+        raise ValueError(f"cannot slice {total} layers into {num_blocks} blocks")
+
+    candidates = _stage_boundaries(spec)
+    cuts: List[int]
+    if len(candidates) >= num_blocks - 1:
+        # Pick the num_blocks-1 candidate cuts closest to the even split.
+        ideal = [round(total * k / num_blocks) for k in range(1, num_blocks)]
+        cuts = []
+        remaining = list(candidates)
+        for target in ideal:
+            best = min(remaining, key=lambda c: abs(c - target))
+            cuts.append(best)
+            remaining = [c for c in remaining if c > best]
+            if len(remaining) < (num_blocks - 1) - len(cuts):
+                # Not enough candidates left; fall back to even split.
+                cuts = ideal
+                break
+        cuts = sorted(set(cuts))
+        if len(cuts) != num_blocks - 1:
+            cuts = [round(total * k / num_blocks) for k in range(1, num_blocks)]
+    else:
+        cuts = [round(total * k / num_blocks) for k in range(1, num_blocks)]
+
+    edges = [0] + cuts + [total]
+    blocks = []
+    for i, (start, stop) in enumerate(zip(edges[:-1], edges[1:])):
+        if start >= stop:
+            raise ValueError(f"degenerate block [{start}, {stop}) for {spec!r}")
+        blocks.append(
+            BlockSpec(
+                model=spec.slice(start, stop, name=f"{spec.name}.block{i}"),
+                start=start,
+                stop=stop,
+                index=i,
+            )
+        )
+    return blocks
+
+
+def concatenate_blocks(blocks: Sequence[BlockSpec], name: str = "composed") -> ModelSpec:
+    """Compose consecutive blocks back into one model spec."""
+    if not blocks:
+        raise ValueError("no blocks to concatenate")
+    model = blocks[0].model
+    for block in blocks[1:]:
+        model = model.concatenate(block.model)
+    return ModelSpec(model.layers, model.input_shape, name=name)

@@ -1,0 +1,80 @@
+"""Human-readable model summaries.
+
+Renders a :class:`~repro.model.spec.ModelSpec` as the familiar layer table —
+output shape, parameters, MACCs per layer — plus totals and activation
+sizes, which is what you stare at when deciding where a partition could cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..latency.maccs import layer_maccs
+from .spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    index: int
+    name: str
+    output_shape: str
+    params: int
+    maccs: int
+    activation_bytes: int
+
+
+def summarize(spec: ModelSpec) -> List[LayerSummary]:
+    """Per-layer summary rows for a model spec."""
+    from .spec import layer_parameter_count
+
+    rows = []
+    for i, layer in enumerate(spec.layers):
+        in_shape = spec.input_shape_of(i)
+        out_shape = spec.output_shape_of(i)
+        maccs = sum(e.maccs for e in layer_maccs(layer, in_shape, out_shape))
+        shape_str = (
+            f"({out_shape.channels},)"
+            if out_shape.flat
+            else f"({out_shape.channels}, {out_shape.height}, {out_shape.width})"
+        )
+        name = layer.layer_type.value
+        if layer.kernel_size:
+            name += f" {layer.kernel_size}x{layer.kernel_size}"
+        if layer.stride > 1:
+            name += f"/{layer.stride}"
+        if layer.rank:
+            name += f" r{layer.rank}"
+        if layer.bits < 32:
+            name += f" int{layer.bits}"
+        rows.append(
+            LayerSummary(
+                index=i,
+                name=name,
+                output_shape=shape_str,
+                params=layer_parameter_count(layer, in_shape.channels),
+                maccs=maccs,
+                activation_bytes=out_shape.num_bytes,
+            )
+        )
+    return rows
+
+
+def render_summary(spec: ModelSpec) -> str:
+    """The layer table plus totals, as printable text."""
+    rows = summarize(spec)
+    header = f"{'#':>3s}  {'layer':22s} {'output':>16s} {'params':>10s} {'MACCs':>11s} {'act bytes':>10s}"
+    lines = [f"model: {spec.name}  (input {spec.input_shape})", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.index:3d}  {row.name:22s} {row.output_shape:>16s} "
+            f"{row.params:10,d} {row.maccs:11,d} {row.activation_bytes:10,d}"
+        )
+    total_params = sum(r.params for r in rows)
+    total_maccs = sum(r.maccs for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"total: {total_params:,} params ({spec.parameter_bytes() / 1e6:.1f} MB), "
+        f"{total_maccs:,} MACCs"
+    )
+    return "\n".join(lines)

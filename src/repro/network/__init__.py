@@ -1,0 +1,29 @@
+"""Network-context substrate: bandwidth traces, scenes, and the channel."""
+
+from .channel import Channel
+from .predictor import (
+    BandwidthPredictor,
+    EWMAPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    evaluate_predictor,
+)
+from .scenarios import ALL_SCENARIOS, Scenario, get_scenario, scenarios_for
+from .traces import BandwidthTrace, TraceModel, TraceStats, constant_trace
+
+__all__ = [
+    "BandwidthPredictor",
+    "EWMAPredictor",
+    "HoltPredictor",
+    "LastValuePredictor",
+    "evaluate_predictor",
+    "Channel",
+    "ALL_SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenarios_for",
+    "BandwidthTrace",
+    "TraceModel",
+    "TraceStats",
+    "constant_trace",
+]

@@ -1,0 +1,51 @@
+"""Time-integrated transfer over a bandwidth trace.
+
+The offline search treats bandwidth as constant per decision (Eqn. 6), but
+the emulator replays a *varying* trace: a transfer started at time ``t``
+drains its byte budget against the instantaneous bandwidth, so a dip
+mid-transfer really stretches the transfer — exactly the situation the
+model tree is designed to react to.
+"""
+
+from __future__ import annotations
+
+from ..latency.transfer import TransferModel
+from .traces import BandwidthTrace
+
+
+class Channel:
+    """A lossless link whose rate follows a bandwidth trace."""
+
+    def __init__(self, trace: BandwidthTrace, transfer_model: TransferModel) -> None:
+        self.trace = trace
+        self.transfer_model = transfer_model
+
+    def transfer_time_ms(self, size_bytes: float, start_time_ms: float) -> float:
+        """Wall time to ship ``size_bytes`` starting at ``start_time_ms``.
+
+        Integrates the trace over the transfer: each trace interval
+        contributes ``rate × dt`` bytes until the payload (plus the
+        first-packet overhead of Eqn. 6) is drained.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        start_bw = self.trace.at(start_time_ms / 1e3)
+        setup_ms = self.transfer_model.first_packet_delay_ms(size_bytes, start_bw)
+
+        t_ms = start_time_ms + setup_ms
+        remaining_bits = size_bytes * 8.0
+        interval_ms = self.trace.interval_s * 1e3
+        # Cap the loop far beyond any plausible transfer to guarantee exit.
+        max_steps = 10 * len(self.trace.samples) + int(remaining_bits / 1e3) + 10
+        for _ in range(max_steps):
+            bandwidth_mbps = self.trace.at(t_ms / 1e3)
+            bits_per_ms = bandwidth_mbps * 1e3  # Mbps == kbit/ms
+            boundary_ms = (int(t_ms / interval_ms) + 1) * interval_ms
+            slot_ms = max(boundary_ms - t_ms, 1e-9)
+            capacity_bits = bits_per_ms * slot_ms
+            if capacity_bits >= remaining_bits:
+                t_ms += remaining_bits / bits_per_ms
+                return t_ms - start_time_ms
+            remaining_bits -= capacity_bits
+            t_ms = boundary_ms
+        raise RuntimeError("transfer did not complete; trace bandwidth too low")

@@ -1,0 +1,115 @@
+"""Bandwidth prediction for the online decision engine.
+
+The paper's engine matches the *instantaneous* measured bandwidth to a fork
+(Alg. 2 line 5), and attributes part of the emulation→field gap to "a coarse
+estimation of network conditions". This module adds the natural next step:
+short-horizon predictors that smooth the noisy measurements before the fork
+decision.
+
+- :class:`EWMAPredictor` — exponentially weighted moving average, the
+  standard TCP-style smoother;
+- :class:`HoltPredictor` — Holt's linear trend method, which extrapolates a
+  drift (useful in the moving-device scenes where bandwidth trends);
+- :class:`LastValuePredictor` — the paper's behavior, as the baseline.
+
+All share one interface: feed measurements with :meth:`update`, read the
+belief with :meth:`predict`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class BandwidthPredictor(Protocol):
+    """Online one-step-ahead bandwidth estimator."""
+
+    def update(self, measurement_mbps: float) -> None: ...
+
+    def predict(self) -> float: ...
+
+
+class LastValuePredictor:
+    """The paper's engine: believe the most recent measurement."""
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, measurement_mbps: float) -> None:
+        self._last = measurement_mbps
+
+    def predict(self) -> float:
+        if self._last is None:
+            raise RuntimeError("no measurements yet")
+        return self._last
+
+
+class EWMAPredictor:
+    """Exponentially weighted moving average of measurements."""
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: Optional[float] = None
+
+    def update(self, measurement_mbps: float) -> None:
+        if self._level is None:
+            self._level = measurement_mbps
+        else:
+            self._level = (
+                self.alpha * measurement_mbps + (1.0 - self.alpha) * self._level
+            )
+
+    def predict(self) -> float:
+        if self._level is None:
+            raise RuntimeError("no measurements yet")
+        return self._level
+
+
+class HoltPredictor:
+    """Holt's linear-trend double exponential smoothing."""
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self._level: Optional[float] = None
+        self._trend: float = 0.0
+
+    def update(self, measurement_mbps: float) -> None:
+        if self._level is None:
+            self._level = measurement_mbps
+            self._trend = 0.0
+            return
+        previous_level = self._level
+        self._level = self.alpha * measurement_mbps + (1.0 - self.alpha) * (
+            self._level + self._trend
+        )
+        self._trend = (
+            self.beta * (self._level - previous_level)
+            + (1.0 - self.beta) * self._trend
+        )
+
+    def predict(self) -> float:
+        if self._level is None:
+            raise RuntimeError("no measurements yet")
+        return max(0.1, self._level + self._trend)
+
+
+def evaluate_predictor(
+    predictor: BandwidthPredictor, measurements: Sequence[float]
+) -> float:
+    """Mean absolute one-step-ahead error over a measurement sequence."""
+    if len(measurements) < 2:
+        raise ValueError("need at least two measurements")
+    error = 0.0
+    count = 0
+    for i, value in enumerate(measurements):
+        if i > 0:
+            error += abs(predictor.predict() - value)
+            count += 1
+        predictor.update(value)
+    return error / count

@@ -1,0 +1,156 @@
+"""The evaluation scenes — Tables III/IV/V rows.
+
+The paper tests 11 real-life scenes for smartphone+VGG11 (10 appear in the
+tables), 3 for TX2+VGG11 and 4 for smartphone+AlexNet, spanning 4G vs WiFi,
+weak vs normal signal, and static / slow / quick mobility. Each scene here
+pairs a :class:`~repro.network.traces.TraceModel` with the platform pair it
+was run on.
+
+Trace parameters follow the paper's qualitative descriptions and Fig. 1:
+weak links have low means; mobility raises volatility and regime switching
+(quick outdoor 4G swings hardest); static indoor links are smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..latency.devices import DeviceProfile, JETSON_TX2, XIAOMI_MI_6X
+from ..latency.transfer import CELLULAR_TRANSFER, WIFI_TRANSFER, TransferModel
+from .traces import BandwidthTrace, TraceModel
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scene: an environment on a device running a model."""
+
+    model_name: str  # "vgg11" | "alexnet"
+    device_name: str  # "phone" | "tx2"
+    environment: str  # e.g. "4G (weak) indoor"
+    trace_model: TraceModel
+    link: str  # "4g" | "wifi"
+    seed: int
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.model_name, self.device_name, self.environment)
+
+    @property
+    def device(self) -> DeviceProfile:
+        return XIAOMI_MI_6X if self.device_name == "phone" else JETSON_TX2
+
+    @property
+    def transfer_model(self) -> TransferModel:
+        return CELLULAR_TRANSFER if self.link == "4g" else WIFI_TRANSFER
+
+    def trace(self, duration_s: float = 120.0, interval_s: float = 0.1) -> BandwidthTrace:
+        return self.trace_model.generate(duration_s, interval_s, seed=self.seed)
+
+    def __str__(self) -> str:
+        return f"{self.model_name}/{self.device_name}/{self.environment}"
+
+
+# Per-environment trace models (means in Mbps). Weak/moving scenes follow
+# Fig. 1's pattern: a usable median punctuated by deep dips, so a plan made
+# at decision time can be badly wrong mid-inference — the regret the paper
+# motivates. Static scenes are smooth.
+_ENV_TRACES: Dict[str, Tuple[str, TraceModel]] = {
+    "4G (weak) indoor": (
+        "4g",
+        TraceModel(
+            mean_mbps=11.0, volatility=0.30, ar_coeff=0.90,
+            degraded_ratio=0.15, p_degrade=0.03, p_recover=0.17,
+        ),
+    ),
+    "4G indoor static": (
+        "4g",
+        TraceModel(
+            mean_mbps=20.0, volatility=0.10, ar_coeff=0.95,
+            degraded_ratio=0.70, p_degrade=0.01, p_recover=0.25,
+        ),
+    ),
+    "4G indoor slow": (
+        "4g",
+        TraceModel(
+            mean_mbps=14.0, volatility=0.25, ar_coeff=0.92,
+            degraded_ratio=0.30, p_degrade=0.03, p_recover=0.15,
+        ),
+    ),
+    "4G outdoor quick": (
+        "4g",
+        TraceModel(
+            mean_mbps=28.0, volatility=0.50, ar_coeff=0.85,
+            degraded_ratio=0.12, p_degrade=0.05, p_recover=0.20,
+        ),
+    ),
+    "WiFi (weak) indoor": (
+        "wifi",
+        TraceModel(
+            mean_mbps=6.0, volatility=0.30, ar_coeff=0.88,
+            degraded_ratio=0.20, p_degrade=0.03, p_recover=0.15,
+        ),
+    ),
+    "WiFi (weak) outdoor": (
+        "wifi",
+        TraceModel(
+            mean_mbps=5.5, volatility=0.45, ar_coeff=0.85,
+            degraded_ratio=0.18, p_degrade=0.04, p_recover=0.15,
+        ),
+    ),
+    "WiFi outdoor slow": (
+        "wifi",
+        TraceModel(
+            mean_mbps=9.0, volatility=0.28, ar_coeff=0.90,
+            degraded_ratio=0.30, p_degrade=0.03, p_recover=0.15,
+        ),
+    ),
+}
+
+
+def _make_scenarios() -> List[Scenario]:
+    scenarios: List[Scenario] = []
+    seed = 100
+    # Smartphone + VGG11: seven environments (Table III top block).
+    for env in (
+        "4G (weak) indoor",
+        "4G indoor static",
+        "4G indoor slow",
+        "4G outdoor quick",
+        "WiFi (weak) indoor",
+        "WiFi (weak) outdoor",
+        "WiFi outdoor slow",
+    ):
+        link, trace_model = _ENV_TRACES[env]
+        scenarios.append(Scenario("vgg11", "phone", env, trace_model, link, seed))
+        seed += 1
+    # TX2 + VGG11: three environments.
+    for env in ("4G (weak) indoor", "4G indoor static", "WiFi (weak) indoor"):
+        link, trace_model = _ENV_TRACES[env]
+        scenarios.append(Scenario("vgg11", "tx2", env, trace_model, link, seed))
+        seed += 1
+    # Smartphone + AlexNet: four environments.
+    for env in (
+        "4G indoor static",
+        "WiFi (weak) indoor",
+        "WiFi (weak) outdoor",
+        "WiFi outdoor slow",
+    ):
+        link, trace_model = _ENV_TRACES[env]
+        scenarios.append(Scenario("alexnet", "phone", env, trace_model, link, seed))
+        seed += 1
+    return scenarios
+
+
+ALL_SCENARIOS: List[Scenario] = _make_scenarios()
+
+
+def scenarios_for(model_name: str) -> List[Scenario]:
+    return [s for s in ALL_SCENARIOS if s.model_name == model_name]
+
+
+def get_scenario(model_name: str, device_name: str, environment: str) -> Scenario:
+    for scenario in ALL_SCENARIOS:
+        if scenario.key == (model_name, device_name, environment):
+            return scenario
+    raise KeyError(f"no scenario {model_name}/{device_name}/{environment}")

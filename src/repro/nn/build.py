@@ -1,0 +1,110 @@
+"""Instantiate a real trainable network from a :class:`ModelSpec`.
+
+This bridges the two model levels described in DESIGN.md §5: the RL search
+manipulates pure structure, and when a composed model's accuracy must be
+*measured* (trained evaluator, distillation, examples), the spec is turned
+into actual numpy layers here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..model.spec import LayerSpec, LayerType, ModelSpec
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseSeparableConv,
+    Dropout,
+    FactorizedLinear,
+    Fire,
+    Flatten,
+    GlobalAvgPool2d,
+    InvertedResidual,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+def _build_layer(
+    layer: LayerSpec,
+    in_channels: int,
+    in_features: int,
+    rng: np.random.Generator,
+) -> Module:
+    lt = layer.layer_type
+    if lt == LayerType.CONV:
+        return Conv2d(
+            in_channels,
+            layer.out_channels,
+            layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            groups=layer.groups,
+            rng=rng,
+        )
+    if lt == LayerType.DEPTHWISE_CONV:
+        return Conv2d(
+            in_channels,
+            in_channels,
+            layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            groups=in_channels,
+            rng=rng,
+        )
+    if lt == LayerType.POINTWISE_CONV:
+        return Conv2d(in_channels, layer.out_channels, 1, rng=rng)
+    if lt == LayerType.FC:
+        if layer.rank > 0:
+            return FactorizedLinear(in_features, layer.out_channels, layer.rank, rng=rng)
+        return Linear(in_features, layer.out_channels, rng=rng)
+    if lt == LayerType.MAX_POOL:
+        return MaxPool2d(layer.kernel_size, layer.stride)
+    if lt == LayerType.AVG_POOL:
+        return AvgPool2d(layer.kernel_size, layer.stride)
+    if lt == LayerType.GLOBAL_AVG_POOL:
+        return GlobalAvgPool2d()
+    if lt == LayerType.BATCH_NORM:
+        return BatchNorm2d(in_channels)
+    if lt == LayerType.RELU:
+        return ReLU()
+    if lt == LayerType.DROPOUT:
+        return Dropout(layer.dropout_p or 0.5, rng=rng)
+    if lt == LayerType.FLATTEN:
+        return Flatten()
+    if lt == LayerType.FIRE:
+        return Fire(
+            in_channels,
+            layer.out_channels,
+            squeeze_ratio=layer.squeeze_ratio or 0.25,
+            stride=layer.stride,
+            rng=rng,
+        )
+    if lt == LayerType.INVERTED_RESIDUAL:
+        return InvertedResidual(
+            in_channels,
+            layer.out_channels,
+            kernel_size=layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            expansion=layer.expansion or 2,
+            rng=rng,
+        )
+    raise ValueError(f"cannot build layer type {lt}")
+
+
+def build_network(spec: ModelSpec, seed: int = 0) -> Sequential:
+    """Materialize ``spec`` as a trainable :class:`Sequential` network."""
+    rng = np.random.default_rng(seed)
+    modules = []
+    for i, layer in enumerate(spec.layers):
+        shape = spec.input_shape_of(i)
+        modules.append(_build_layer(layer, shape.channels, shape.num_values, rng))
+    return Sequential(*modules)

@@ -1,0 +1,30 @@
+"""Saving and loading trained networks as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .layers import Module
+
+PathLike = Union[str, Path]
+
+
+def save_network(network: Module, path: PathLike) -> None:
+    """Write every named parameter of ``network`` to a numpy archive."""
+    arrays = {name: p.data for name, p in network.named_parameters()}
+    if not arrays:
+        raise ValueError("network has no parameters to save")
+    np.savez(Path(path), **arrays)
+
+
+def load_network(network: Module, path: PathLike) -> Module:
+    """Restore parameters saved by :func:`save_network` (shapes must match)."""
+    archive = np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz")
+    try:
+        network.load_state_dict({name: archive[name] for name in archive.files})
+    finally:
+        archive.close()
+    return network

@@ -1,0 +1,70 @@
+"""Materialize a :class:`~repro.model.dag.DagModel` as a trainable network.
+
+Completes the DAG extension: `repro.model.dag` gives skip-connected models
+structurally (shape inference, MACCs, min-cut surgery); this module executes
+them with real weights on the numpy substrate — topological forward with
+elementwise ``add`` merges at multi-input nodes, exactly the residual
+semantics the structural level declares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..model.dag import INPUT, DagModel
+from .build import _build_layer
+from .layers import Module
+from .tensor import Tensor
+
+
+class DagNetwork(Module):
+    """Executable weight-level counterpart of a :class:`DagModel`."""
+
+    def __init__(self, dag: DagModel, seed: int = 0) -> None:
+        super().__init__()
+        self.dag = dag
+        rng = np.random.default_rng(seed)
+        self.node_modules: Dict[str, Module] = {}
+        for node_id in dag.layer_ids:
+            in_shape = dag.input_shape_of(node_id)
+            self.node_modules[node_id] = _build_layer(
+                dag.layer(node_id), in_shape.channels, in_shape.num_values, rng
+            )
+
+    # -- Module protocol -------------------------------------------------
+    def parameters(self):
+        for module in self.node_modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = ""):
+        for node_id, module in self.node_modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{node_id}.")
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for module in self.node_modules.values():
+            module._set_mode(training)
+
+    def forward(self, x: Tensor) -> Tensor:
+        outputs: Dict[str, Tensor] = {INPUT: x}
+        for node_id in self.dag.layer_ids:
+            parents = list(self.dag.graph.predecessors(node_id))
+            merged: Optional[Tensor] = None
+            for parent in parents:
+                value = outputs[parent]
+                merged = value if merged is None else merged + value
+            outputs[node_id] = self.node_modules[node_id](merged)
+        output_ids = self.dag.output_ids
+        if len(output_ids) != 1:
+            raise ValueError(
+                f"DagNetwork.forward expects a single output node, found "
+                f"{output_ids}"
+            )
+        return outputs[output_ids[0]]
+
+
+def build_dag_network(dag: DagModel, seed: int = 0) -> DagNetwork:
+    """Instantiate ``dag`` with real trainable weights."""
+    return DagNetwork(dag, seed=seed)

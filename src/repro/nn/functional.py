@@ -1,0 +1,328 @@
+"""Differentiable neural-network operations.
+
+Implements the forward/backward math used by :mod:`repro.nn.layers` on top of
+:class:`repro.nn.tensor.Tensor`. Convolutions use im2col so the heavy lifting
+is one matrix multiplication per layer, which keeps the pure-numpy substrate
+fast enough to really train the models used in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+
+def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping a padded NCHW input to column form."""
+    n, c, h, w = x_shape
+    out_h = _conv_out_size(h, kernel, stride, padding)
+    out_w = _conv_out_size(w, kernel, stride, padding)
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kernel * kernel).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns: (N, C*K*K, OH*OW)."""
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k, i, j, _, _ = _im2col_indices(
+        (x.shape[0], x.shape[1], x.shape[2] - 2 * padding, x.shape[3] - 2 * padding),
+        kernel,
+        stride,
+        padding,
+    )
+    return x[:, k, i, j]
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(x_shape, kernel, stride, padding)
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2D convolution over NCHW input.
+
+    ``weight`` has shape (C_out, C_in // groups, K, K). ``groups=C_in`` gives
+    a depthwise convolution (used by the MobileNet compression techniques).
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kernel, _ = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError("groups must divide both input and output channels")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_g} input channels per group, input has "
+            f"{c_in // groups}"
+        )
+    out_h = _conv_out_size(h, kernel, stride, padding)
+    out_w = _conv_out_size(w, kernel, stride, padding)
+
+    if groups == 1:
+        cols = im2col(x.data, kernel, stride, padding)  # (N, C*K*K, L)
+        w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*K*K)
+        out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+        out = out.reshape(n, c_out, out_h, out_w)
+    else:
+        cg_in, cg_out = c_in // groups, c_out // groups
+        out = np.empty((n, c_out, out_h, out_w), dtype=np.float64)
+        cols_list = []
+        for g in range(groups):
+            xg = x.data[:, g * cg_in : (g + 1) * cg_in]
+            cols_g = im2col(xg, kernel, stride, padding)
+            cols_list.append(cols_g)
+            w_mat = weight.data[g * cg_out : (g + 1) * cg_out].reshape(cg_out, -1)
+            out_g = np.einsum("of,nfl->nol", w_mat, cols_g, optimize=True)
+            out[:, g * cg_out : (g + 1) * cg_out] = out_g.reshape(
+                n, cg_out, out_h, out_w
+            )
+        cols = cols_list  # type: ignore[assignment]
+
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, c_out, -1)  # (N, C_out, L)
+        if bias is not None:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if groups == 1:
+            w_mat = weight.data.reshape(c_out, -1)
+            if weight.requires_grad:
+                grad_w = np.einsum("nol,nfl->of", grad_flat, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("of,nol->nfl", w_mat, grad_flat, optimize=True)
+                x._accumulate(col2im(grad_cols, x.shape, kernel, stride, padding))
+        else:
+            cg_in, cg_out = c_in // groups, c_out // groups
+            grad_x = np.zeros(x.shape, dtype=np.float64) if x.requires_grad else None
+            grad_w_full = (
+                np.zeros(weight.shape, dtype=np.float64)
+                if weight.requires_grad
+                else None
+            )
+            for g in range(groups):
+                gf = grad_flat[:, g * cg_out : (g + 1) * cg_out]
+                w_mat = weight.data[g * cg_out : (g + 1) * cg_out].reshape(cg_out, -1)
+                if grad_w_full is not None:
+                    gw = np.einsum("nol,nfl->of", gf, cols[g], optimize=True)
+                    grad_w_full[g * cg_out : (g + 1) * cg_out] = gw.reshape(
+                        cg_out, cg_in, kernel, kernel
+                    )
+                if grad_x is not None:
+                    grad_cols = np.einsum("of,nol->nfl", w_mat, gf, optimize=True)
+                    xg_shape = (n, cg_in, h, w)
+                    grad_x[:, g * cg_in : (g + 1) * cg_in] = col2im(
+                        grad_cols, xg_shape, kernel, stride, padding
+                    )
+            if grad_w_full is not None:
+                weight._accumulate(grad_w_full)
+            if grad_x is not None:
+                x._accumulate(grad_x)
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (weight shape: (C_out, C_in))."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over NCHW input."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _conv_out_size(h, kernel, stride, 0)
+    out_w = _conv_out_size(w, kernel, stride, 0)
+    # View each channel as its own image so im2col handles the windows.
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols = im2col(reshaped, kernel, stride, 0)  # (N*C, K*K, L)
+    arg = cols.argmax(axis=1)  # (N*C, L)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n * c, 1, -1)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, arg[:, None, :], grad_flat, axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _conv_out_size(h, kernel, stride, 0)
+    out_w = _conv_out_size(w, kernel, stride, 0)
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols = im2col(reshaped, kernel, stride, 0)
+    out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n * c, 1, -1)
+        grad_cols = np.broadcast_to(grad_flat / (kernel * kernel), cols.shape).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: NCHW -> NC."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis of NCHW input.
+
+    ``running_mean``/``running_var`` are updated in place during training.
+    """
+    c = x.shape[1]
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if not x.requires_grad:
+            return
+        g = grad * gamma.data.reshape(1, c, 1, 1)
+        if training:
+            m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+            sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+            sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            grad_x = (
+                inv_std.reshape(1, c, 1, 1)
+                * (g - sum_g / m - x_hat * sum_gx / m)
+            )
+        else:
+            grad_x = g * inv_std.reshape(1, c, 1, 1)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity at inference time."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer labels (N,)."""
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), np.asarray(labels)]
+    return -picked.mean()
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float = 4.0,
+    alpha: float = 0.7,
+) -> Tensor:
+    """Knowledge-distillation loss (Hinton et al.), Sec. VI-D of the paper.
+
+    Composed models are trained against the base DNN's output logits instead
+    of (only) ground-truth labels, which speeds up convergence and recovers
+    accuracy lost to compression.
+    """
+    t = temperature
+    teacher = np.asarray(teacher_logits) / t
+    teacher = teacher - teacher.max(axis=-1, keepdims=True)
+    teacher_probs = np.exp(teacher)
+    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+
+    student_log_probs = log_softmax(student_logits * (1.0 / t), axis=-1)
+    soft_loss = -(Tensor(teacher_probs) * student_log_probs).sum(axis=-1).mean()
+    hard_loss = cross_entropy(student_logits, labels)
+    return soft_loss * (alpha * t * t) + hard_loss * (1.0 - alpha)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits (N, C) against integer labels (N,)."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())

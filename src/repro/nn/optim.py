@@ -1,0 +1,112 @@
+"""Gradient-descent optimizers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding a parameter list and the shared step protocol."""
+
+    def __init__(self, parameters: Iterable[Tensor]) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is at most ``max_norm``."""
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0.0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for i, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(parameter.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for i, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(parameter.data)
+                self._v[i] = np.zeros_like(parameter.data)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (
+                np.sqrt(v_hat) + self.eps
+            )

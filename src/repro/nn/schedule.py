@@ -1,0 +1,83 @@
+"""Learning-rate schedules for the numpy substrate.
+
+Small but real: the distillation runs in examples and the trained accuracy
+evaluator benefit from decaying the rate once the composed model is close to
+the teacher.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._rate(self.epoch)
+        return self.optimizer.lr
+
+    def _rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _rate(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base rate, then hold."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int = 3) -> None:
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        optimizer.lr = self._rate(0)
+
+    def _rate(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)

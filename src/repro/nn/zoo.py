@@ -1,0 +1,262 @@
+"""Model zoo: structural specs for the DNNs used in the paper.
+
+Provides the base DNNs of the evaluation (VGG11, AlexNet — Sec. VII Setup),
+the Table I profiling models (VGG19, ResNet50/101/152 as MACC-equivalent
+chain specs), and small variants that the pure-numpy substrate can really
+train in tests and examples.
+
+All builders return a :class:`~repro.model.spec.ModelSpec`; instantiate real
+weights with :func:`repro.nn.build.build_network`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..model.spec import (
+    LayerSpec,
+    LayerType,
+    ModelSpec,
+    TensorShape,
+    conv,
+    dropout,
+    fc,
+    flatten,
+    max_pool,
+    relu,
+)
+
+CIFAR_INPUT = TensorShape(3, 32, 32)
+IMAGENET_INPUT = TensorShape(3, 224, 224)
+
+
+def vgg11(
+    input_shape: TensorShape = CIFAR_INPUT,
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+) -> ModelSpec:
+    """VGG11 ('A' configuration) adapted to the input resolution.
+
+    For 32×32 inputs this is the standard CIFAR-10 VGG11 with a single
+    512→classes classifier head; for 224×224 inputs the original three-layer
+    4096-wide head is used.
+    """
+    w = lambda c: max(1, int(round(c * width_multiplier)))
+    layers: List[LayerSpec] = []
+    for out_channels, pool in [
+        (w(64), True),
+        (w(128), True),
+        (w(256), False),
+        (w(256), True),
+        (w(512), False),
+        (w(512), True),
+        (w(512), False),
+        (w(512), True),
+    ]:
+        layers += [conv(out_channels, 3, 1, 1), relu()]
+        if pool:
+            layers.append(max_pool(2))
+    layers.append(flatten())
+    if input_shape.height >= 224:
+        layers += [fc(4096), relu(), dropout(0.5), fc(4096), relu(), dropout(0.5)]
+    layers.append(fc(num_classes))
+    return ModelSpec(layers, input_shape, name="vgg11")
+
+
+def vgg19(
+    input_shape: TensorShape = IMAGENET_INPUT, num_classes: int = 1000
+) -> ModelSpec:
+    """VGG19 ('E' configuration); used for Table I phone-latency profiling."""
+    layers: List[LayerSpec] = []
+    config = [
+        (64, 2, True),
+        (128, 2, True),
+        (256, 4, True),
+        (512, 4, True),
+        (512, 4, True),
+    ]
+    for out_channels, repeats, pool in config:
+        for _ in range(repeats):
+            layers += [conv(out_channels, 3, 1, 1), relu()]
+        if pool:
+            layers.append(max_pool(2))
+    layers.append(flatten())
+    layers += [fc(4096), relu(), dropout(0.5), fc(4096), relu(), dropout(0.5)]
+    layers.append(fc(num_classes))
+    return ModelSpec(layers, input_shape, name="vgg19")
+
+
+def alexnet(
+    input_shape: TensorShape = CIFAR_INPUT, num_classes: int = 10
+) -> ModelSpec:
+    """AlexNet adapted to the input resolution (CIFAR variant for 32×32)."""
+    if input_shape.height >= 224:
+        layers = [
+            LayerSpec(LayerType.CONV, 11, 4, 2, 64),
+            relu(),
+            max_pool(3, 2),
+            LayerSpec(LayerType.CONV, 5, 1, 2, 192),
+            relu(),
+            max_pool(3, 2),
+            conv(384, 3, 1, 1),
+            relu(),
+            conv(256, 3, 1, 1),
+            relu(),
+            conv(256, 3, 1, 1),
+            relu(),
+            max_pool(3, 2),
+            flatten(),
+            dropout(0.5),
+            fc(4096),
+            relu(),
+            dropout(0.5),
+            fc(4096),
+            relu(),
+            fc(num_classes),
+        ]
+    else:
+        # CIFAR variant: mirrors the original's aggressive early
+        # downsampling (stride-4 first conv at 224) with a strided second
+        # conv, so its compute sits at roughly 60 % of VGG11's — matching
+        # the latency relation between the two models in Tables IV/V.
+        layers = [
+            LayerSpec(LayerType.CONV, 3, 1, 1, 64),
+            relu(),
+            max_pool(2),
+            LayerSpec(LayerType.CONV, 5, 2, 2, 192),
+            relu(),
+            conv(384, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            conv(256, 3, 1, 1),
+            relu(),
+            conv(256, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            flatten(),
+            dropout(0.5),
+            fc(1024),
+            relu(),
+            dropout(0.5),
+            fc(512),
+            relu(),
+            fc(num_classes),
+        ]
+    return ModelSpec(layers, input_shape, name="alexnet")
+
+
+def _resnet_chain(
+    depth_per_stage: List[int],
+    input_shape: TensorShape,
+    num_classes: int,
+    name: str,
+    bottleneck: bool = True,
+) -> ModelSpec:
+    """MACC-equivalent chain spec of a ResNet (for latency profiling).
+
+    The latency model only consumes layer hyperparameters (Eqns. 4–5), so we
+    express each residual bottleneck as its constituent 1×1/3×3/1×1 convs in
+    a chain; skip connections add negligible MACCs and are omitted, exactly
+    as the paper ignores cheap layers.
+    """
+    layers: List[LayerSpec] = [
+        LayerSpec(LayerType.CONV, 7, 2, 3, 64),
+        relu(),
+        max_pool(3, 2),
+    ]
+    channels = [64, 128, 256, 512]
+    for stage, (repeats, base_channels) in enumerate(zip(depth_per_stage, channels)):
+        stride = 1 if stage == 0 else 2
+        out_channels = base_channels * (4 if bottleneck else 1)
+        for block in range(repeats):
+            s = stride if block == 0 else 1
+            if bottleneck:
+                layers += [
+                    LayerSpec(LayerType.CONV, 1, 1, 0, base_channels),
+                    relu(),
+                    LayerSpec(LayerType.CONV, 3, s, 1, base_channels),
+                    relu(),
+                    LayerSpec(LayerType.CONV, 1, 1, 0, out_channels),
+                    relu(),
+                ]
+            else:
+                layers += [
+                    LayerSpec(LayerType.CONV, 3, s, 1, out_channels),
+                    relu(),
+                    conv(out_channels, 3, 1, 1),
+                    relu(),
+                ]
+    layers += [
+        LayerSpec(LayerType.GLOBAL_AVG_POOL),
+        fc(num_classes),
+    ]
+    return ModelSpec(layers, input_shape, name=name)
+
+
+def resnet50(
+    input_shape: TensorShape = IMAGENET_INPUT, num_classes: int = 1000
+) -> ModelSpec:
+    return _resnet_chain([3, 4, 6, 3], input_shape, num_classes, "resnet50")
+
+
+def resnet101(
+    input_shape: TensorShape = IMAGENET_INPUT, num_classes: int = 1000
+) -> ModelSpec:
+    return _resnet_chain([3, 4, 23, 3], input_shape, num_classes, "resnet101")
+
+
+def resnet152(
+    input_shape: TensorShape = IMAGENET_INPUT, num_classes: int = 1000
+) -> ModelSpec:
+    return _resnet_chain([3, 8, 36, 3], input_shape, num_classes, "resnet152")
+
+
+def tiny_cnn(
+    input_shape: TensorShape = TensorShape(3, 16, 16),
+    num_classes: int = 10,
+    width: int = 16,
+) -> ModelSpec:
+    """A small CNN the numpy substrate can really train quickly.
+
+    Used by tests, examples, and the trained accuracy evaluator: three conv
+    stages plus a two-layer classifier — structurally a miniature VGG, so
+    every compression technique and partition point is exercised.
+    """
+    layers = [
+        conv(width, 3, 1, 1),
+        relu(),
+        max_pool(2),
+        conv(width * 2, 3, 1, 1),
+        relu(),
+        max_pool(2),
+        conv(width * 4, 3, 1, 1),
+        relu(),
+        max_pool(2),
+        flatten(),
+        fc(width * 4),
+        relu(),
+        fc(num_classes),
+    ]
+    return ModelSpec(layers, input_shape, name="tiny_cnn")
+
+
+BASE_MODELS = {
+    "vgg11": vgg11,
+    "vgg19": vgg19,
+    "alexnet": alexnet,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "tiny_cnn": tiny_cnn,
+}
+
+
+def get_model(name: str, **kwargs) -> ModelSpec:
+    """Look up a base model spec by name."""
+    try:
+        builder = BASE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(BASE_MODELS)}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,197 @@
+"""The LSTM-based partition and compression controllers — Sec. VI-C, Fig. 6.
+
+Both controllers share a backbone: the layer-hyperparameter sequence runs
+through a bidirectional LSTM producing hidden states ``H_i``. The *partition
+controller* emits one softmax over the L+1 cut choices of a block (cut
+before layer 0..L−1, or the L+1-th "no partition" option — Sec. VII-A). The
+*compression controller* emits one softmax per layer over the technique
+registry, with inapplicable techniques masked out.
+
+Sampling returns both the drawn action and its log-probability tensor so
+REINFORCE gradients flow back through the LSTM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compression.base import TechniqueRegistry
+from ..model.spec import ModelSpec
+from ..nn import functional as F
+from ..nn.init import xavier_uniform
+from ..nn.layers import Module
+from ..nn.rnn import BiLSTM
+from ..nn.tensor import Tensor, concatenate
+from .encoding import ENCODING_WIDTH, encode_model
+
+NO_PARTITION = -1  # sentinel action: keep the whole block on the edge
+
+
+def _sample_from_logits(
+    logits: Tensor, rng: np.random.Generator, mask: Optional[np.ndarray] = None
+) -> Tuple[int, Tensor, Tensor]:
+    """Sample from masked logits; return (index, log-prob, entropy tensors).
+
+    The entropy of the (masked) distribution supports the optional
+    exploration bonus in :class:`~repro.rl.reinforce.ReinforceTrainer`.
+    """
+    if mask is not None:
+        logits = logits + Tensor(np.where(mask, 0.0, -1e9))
+    log_probs = F.log_softmax(logits, axis=-1)
+    probs_t = log_probs.exp()
+    entropy = -(probs_t * log_probs).sum()
+    probs = probs_t.data / probs_t.data.sum()
+    index = int(rng.choice(len(probs), p=probs))
+    return index, log_probs[index], entropy
+
+
+class PartitionController(Module):
+    """Chooses where (whether) to cut a block between edge and cloud."""
+
+    def __init__(self, hidden_size: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.backbone = BiLSTM(ENCODING_WIDTH, hidden_size, rng=rng)
+        width = 2 * hidden_size
+        # Per-position cut score (cut before layer i) and a no-partition
+        # score read from the last hidden state.
+        self.last_entropy: Optional[Tensor] = None
+        self.cut_head = Tensor(
+            xavier_uniform((width, 1), width, 1, rng), requires_grad=True,
+            name="partition.cut_head",
+        )
+        self.keep_head = Tensor(
+            xavier_uniform((width, 1), width, 1, rng), requires_grad=True,
+            name="partition.keep_head",
+        )
+        # Favor "no partition" at initialization: a uniform policy over L+1
+        # cut positions almost never keeps a block whole (probability
+        # 1/(L+1)), starving the compression controller of full-block
+        # samples — the same pathology the paper's fair-chance exploration
+        # counters at tree level.
+        self.bias = Tensor(np.array([0.0, 2.0]), requires_grad=True, name="partition.bias")
+
+    def logits(self, spec: ModelSpec, bandwidth_mbps: float) -> Tensor:
+        """The L+1 logits for a block spec: [cut@0 .. cut@L-1, no-partition]."""
+        encoded = Tensor(encode_model(spec, bandwidth_mbps))
+        hidden = self.backbone(encoded)[0]  # (T, width)
+        cut_scores = hidden.matmul(self.cut_head).reshape(-1) + self.bias[0]
+        keep_score = hidden[-1].reshape(1, -1).matmul(self.keep_head).reshape(-1) + self.bias[1]
+        return concatenate([cut_scores, keep_score], axis=0)
+
+    def sample(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+        force_no_partition: bool = False,
+    ) -> Tuple[int, Tensor]:
+        """Sample a cut: returns (cut_index, log-prob).
+
+        ``cut_index`` in [0, L) cuts before that layer (cloud takes
+        [cut_index, L)); ``NO_PARTITION`` keeps the block on the edge.
+        ``force_no_partition`` implements the fair-chance exploration
+        override (Sec. VII-A) — the log-prob of the forced choice is still
+        returned so the update remains on-policy for the chosen action.
+        """
+        logits = self.logits(spec, bandwidth_mbps)
+        length = len(spec)
+        if force_no_partition:
+            log_probs = F.log_softmax(logits, axis=-1)
+            return NO_PARTITION, log_probs[length]
+        index, log_prob, self.last_entropy = _sample_from_logits(logits, rng)
+        if index == length:
+            return NO_PARTITION, log_prob
+        return index, log_prob
+
+    def greedy(self, spec: ModelSpec, bandwidth_mbps: float) -> int:
+        """Arg-max cut choice (used after training converges)."""
+        logits = self.logits(spec, bandwidth_mbps).data
+        index = int(np.argmax(logits))
+        return NO_PARTITION if index == len(spec) else index
+
+
+class CompressionController(Module):
+    """Chooses a compression technique for every layer of a block."""
+
+    def __init__(
+        self,
+        registry: TechniqueRegistry,
+        hidden_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed + 1)
+        self.registry = registry
+        self.technique_names: List[str] = list(registry.names)
+        self.backbone = BiLSTM(ENCODING_WIDTH, hidden_size, rng=rng)
+        width = 2 * hidden_size
+        count = len(self.technique_names)
+        self.last_entropies: List[Tensor] = []
+        self.head = Tensor(
+            xavier_uniform((width, count), width, count, rng),
+            requires_grad=True,
+            name="compression.head",
+        )
+        # Start near the identity: a fresh uniform policy would compress
+        # ~80 % of layers per sample (4 of 5 techniques transform), and such
+        # over-compressed candidates score so poorly the search never sees
+        # the sparse plans that actually win. Biasing the ID logit makes
+        # early samples compress ~1-3 layers, the paper's operating regime.
+        bias = np.zeros(count)
+        if "ID" in self.technique_names:
+            bias[self.technique_names.index("ID")] = 2.0
+        self.head_bias = Tensor(bias, requires_grad=True, name="compression.head_bias")
+
+    def sample(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+    ) -> Tuple[List[str], List[Tensor]]:
+        """Sample one technique name per layer; returns (names, log-probs).
+
+        Inapplicable techniques are masked; layers where only the identity
+        applies are skipped (their action carries no gradient signal).
+        """
+        encoded = Tensor(encode_model(spec, bandwidth_mbps))
+        hidden = self.backbone(encoded)[0]  # (T, width)
+        names: List[str] = []
+        log_probs: List[Tensor] = []
+        entropies: List[Tensor] = []
+        for i in range(len(spec)):
+            applicable = {
+                t.name for t in self.registry.applicable(spec, i)
+            }
+            mask = np.array([n in applicable for n in self.technique_names])
+            if mask.sum() <= 1:
+                names.append("ID")
+                continue
+            logits = hidden[i].reshape(1, -1).matmul(self.head).reshape(-1) + self.head_bias
+            index, log_prob, entropy = _sample_from_logits(logits, rng, mask=mask)
+            names.append(self.technique_names[index])
+            log_probs.append(log_prob)
+            entropies.append(entropy)
+        self.last_entropies = entropies
+        return names, log_probs
+
+    def greedy(self, spec: ModelSpec, bandwidth_mbps: float) -> List[str]:
+        """Arg-max technique per layer (used after training converges)."""
+        encoded = Tensor(encode_model(spec, bandwidth_mbps))
+        hidden = self.backbone(encoded)[0]
+        names = []
+        for i in range(len(spec)):
+            applicable = {t.name for t in self.registry.applicable(spec, i)}
+            mask = np.array([n in applicable for n in self.technique_names])
+            if mask.sum() <= 1:
+                names.append("ID")
+                continue
+            logits = (
+                hidden[i].reshape(1, -1).matmul(self.head).reshape(-1) + self.head_bias
+            ).data
+            logits = np.where(mask, logits, -1e9)
+            names.append(self.technique_names[int(np.argmax(logits))])
+        return names

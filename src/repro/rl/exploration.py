@@ -1,0 +1,63 @@
+"""Exploration with fair chances — Sec. VII-A.
+
+A randomly initialized partition controller partitions uniformly, so a block
+at tree depth n is only reached with probability ~(1/(L+1))^(n−1): deep
+blocks are almost never explored and the search collapses to a local optimum
+in the first few layers. The countermeasure: "force the partition controller
+to assign a n-th layer block with none-partitioning action with
+α · (N − n)/N probability, where α is a decaying factor and reduces to zero
+after the first several episodes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FairChanceSchedule:
+    """Decaying forced no-partition probability per block depth.
+
+    Parameters
+    ----------
+    alpha:
+        Initial α.
+    decay_episodes:
+        Episodes over which α decays linearly to zero.
+    num_blocks:
+        N, the total block count of the tree.
+    """
+
+    alpha: float = 0.9
+    decay_episodes: int = 20
+    num_blocks: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.decay_episodes < 1:
+            raise ValueError("decay_episodes must be >= 1")
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+
+    def current_alpha(self, episode: int) -> float:
+        """α after ``episode`` completed episodes (linear decay to zero)."""
+        remaining = max(0.0, 1.0 - episode / self.decay_episodes)
+        return self.alpha * remaining
+
+    def force_probability(self, episode: int, block_index: int) -> float:
+        """P(force no-partition) for the block at depth ``block_index`` (0-based).
+
+        The paper's n is 1-based: P = α · (N − n)/N, so the root block gets
+        the strongest push towards exploring deeper blocks and the last
+        block none.
+        """
+        n = block_index + 1
+        return self.current_alpha(episode) * (self.num_blocks - n) / self.num_blocks
+
+    def should_force(
+        self, episode: int, block_index: int, rng: np.random.Generator
+    ) -> bool:
+        return rng.random() < self.force_probability(episode, block_index)

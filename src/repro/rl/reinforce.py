@@ -1,0 +1,112 @@
+"""Monte-Carlo policy gradient with a moving-average baseline — Sec. VI-D.
+
+    ∇J(θ) = ∇ log πθ(s, a) · (G_t − b)                       (Eqn. 10)
+
+``b`` is "an exponential moving average of the previous rewards", the
+standard variance-reduction baseline. One :class:`ReinforceTrainer` per
+controller: it accumulates the episode's (log-prob, reward) pairs and
+applies a single gradient step per episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+
+
+class EMABaseline:
+    """Exponential moving average of observed returns."""
+
+    def __init__(self, decay: float = 0.8) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self.decay = decay
+        self.value: Optional[float] = None
+
+    def update(self, reward: float) -> float:
+        """Fold in a new return; returns the baseline *before* the update."""
+        previous = self.value if self.value is not None else reward
+        self.value = (
+            reward
+            if self.value is None
+            else self.decay * self.value + (1.0 - self.decay) * reward
+        )
+        return previous
+
+    def advantage(self, reward: float) -> float:
+        baseline = self.update(reward)
+        return reward - baseline
+
+
+class ReinforceTrainer:
+    """Applies Eqn. 10 updates to one controller."""
+
+    def __init__(
+        self,
+        controller: Module,
+        lr: float = 5e-3,
+        baseline_decay: float = 0.8,
+        reward_scale: float = 1.0,
+        max_grad_norm: float = 5.0,
+        entropy_coeff: float = 0.0,
+    ) -> None:
+        self.controller = controller
+        self.optimizer = Adam(controller.parameters(), lr=lr)
+        self.baseline = EMABaseline(baseline_decay)
+        self.reward_scale = reward_scale
+        self.max_grad_norm = max_grad_norm
+        self.entropy_coeff = entropy_coeff
+        self.history: List[float] = []
+
+    def update(
+        self,
+        log_probs: Sequence[Tensor],
+        reward: float,
+        entropies: Optional[Sequence[Tensor]] = None,
+    ) -> float:
+        """One episode update; returns the advantage used.
+
+        ``log_probs`` are the log-probabilities of every action the
+        controller took this episode (the Monte-Carlo return ``G`` is the
+        single terminal reward, since intermediate states earn nothing and
+        γ = 1). ``entropies`` (if given and ``entropy_coeff > 0``) add the
+        standard exploration bonus, discouraging premature collapse of the
+        action distribution.
+        """
+        self.history.append(reward)
+        advantage = self.baseline.advantage(reward) * self.reward_scale
+        if not log_probs and not (entropies and self.entropy_coeff):
+            return advantage
+        loss = None
+        for log_prob in log_probs:
+            term = log_prob * (-advantage)
+            loss = term if loss is None else loss + term
+        if entropies and self.entropy_coeff > 0.0:
+            for entropy in entropies:
+                term = entropy * (-self.entropy_coeff)
+                loss = term if loss is None else loss + term
+        if loss is None:
+            return advantage
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.clip_grad_norm(self.max_grad_norm)
+        self.optimizer.step()
+        return advantage
+
+    def update_many(
+        self, episodes: Sequence[Tuple[Sequence[Tensor], float]]
+    ) -> None:
+        """Batch of (log_probs, reward) episodes, applied one step each.
+
+        Used by the tree search, where every node contributes an
+        action/reward pair after the backward-estimation stage (Alg. 3
+        lines 32–34).
+        """
+        for log_probs, reward in episodes:
+            self.update(log_probs, reward)

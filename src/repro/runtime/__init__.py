@@ -1,0 +1,35 @@
+"""Online runtime: decision engine, emulation and field-test harnesses."""
+
+from .emulator import EmulationResult, run_emulation
+from .engine import (
+    FixedPlan,
+    InferenceOutcome,
+    InferencePlan,
+    RuntimeEnvironment,
+    TreePlan,
+)
+from .adaptation import QuantileForkMatcher, adaptive_probe
+from .regret import RegretReport, oracle_candidates, regret_analysis
+from .session import InferenceSession, SessionStats
+from .field import FieldConditions, fieldify, make_compute_noise, make_probe_noise
+
+__all__ = [
+    "QuantileForkMatcher",
+    "adaptive_probe",
+    "RegretReport",
+    "oracle_candidates",
+    "regret_analysis",
+    "InferenceSession",
+    "SessionStats",
+    "EmulationResult",
+    "run_emulation",
+    "FixedPlan",
+    "InferenceOutcome",
+    "InferencePlan",
+    "RuntimeEnvironment",
+    "TreePlan",
+    "FieldConditions",
+    "fieldify",
+    "make_compute_noise",
+    "make_probe_noise",
+]

@@ -1,0 +1,90 @@
+"""Online adaptation of the fork-matching thresholds.
+
+The model tree's forks are trained for K bandwidth *types* taken from the
+training trace's quartiles (Sec. VII Setup). At runtime the engine matches a
+live measurement to the nearest type by absolute distance (Alg. 2). That
+breaks when the environment drifts from the training scene — move from the
+WiFi the tree was trained on to a cellular link with half the bandwidth and
+*every* measurement maps to the "poor" fork, even at moments that are
+relatively excellent for the new link.
+
+:class:`QuantileForkMatcher` fixes this with rank statistics: it keeps a
+rolling window of recent measurements and matches a new measurement to a
+fork by its *quantile rank* within that window — "poor" and "good" become
+relative to the current environment, which is what the tree's branches
+actually encode (compress more when the network is at its bad end, offload
+when it is at its good end).
+
+Plug it into a :class:`~repro.runtime.session.InferenceSession` via
+``fork_matcher=``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+
+class QuantileForkMatcher:
+    """Rank-based fork selection over a rolling measurement window."""
+
+    def __init__(self, window: int = 100, warmup: int = 5) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.window = window
+        self.warmup = warmup
+        self._measurements: Deque[float] = deque(maxlen=window)
+
+    def update(self, measurement_mbps: float) -> None:
+        """Record a live bandwidth measurement."""
+        if measurement_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._measurements.append(measurement_mbps)
+
+    def fork(self, measurement_mbps: float, num_types: int) -> Optional[int]:
+        """Fork index for ``measurement_mbps``, or ``None`` during warmup.
+
+        The quantile rank of the measurement within the window is split
+        evenly across the K forks: rank < 1/K → fork 0 (the "poorest"
+        type), rank ≥ (K−1)/K → fork K−1.
+        """
+        if num_types < 1:
+            raise ValueError("num_types must be >= 1")
+        if len(self._measurements) < self.warmup:
+            return None
+        below = sum(1 for m in self._measurements if m < measurement_mbps)
+        rank = below / len(self._measurements)
+        index = int(rank * num_types)
+        return min(index, num_types - 1)
+
+    def observed(self) -> Sequence[float]:
+        return tuple(self._measurements)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+
+def adaptive_probe(
+    matcher: QuantileForkMatcher,
+    bandwidth_types: Sequence[float],
+):
+    """Wrap a tree's bandwidth types behind quantile-rank fork matching.
+
+    Returns a function mapping a raw measurement to the *representative
+    bandwidth of the fork the matcher selects*, so the unchanged Alg. 2
+    nearest-type matching inside :class:`~repro.runtime.engine.TreePlan`
+    lands exactly on that fork. During warmup the raw measurement passes
+    through (absolute matching).
+    """
+    types = sorted(bandwidth_types)
+
+    def probe(measurement_mbps: float) -> float:
+        matcher.update(measurement_mbps)
+        fork = matcher.fork(measurement_mbps, len(types))
+        if fork is None:
+            return measurement_mbps
+        return types[fork]
+
+    return probe

@@ -1,0 +1,248 @@
+"""Online inference execution over a live bandwidth trace.
+
+Two kinds of plan exist at runtime:
+
+- a **fixed plan** (Dynamic DNN Surgery, the optimal branch): edge half,
+  optional transfer, cloud half — decided once before inference;
+- a **tree plan** (the context-aware model tree): before each block the
+  engine measures the current bandwidth, matches it to a fork, and follows
+  that child — possibly deciding mid-inference to ship the rest to the
+  cloud (Alg. 2 / Sec. IV Overview).
+
+Both are executed against a :class:`RuntimeEnvironment` that owns the
+bandwidth trace, the transfer channel, the device profiles, and the
+accuracy evaluator. Latencies advance a simulated clock, so a bandwidth dip
+during an early block is *visible* to later fork decisions — the temporal
+effect the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..accuracy.base import AccuracyEvaluator
+from ..latency.devices import DeviceProfile
+from ..mdp.reward import RewardConfig
+from ..model.spec import ModelSpec
+from ..network.channel import Channel
+from ..network.traces import BandwidthTrace
+from ..search.compose import match_fork
+from ..search.tree import ModelTree, TreeNode
+
+
+@dataclass
+class RuntimeEnvironment:
+    """Everything an executing inference interacts with."""
+
+    edge: DeviceProfile
+    cloud: DeviceProfile
+    trace: BandwidthTrace
+    channel: Channel
+    accuracy: AccuracyEvaluator
+    reward: RewardConfig
+    compute_noise: Callable[[np.random.Generator], float] = lambda rng: 1.0
+    transfer_noise: Callable[[np.random.Generator], float] = lambda rng: 1.0
+    bandwidth_probe_noise: Callable[[float, float, np.random.Generator], float] = (
+        lambda true_mbps, t_ms, rng: true_mbps
+    )
+    #: Cloud-outage windows [(start_ms, end_ms), ...] — failure injection.
+    #: An offload attempted inside a window fails; the engine pays
+    #: ``outage_detect_ms`` to notice and falls back to finishing the
+    #: inference on the device (the device keeps the full base weights).
+    cloud_outages: Tuple[Tuple[float, float], ...] = ()
+    outage_detect_ms: float = 200.0
+
+    def cloud_available(self, t_ms: float) -> bool:
+        return not any(start <= t_ms < end for start, end in self.cloud_outages)
+
+    def edge_compute_ms(
+        self, spec: Optional[ModelSpec], rng: np.random.Generator
+    ) -> float:
+        if spec is None or not len(spec):
+            return 0.0
+        return self.edge.model_latency_ms(spec) * self.compute_noise(rng)
+
+    def cloud_compute_ms(
+        self, spec: Optional[ModelSpec], rng: np.random.Generator
+    ) -> float:
+        if spec is None or not len(spec):
+            return 0.0
+        return self.cloud.model_latency_ms(spec) * self.compute_noise(rng)
+
+    def transfer_time_ms(
+        self, size_bytes: float, start_ms: float, rng: np.random.Generator
+    ) -> float:
+        """Trace-integrated transfer time plus field-mode protocol noise."""
+        return self.channel.transfer_time_ms(size_bytes, start_ms) * (
+            self.transfer_noise(rng)
+        )
+
+    def probe_bandwidth(self, t_ms: float, rng: np.random.Generator) -> float:
+        """What the engine *believes* the bandwidth is at time ``t_ms``."""
+        true_mbps = self.trace.at(t_ms / 1e3)
+        return max(0.1, self.bandwidth_probe_noise(true_mbps, t_ms, rng))
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """One executed inference request."""
+
+    start_ms: float
+    latency_ms: float
+    accuracy: float
+    reward: float
+    offloaded: bool
+    edge_ms: float
+    transfer_ms: float
+    cloud_ms: float
+    fork_choices: Tuple[int, ...] = ()
+    fell_back: bool = False  # cloud outage forced an on-device fallback
+
+
+class InferencePlan(Protocol):
+    """Anything executable by the emulator."""
+
+    def execute(
+        self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
+    ) -> InferenceOutcome: ...
+
+
+@dataclass(frozen=True)
+class FixedPlan:
+    """A once-for-all (edge, cloud) split — surgery and optimal branch."""
+
+    edge_spec: Optional[ModelSpec]
+    cloud_spec: Optional[ModelSpec]
+
+    def execute(
+        self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
+    ) -> InferenceOutcome:
+        clock = start_ms
+        edge_ms = env.edge_compute_ms(self.edge_spec, rng)
+        clock += edge_ms
+        transfer_ms = 0.0
+        cloud_ms = 0.0
+        fell_back = False
+        offloaded = self.cloud_spec is not None and len(self.cloud_spec) > 0
+        if offloaded:
+            size = (
+                self.edge_spec.output_shape.num_bytes
+                if self.edge_spec is not None and len(self.edge_spec)
+                else self.cloud_spec.input_shape.num_bytes
+            )
+            if env.cloud_available(clock):
+                transfer_ms = env.transfer_time_ms(size, clock, rng)
+                clock += transfer_ms
+                cloud_ms = env.cloud_compute_ms(self.cloud_spec, rng)
+                clock += cloud_ms
+            else:
+                # Failure injection: the offload times out; finish locally.
+                fell_back = True
+                offloaded = False
+                clock += env.outage_detect_ms
+                fallback_ms = env.edge_compute_ms(self.cloud_spec, rng)
+                edge_ms += fallback_ms
+                clock += fallback_ms
+
+        composed = _concat(self.edge_spec, self.cloud_spec)
+        accuracy = env.accuracy.evaluate(composed)
+        latency = clock - start_ms
+        return InferenceOutcome(
+            start_ms=start_ms,
+            latency_ms=latency,
+            accuracy=accuracy,
+            reward=env.reward.reward(accuracy, latency),
+            offloaded=offloaded,
+            edge_ms=edge_ms,
+            transfer_ms=transfer_ms,
+            cloud_ms=cloud_ms,
+            fell_back=fell_back,
+        )
+
+
+@dataclass(frozen=True)
+class TreePlan:
+    """Walk the model tree per measured bandwidth (Alg. 2), block by block."""
+
+    tree: ModelTree
+
+    def execute(
+        self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
+    ) -> InferenceOutcome:
+        clock = start_ms
+        node = self.tree.root
+        edge_spec: Optional[ModelSpec] = None
+        edge_ms_total = 0.0
+        forks: List[int] = []
+
+        while True:
+            if node.edge_spec is not None and len(node.edge_spec):
+                block_ms = env.edge_compute_ms(node.edge_spec, rng)
+                edge_ms_total += block_ms
+                clock += block_ms
+                edge_spec = (
+                    node.edge_spec
+                    if edge_spec is None
+                    else edge_spec.concatenate(node.edge_spec)
+                )
+            if node.partitioned or not node.children:
+                break
+            measured = env.probe_bandwidth(clock, rng)
+            fork = match_fork(measured, self.tree.bandwidth_types)
+            fork = min(fork, len(node.children) - 1)
+            forks.append(fork)
+            node = node.children[fork]
+
+        transfer_ms = 0.0
+        cloud_ms = 0.0
+        fell_back = False
+        offloaded = node.cloud_spec is not None and len(node.cloud_spec) > 0
+        if offloaded:
+            size = (
+                edge_spec.output_shape.num_bytes
+                if edge_spec is not None and len(edge_spec)
+                else node.cloud_spec.input_shape.num_bytes
+            )
+            if env.cloud_available(clock):
+                transfer_ms = env.transfer_time_ms(size, clock, rng)
+                clock += transfer_ms
+                cloud_ms = env.cloud_compute_ms(node.cloud_spec, rng)
+                clock += cloud_ms
+            else:
+                fell_back = True
+                offloaded = False
+                clock += env.outage_detect_ms
+                fallback_ms = env.edge_compute_ms(node.cloud_spec, rng)
+                edge_ms_total += fallback_ms
+                clock += fallback_ms
+
+        composed = _concat(edge_spec, node.cloud_spec)
+        accuracy = env.accuracy.evaluate(composed)
+        latency = clock - start_ms
+        return InferenceOutcome(
+            start_ms=start_ms,
+            latency_ms=latency,
+            accuracy=accuracy,
+            reward=env.reward.reward(accuracy, latency),
+            offloaded=offloaded,
+            edge_ms=edge_ms_total,
+            transfer_ms=transfer_ms,
+            cloud_ms=cloud_ms,
+            fork_choices=tuple(forks),
+            fell_back=fell_back,
+        )
+
+
+def _concat(
+    edge_spec: Optional[ModelSpec], cloud_spec: Optional[ModelSpec]
+) -> ModelSpec:
+    if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
+        return edge_spec.concatenate(cloud_spec, name="composed")
+    if edge_spec is not None and len(edge_spec):
+        return edge_spec
+    if cloud_spec is not None and len(cloud_spec):
+        return cloud_spec
+    raise ValueError("plan has neither edge nor cloud model")

@@ -1,0 +1,93 @@
+"""Field-test harness — Table V.
+
+The paper's field numbers differ from emulation because of "the inaccuracy
+of our latency model and a coarse estimation of network conditions"
+(Sec. VII-B3). Real devices are unavailable offline (DESIGN.md §2), so this
+harness injects exactly those two error sources into the emulator:
+
+- **latency-model error** — real executions carry scheduling/memory/thermal
+  overheads the MACC model misses, so compute times are scaled by a
+  lognormal factor with a positive bias (field latencies in Table V average
+  ~1.5–1.8× emulation) plus per-request jitter;
+- **coarse bandwidth estimation** — the engine sees a *stale window mean*
+  of the trace (what a runtime probe can actually measure) perturbed by
+  multiplicative noise, so tree forks are sometimes wrong, exactly like the
+  paper's engine mis-classifying a fluctuating link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..network.traces import BandwidthTrace
+from .engine import RuntimeEnvironment
+
+
+@dataclass(frozen=True)
+class FieldConditions:
+    """Error magnitudes of a field deployment."""
+
+    compute_bias: float = 1.5  # median real/estimated compute ratio
+    compute_jitter: float = 0.25  # lognormal sigma of the compute factor
+    transfer_bias: float = 1.3  # protocol overheads the Eqn. 6 model misses
+    transfer_jitter: float = 0.30  # per-transfer variability (retransmits)
+    probe_window_s: float = 1.0  # bandwidth estimator's averaging window
+    probe_staleness_s: float = 0.5  # the window ends this far in the past
+    probe_noise: float = 0.25  # multiplicative measurement noise (sigma)
+
+
+def _lognormal_factor(bias: float, jitter: float) -> Callable[[np.random.Generator], float]:
+    mu = float(np.log(bias))
+
+    def noise(rng: np.random.Generator) -> float:
+        return float(np.exp(rng.normal(mu, jitter)))
+
+    return noise
+
+
+def make_compute_noise(
+    conditions: FieldConditions,
+) -> Callable[[np.random.Generator], float]:
+    """Per-execution compute-latency factor (bias × lognormal jitter)."""
+    return _lognormal_factor(conditions.compute_bias, conditions.compute_jitter)
+
+
+def make_transfer_noise(
+    conditions: FieldConditions,
+) -> Callable[[np.random.Generator], float]:
+    """Per-transfer protocol-overhead factor (bias × lognormal jitter)."""
+    return _lognormal_factor(conditions.transfer_bias, conditions.transfer_jitter)
+
+
+def make_probe_noise(
+    trace: BandwidthTrace, conditions: FieldConditions
+) -> Callable[[float, float, np.random.Generator], float]:
+    """Coarse, stale, noisy bandwidth estimator."""
+
+    def probe(true_mbps: float, t_ms: float, rng: np.random.Generator) -> float:
+        t_s = max(0.0, t_ms / 1e3 - conditions.probe_staleness_s - conditions.probe_window_s)
+        window = trace.window_mean(t_s, conditions.probe_window_s)
+        return window * float(np.exp(rng.normal(0.0, conditions.probe_noise)))
+
+    return probe
+
+
+def fieldify(
+    env: RuntimeEnvironment, conditions: FieldConditions | None = None
+) -> RuntimeEnvironment:
+    """Return a copy of ``env`` with field-test error sources installed."""
+    conditions = conditions or FieldConditions()
+    return RuntimeEnvironment(
+        edge=env.edge,
+        cloud=env.cloud,
+        trace=env.trace,
+        channel=env.channel,
+        accuracy=env.accuracy,
+        reward=env.reward,
+        compute_noise=make_compute_noise(conditions),
+        transfer_noise=make_transfer_noise(conditions),
+        bandwidth_probe_noise=make_probe_noise(env.trace, conditions),
+    )

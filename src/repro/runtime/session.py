@@ -1,0 +1,138 @@
+"""A stateful inference session — the deployed runtime's front door.
+
+Wraps a trained model tree, a runtime environment and (optionally) a
+bandwidth predictor behind the API an application would actually call::
+
+    session = InferenceSession(tree, env, predictor=EWMAPredictor())
+    outcome = session.infer()          # one request, now
+    outcome = session.infer(at_ms=500) # or at an explicit trace time
+    print(session.stats())
+
+The session advances its own clock (requests are sequential on the device),
+feeds every bandwidth measurement into the predictor so fork decisions use
+the *smoothed* belief rather than a single noisy probe, and accumulates the
+running statistics a monitoring endpoint would export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..network.predictor import BandwidthPredictor
+from ..search.tree import ModelTree
+from .adaptation import QuantileForkMatcher, adaptive_probe
+from .emulator import EmulationResult
+from .engine import InferenceOutcome, RuntimeEnvironment, TreePlan
+
+
+@dataclass
+class SessionStats:
+    """Aggregates exported by :meth:`InferenceSession.stats`."""
+
+    requests: int
+    mean_latency_ms: float
+    p95_latency_ms: float
+    mean_accuracy: float
+    mean_reward: float
+    offload_rate: float
+    fallback_rate: float
+
+
+class InferenceSession:
+    """Sequential inference over a model tree with predictive fork probing."""
+
+    def __init__(
+        self,
+        tree: ModelTree,
+        env: RuntimeEnvironment,
+        predictor: Optional[BandwidthPredictor] = None,
+        fork_matcher: Optional[QuantileForkMatcher] = None,
+        seed: int = 0,
+    ) -> None:
+        self.tree = tree
+        self.env = env
+        self.predictor = predictor
+        self.fork_matcher = fork_matcher
+        self._adaptive = (
+            adaptive_probe(fork_matcher, tree.bandwidth_types)
+            if fork_matcher is not None
+            else None
+        )
+        self.rng = np.random.default_rng(seed)
+        self.clock_ms = 0.0
+        self.outcomes: List[InferenceOutcome] = []
+        self._plan = TreePlan(tree)
+
+    def infer(self, at_ms: Optional[float] = None) -> InferenceOutcome:
+        """Run one inference; returns its outcome and advances the clock.
+
+        ``at_ms`` pins the request to a trace time; by default requests run
+        back-to-back from the previous completion.
+        """
+        start = self.clock_ms if at_ms is None else max(at_ms, self.clock_ms)
+        if self.predictor is not None or self._adaptive is not None:
+            env = self._predictive_env()
+        else:
+            env = self.env
+        outcome = self._plan.execute(start, env, self.rng)
+        self.clock_ms = start + outcome.latency_ms
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _predictive_env(self) -> RuntimeEnvironment:
+        """The same environment, with probes routed through the predictor."""
+        predictor = self.predictor
+        base_probe = self.env.bandwidth_probe_noise
+        trace = self.env.trace
+
+        adaptive = self._adaptive
+
+        def predictive_probe(
+            true_mbps: float, t_ms: float, rng: np.random.Generator
+        ) -> float:
+            measured = max(0.1, base_probe(true_mbps, t_ms, rng))
+            if predictor is not None:
+                predictor.update(measured)
+                measured = predictor.predict()
+            if adaptive is not None:
+                measured = adaptive(measured)
+            return measured
+
+        return RuntimeEnvironment(
+            edge=self.env.edge,
+            cloud=self.env.cloud,
+            trace=trace,
+            channel=self.env.channel,
+            accuracy=self.env.accuracy,
+            reward=self.env.reward,
+            compute_noise=self.env.compute_noise,
+            transfer_noise=self.env.transfer_noise,
+            bandwidth_probe_noise=predictive_probe,
+            cloud_outages=self.env.cloud_outages,
+            outage_detect_ms=self.env.outage_detect_ms,
+        )
+
+    def stats(self) -> SessionStats:
+        """Running statistics over every request served so far."""
+        if not self.outcomes:
+            raise RuntimeError("no inferences have run yet")
+        result = EmulationResult(outcomes=list(self.outcomes))
+        return SessionStats(
+            requests=len(self.outcomes),
+            mean_latency_ms=result.mean_latency_ms,
+            p95_latency_ms=result.p95_latency_ms,
+            mean_accuracy=result.mean_accuracy,
+            mean_reward=result.mean_reward,
+            offload_rate=result.offload_rate,
+            fallback_rate=float(
+                np.mean([o.fell_back for o in self.outcomes])
+            ),
+        )
+
+    def reset(self) -> None:
+        """Forget history and rewind the clock (the trace is unchanged)."""
+        self.clock_ms = 0.0
+        self.outcomes.clear()

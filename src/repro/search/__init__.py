@@ -1,0 +1,66 @@
+"""Search strategies: Alg. 1 branch, Alg. 3 tree, and the baselines."""
+
+from .baselines import (
+    SurgeryResult,
+    dynamic_dnn_surgery,
+    exhaustive_branch_search,
+    exhaustive_chain_partition,
+)
+from .branch import (
+    BranchPlan,
+    BranchSearchResult,
+    optimal_branch_search,
+    realize_branch_plan,
+)
+from .compose import ComposedModel, compose_from_tree, match_fork
+from .context import CandidateResult, SearchContext
+from .plan import AppliedPlan, apply_compression_plan
+from .serialize import (
+    load_policy,
+    load_tree,
+    save_policy,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from .policies import EpsilonGreedyPolicy, RLPolicy, RandomPolicy, SearchPolicy
+from .tree import (
+    ModelTree,
+    TreeNode,
+    TreeSearchConfig,
+    TreeSearchResult,
+    model_tree_search,
+)
+
+__all__ = [
+    "load_policy",
+    "load_tree",
+    "save_policy",
+    "save_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+    "SurgeryResult",
+    "dynamic_dnn_surgery",
+    "exhaustive_branch_search",
+    "exhaustive_chain_partition",
+    "BranchPlan",
+    "BranchSearchResult",
+    "optimal_branch_search",
+    "realize_branch_plan",
+    "ComposedModel",
+    "compose_from_tree",
+    "match_fork",
+    "CandidateResult",
+    "SearchContext",
+    "AppliedPlan",
+    "apply_compression_plan",
+    "EpsilonGreedyPolicy",
+    "RLPolicy",
+    "RandomPolicy",
+    "SearchPolicy",
+    "ModelTree",
+    "TreeNode",
+    "TreeSearchConfig",
+    "TreeSearchResult",
+    "model_tree_search",
+]

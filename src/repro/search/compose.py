@@ -1,0 +1,78 @@
+"""Composing a DNN from a model tree at runtime — Algorithm 2.
+
+Starting at the root, the decision engine concatenates the root block, then
+repeatedly measures the current bandwidth, matches it to the k-th fork, and
+concatenates the k-th child block — until it reaches a childless node (fully
+on-edge model) or a partitioned node (remaining computation ships to the
+cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.spec import ModelSpec
+from .tree import ModelTree, TreeNode
+
+#: Called before each block with the block index; returns measured Mbps.
+BandwidthProbe = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ComposedModel:
+    """The result of one Alg. 2 walk."""
+
+    path: Tuple[TreeNode, ...]
+    edge_spec: Optional[ModelSpec]
+    cloud_spec: Optional[ModelSpec]
+    measured_bandwidths: Tuple[float, ...]
+
+    @property
+    def offloads(self) -> bool:
+        return self.cloud_spec is not None and len(self.cloud_spec) > 0
+
+    def full_spec(self) -> ModelSpec:
+        if self.edge_spec is None or not len(self.edge_spec):
+            assert self.cloud_spec is not None
+            return self.cloud_spec
+        if self.cloud_spec is None or not len(self.cloud_spec):
+            return self.edge_spec
+        return self.edge_spec.concatenate(self.cloud_spec, name="composed")
+
+
+def match_fork(bandwidth_mbps: float, bandwidth_types: List[float]) -> int:
+    """Match a live measurement to the nearest configured bandwidth type."""
+    distances = [abs(bandwidth_mbps - t) for t in bandwidth_types]
+    return int(np.argmin(distances))
+
+
+def compose_from_tree(tree: ModelTree, probe: BandwidthProbe) -> ComposedModel:
+    """Algorithm 2: grow a model from the tree, fork by measured bandwidth."""
+    node = tree.root
+    path: List[TreeNode] = [node]
+    measured: List[float] = []
+    edge_spec: Optional[ModelSpec] = None
+
+    while True:
+        if node.edge_spec is not None and len(node.edge_spec):
+            edge_spec = (
+                node.edge_spec
+                if edge_spec is None
+                else edge_spec.concatenate(node.edge_spec)
+            )
+        if node.partitioned or not node.children:
+            return ComposedModel(
+                path=tuple(path),
+                edge_spec=edge_spec,
+                cloud_spec=node.cloud_spec,
+                measured_bandwidths=tuple(measured),
+            )
+        bandwidth = probe(node.block_index + 1)
+        measured.append(bandwidth)
+        fork = match_fork(bandwidth, tree.bandwidth_types)
+        fork = min(fork, len(node.children) - 1)
+        node = node.children[fork]
+        path.append(node)

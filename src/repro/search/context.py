@@ -1,0 +1,106 @@
+"""Shared evaluation context for all search strategies.
+
+Bundles everything a candidate evaluation needs — the base model, the
+technique registry, the latency estimator (Eqns. 3–6), the accuracy
+evaluator, and the reward normalization (Eqn. 7) — behind one
+:meth:`SearchContext.evaluate` call, with a memoization pool over
+(edge, cloud, bandwidth) triples (Sec. VII-A: "a memory pool storing the
+hash code of searched models to avoid redundant computations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..accuracy.base import AccuracyEvaluator, MemoizedEvaluator
+from ..compression.base import TechniqueRegistry
+from ..latency.compute import LatencyBreakdown, LatencyEstimator
+from ..mdp.reward import RewardConfig
+from ..model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Evaluation of one (edge model, cloud model, bandwidth) candidate."""
+
+    edge_spec: Optional[ModelSpec]
+    cloud_spec: Optional[ModelSpec]
+    bandwidth_mbps: float
+    accuracy: float
+    latency: LatencyBreakdown
+    reward: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency.total_ms
+
+
+class SearchContext:
+    """Evaluates candidates and owns the memoization pool."""
+
+    def __init__(
+        self,
+        base: ModelSpec,
+        registry: TechniqueRegistry,
+        estimator: LatencyEstimator,
+        accuracy: AccuracyEvaluator,
+        reward: RewardConfig,
+    ) -> None:
+        self.base = base
+        self.registry = registry
+        self.estimator = estimator
+        self.accuracy = (
+            accuracy
+            if isinstance(accuracy, MemoizedEvaluator)
+            else MemoizedEvaluator(accuracy)
+        )
+        self.reward_config = reward
+        self._pool: Dict[Tuple[str, str, float], CandidateResult] = {}
+        self.evaluations = 0
+
+    def evaluate(
+        self,
+        edge_spec: Optional[ModelSpec],
+        cloud_spec: Optional[ModelSpec],
+        bandwidth_mbps: float,
+    ) -> CandidateResult:
+        """Reward (Eqn. 7) of running ``edge_spec`` locally and shipping the
+        rest to ``cloud_spec`` at constant ``bandwidth_mbps``."""
+        key = (
+            edge_spec.fingerprint() if edge_spec is not None else "",
+            cloud_spec.fingerprint() if cloud_spec is not None else "",
+            round(bandwidth_mbps, 3),
+        )
+        if key in self._pool:
+            return self._pool[key]
+        self.evaluations += 1
+
+        if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
+            composed = edge_spec.concatenate(cloud_spec, name="composed")
+        elif edge_spec is not None and len(edge_spec):
+            composed = edge_spec
+        elif cloud_spec is not None and len(cloud_spec):
+            composed = cloud_spec
+        else:
+            raise ValueError("candidate has neither edge nor cloud model")
+
+        accuracy = self.accuracy.evaluate(composed)
+        breakdown = self.estimator.estimate_composed(
+            edge_spec, cloud_spec, bandwidth_mbps
+        )
+        reward = self.reward_config.reward(accuracy, breakdown.total_ms)
+        result = CandidateResult(
+            edge_spec=edge_spec,
+            cloud_spec=cloud_spec,
+            bandwidth_mbps=bandwidth_mbps,
+            accuracy=accuracy,
+            latency=breakdown,
+            reward=reward,
+        )
+        self._pool[key] = result
+        return result
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)

@@ -1,0 +1,172 @@
+"""Three-tier edge → fog → cloud placement — extension from the citations.
+
+The paper's related work (Lin et al., "Cost-Driven Offloading for DNN-based
+Applications over Cloud, Edge and End Devices") extends partitioning to a
+hierarchy with fog nodes between the device and the cloud. This module
+generalizes Eqn. 3 to that setting::
+
+    T = T_edge + Tt(edge→fog) + T_fog + Tt(fog→cloud) + T_cloud
+
+with two cut points ``0 ≤ p ≤ q ≤ L``: layers ``[0, p)`` on the device,
+``[p, q)`` on the fog node, ``[q, L)`` on the cloud. The edge→fog link is
+the wireless access link (the scene's bandwidth); fog→cloud is a backhaul
+link (faster, lower setup). Degenerate cuts recover the two-tier cases:
+``p == q`` skips the fog, ``q == L`` never reaches the cloud.
+
+The optimal double cut is found exactly (the chain has only O(L²) cuts —
+Lin et al. need a genetic algorithm because their cost model spans many
+devices; a single chain does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..latency.devices import DeviceProfile
+from ..latency.transfer import TransferModel
+from ..model.spec import ModelSpec
+
+#: A typical fog node: an edge server — far better than the device, below
+#: the datacenter GPU.
+FOG_SERVER = DeviceProfile(
+    name="fog_edge_server",
+    conv_coeff_ms=3.0e-8,
+    fc_coeff_ms=5.0e-8,
+    conv_kernel_coeffs_ms={1: 2.7e-8, 3: 3.0e-8, 5: 3.3e-8},
+    dispatch_overhead_ms=0.3,
+    min_primitive_ms=0.05,
+    is_gpu=True,
+)
+
+#: Wired backhaul between fog and cloud: fast and low-setup.
+BACKHAUL_TRANSFER = TransferModel(
+    setup_ms=3.0, per_byte_overhead_ms=5e-6, setup_per_inverse_mbps_ms=5.0
+)
+
+
+@dataclass(frozen=True)
+class ThreeTierBreakdown:
+    """The five terms of the generalized Eqn. 3, in milliseconds."""
+
+    edge_ms: float
+    access_transfer_ms: float
+    fog_ms: float
+    backhaul_transfer_ms: float
+    cloud_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.edge_ms
+            + self.access_transfer_ms
+            + self.fog_ms
+            + self.backhaul_transfer_ms
+            + self.cloud_ms
+        )
+
+
+@dataclass(frozen=True)
+class ThreeTierPlan:
+    """A double cut (p, q) and its realized latency."""
+
+    edge_cut: int  # p: device keeps [0, p)
+    fog_cut: int  # q: fog keeps [p, q), cloud gets [q, L)
+    length: int  # L: total layer count
+    breakdown: ThreeTierBreakdown
+
+    @property
+    def uses_fog(self) -> bool:
+        return self.fog_cut > self.edge_cut
+
+    @property
+    def uses_cloud(self) -> bool:
+        return self.fog_cut < self.length
+
+
+class ThreeTierEstimator:
+    """Latency model over a device / fog / cloud hierarchy."""
+
+    def __init__(
+        self,
+        edge: DeviceProfile,
+        fog: DeviceProfile,
+        cloud: DeviceProfile,
+        access: TransferModel,
+        backhaul: TransferModel = BACKHAUL_TRANSFER,
+    ) -> None:
+        self.edge = edge
+        self.fog = fog
+        self.cloud = cloud
+        self.access = access
+        self.backhaul = backhaul
+
+    def estimate(
+        self,
+        spec: ModelSpec,
+        edge_cut: int,
+        fog_cut: int,
+        access_mbps: float,
+        backhaul_mbps: float,
+    ) -> ThreeTierBreakdown:
+        """Latency of the (p, q) double cut at the given link bandwidths."""
+        length = len(spec)
+        if not 0 <= edge_cut <= fog_cut <= length:
+            raise ValueError(
+                f"need 0 <= p <= q <= L, got p={edge_cut}, q={fog_cut}, L={length}"
+            )
+        edge_part = spec.slice(0, edge_cut)
+        fog_part = spec.slice(edge_cut, fog_cut)
+        cloud_part = spec.slice(fog_cut, length)
+
+        edge_ms = self.edge.model_latency_ms(edge_part) if len(edge_part) else 0.0
+        fog_ms = self.fog.model_latency_ms(fog_part) if len(fog_part) else 0.0
+        cloud_ms = self.cloud.model_latency_ms(cloud_part) if len(cloud_part) else 0.0
+
+        access_ms = 0.0
+        if fog_cut > edge_cut or fog_cut < length:
+            # Something leaves the device: the activation after layer p-1.
+            if edge_cut < length:
+                access_ms = self.access.latency_ms(
+                    spec.feature_bytes_after(edge_cut - 1), access_mbps
+                )
+        backhaul_ms = 0.0
+        if fog_cut < length and fog_cut >= edge_cut:
+            if fog_cut > edge_cut:
+                # Fog ran some layers; ship its output onward.
+                backhaul_ms = self.backhaul.latency_ms(
+                    spec.feature_bytes_after(fog_cut - 1), backhaul_mbps
+                )
+            elif edge_cut < length:
+                # Fog skipped entirely (p == q < L): the activation relays
+                # straight through the fog onto the backhaul.
+                backhaul_ms = self.backhaul.latency_ms(
+                    spec.feature_bytes_after(edge_cut - 1), backhaul_mbps
+                )
+        return ThreeTierBreakdown(
+            edge_ms=edge_ms,
+            access_transfer_ms=access_ms,
+            fog_ms=fog_ms,
+            backhaul_transfer_ms=backhaul_ms,
+            cloud_ms=cloud_ms,
+        )
+
+
+def optimal_three_tier_partition(
+    spec: ModelSpec,
+    estimator: ThreeTierEstimator,
+    access_mbps: float,
+    backhaul_mbps: float = 200.0,
+) -> ThreeTierPlan:
+    """Exhaustive optimal (p, q) double cut minimizing total latency."""
+    length = len(spec)
+    best: Optional[Tuple[float, int, int, ThreeTierBreakdown]] = None
+    for p in range(length + 1):
+        for q in range(p, length + 1):
+            breakdown = estimator.estimate(spec, p, q, access_mbps, backhaul_mbps)
+            key = breakdown.total_ms
+            if best is None or key < best[0]:
+                best = (key, p, q, breakdown)
+    assert best is not None
+    _, p, q, breakdown = best
+    return ThreeTierPlan(edge_cut=p, fog_cut=q, length=length, breakdown=breakdown)

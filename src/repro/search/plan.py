@@ -1,0 +1,91 @@
+"""Applying a per-layer compression plan to a model spec.
+
+The compression controller emits one technique name per layer. Applying
+those techniques changes layer indices (C1 replaces one conv with two
+layers, F3 collapses the whole classifier range), so this module owns the
+index bookkeeping: techniques are applied in ascending layer order with a
+running shift, techniques that became inapplicable after an earlier
+transform are skipped, and layers consumed by an F3 range rewrite are not
+transformed twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..compression.base import CompressionError, TechniqueRegistry
+from ..model.spec import LayerType, ModelSpec
+
+
+@dataclass(frozen=True)
+class AppliedPlan:
+    """Result of applying a compression plan."""
+
+    spec: ModelSpec
+    applied: Tuple[Tuple[int, str], ...]  # (base layer index, technique)
+    skipped: Tuple[Tuple[int, str], ...]
+
+
+def apply_compression_plan(
+    spec: ModelSpec,
+    names: Sequence[str],
+    registry: TechniqueRegistry,
+) -> AppliedPlan:
+    """Apply ``names[i]`` to layer ``i`` of ``spec`` (``"ID"`` = keep).
+
+    Returns the transformed spec plus which actions really landed. The plan
+    length must equal ``len(spec)``.
+    """
+    if len(names) != len(spec):
+        raise ValueError(
+            f"plan length {len(names)} does not match model length {len(spec)}"
+        )
+    current = spec
+    shift = 0
+    consumed: Set[int] = set()
+    applied: List[Tuple[int, str]] = []
+    skipped: List[Tuple[int, str]] = []
+
+    for base_index, name in enumerate(names):
+        if name == "ID":
+            continue
+        if base_index in consumed:
+            skipped.append((base_index, name))
+            continue
+        technique = registry.get(name)
+        index = base_index + shift
+        if index >= len(current) or not technique.applies_to(current, index):
+            skipped.append((base_index, name))
+            continue
+        before = len(current)
+        try:
+            transformed = technique.apply(current, index)
+        except CompressionError:
+            # E.g. W1 on the last conv of an edge slice would change the
+            # slice's output interface to the cloud half; treat as a no-op.
+            skipped.append((base_index, name))
+            continue
+        delta = len(transformed) - before
+
+        if name == "F3":
+            # F3 rewrote [flatten .. last FC]; mark the consumed base range
+            # so later plan entries inside it are skipped. All index shifts
+            # so far happened below the flatten (convs precede it), so base
+            # coordinates = current coordinates - shift.
+            flatten_index = base_index
+            while spec[flatten_index].layer_type != LayerType.FLATTEN:
+                flatten_index -= 1
+            last_fc = max(
+                i
+                for i, layer in enumerate(spec.layers)
+                if layer.layer_type == LayerType.FC
+            )
+            consumed.update(range(flatten_index, last_fc + 1))
+        applied.append((base_index, name))
+        shift += delta
+        current = transformed
+
+    return AppliedPlan(
+        spec=current, applied=tuple(applied), skipped=tuple(skipped)
+    )

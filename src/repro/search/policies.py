@@ -1,0 +1,208 @@
+"""Action policies: RL controllers plus the baseline search strategies.
+
+All search drivers (optimal branch, model tree) pick actions through one
+interface, so swapping the decision engine for random search or ε-greedy —
+the comparison of Fig. 7 — is a constructor argument, not a rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..compression.base import TechniqueRegistry
+from ..model.spec import ModelSpec
+from ..rl.controller import (
+    NO_PARTITION,
+    CompressionController,
+    PartitionController,
+)
+from ..rl.reinforce import ReinforceTrainer
+
+ActionToken = object  # opaque per-policy bookkeeping attached to an action
+
+
+class SearchPolicy(Protocol):
+    """Interface all search strategies implement."""
+
+    def sample_partition(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+        force_no_partition: bool = False,
+    ) -> Tuple[int, ActionToken]: ...
+
+    def sample_compression(
+        self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
+    ) -> Tuple[List[str], ActionToken]: ...
+
+    def update(self, tokens: Sequence[ActionToken], reward: float) -> None: ...
+
+
+class RLPolicy:
+    """The paper's decision engine: LSTM controllers + REINFORCE."""
+
+    def __init__(
+        self,
+        registry: TechniqueRegistry,
+        hidden_size: int = 32,
+        lr: float = 5e-3,
+        reward_scale: float = 0.01,
+        entropy_coeff: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.partition_controller = PartitionController(hidden_size, seed=seed)
+        self.compression_controller = CompressionController(
+            registry, hidden_size, seed=seed
+        )
+        self.partition_trainer = ReinforceTrainer(
+            self.partition_controller, lr=lr, reward_scale=reward_scale,
+            entropy_coeff=entropy_coeff,
+        )
+        self.compression_trainer = ReinforceTrainer(
+            self.compression_controller, lr=lr, reward_scale=reward_scale,
+            entropy_coeff=entropy_coeff,
+        )
+
+    def sample_partition(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+        force_no_partition: bool = False,
+    ) -> Tuple[int, ActionToken]:
+        cut, log_prob = self.partition_controller.sample(
+            spec, bandwidth_mbps, rng, force_no_partition=force_no_partition
+        )
+        entropy = self.partition_controller.last_entropy
+        entropies = [entropy] if (entropy is not None and not force_no_partition) else []
+        return cut, ("partition", [log_prob], entropies)
+
+    def sample_compression(
+        self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
+    ) -> Tuple[List[str], ActionToken]:
+        names, log_probs = self.compression_controller.sample(
+            spec, bandwidth_mbps, rng
+        )
+        entropies = list(self.compression_controller.last_entropies)
+        return names, ("compression", log_probs, entropies)
+
+    def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
+        for kind, log_probs, entropies in tokens:
+            trainer = (
+                self.partition_trainer
+                if kind == "partition"
+                else self.compression_trainer
+            )
+            trainer.update(log_probs, reward, entropies=entropies)
+
+
+class RandomPolicy:
+    """Uniform random over the identical action space (Fig. 7 baseline)."""
+
+    def __init__(self, registry: TechniqueRegistry) -> None:
+        self.registry = registry
+
+    def sample_partition(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+        force_no_partition: bool = False,
+    ) -> Tuple[int, ActionToken]:
+        if force_no_partition:
+            return NO_PARTITION, None
+        index = int(rng.integers(0, len(spec) + 1))
+        return (NO_PARTITION if index == len(spec) else index), None
+
+    def sample_compression(
+        self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
+    ) -> Tuple[List[str], ActionToken]:
+        names = []
+        for i in range(len(spec)):
+            options = [t.name for t in self.registry.applicable(spec, i)]
+            names.append(options[int(rng.integers(0, len(options)))] if options else "ID")
+        return names, None
+
+    def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
+        return None
+
+
+class EpsilonGreedyPolicy:
+    """Tabular ε-greedy over the same action space (Fig. 7 baseline).
+
+    Action values are running means keyed by a coarse state description
+    (block shape + bandwidth); unseen actions start optimistic so every arm
+    is tried once.
+    """
+
+    def __init__(
+        self,
+        registry: TechniqueRegistry,
+        epsilon: float = 0.2,
+        optimistic_value: float = 400.0,
+    ) -> None:
+        self.registry = registry
+        self.epsilon = epsilon
+        self.optimistic_value = optimistic_value
+        self._values: Dict[Tuple, Tuple[float, int]] = {}
+
+    # -- internals ------------------------------------------------------
+    def _state_key(self, spec: ModelSpec, bandwidth_mbps: float) -> Tuple:
+        return (spec.fingerprint(), round(bandwidth_mbps, 1))
+
+    def _value(self, key: Tuple) -> float:
+        mean, count = self._values.get(key, (self.optimistic_value, 0))
+        return mean
+
+    def _record(self, key: Tuple, reward: float) -> None:
+        mean, count = self._values.get(key, (0.0, 0))
+        self._values[key] = ((mean * count + reward) / (count + 1), count + 1)
+
+    # -- SearchPolicy ------------------------------------------------------
+    def sample_partition(
+        self,
+        spec: ModelSpec,
+        bandwidth_mbps: float,
+        rng: np.random.Generator,
+        force_no_partition: bool = False,
+    ) -> Tuple[int, ActionToken]:
+        if force_no_partition:
+            key = ("p", self._state_key(spec, bandwidth_mbps), NO_PARTITION)
+            return NO_PARTITION, [key]
+        actions = list(range(len(spec))) + [NO_PARTITION]
+        if rng.random() < self.epsilon:
+            action = actions[int(rng.integers(0, len(actions)))]
+        else:
+            state = self._state_key(spec, bandwidth_mbps)
+            action = max(actions, key=lambda a: self._value(("p", state, a)))
+        key = ("p", self._state_key(spec, bandwidth_mbps), action)
+        return action, [key]
+
+    def sample_compression(
+        self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
+    ) -> Tuple[List[str], ActionToken]:
+        names: List[str] = []
+        keys: List[Tuple] = []
+        state = self._state_key(spec, bandwidth_mbps)
+        for i in range(len(spec)):
+            options = [t.name for t in self.registry.applicable(spec, i)]
+            if not options:
+                names.append("ID")
+                continue
+            if rng.random() < self.epsilon:
+                choice = options[int(rng.integers(0, len(options)))]
+            else:
+                choice = max(options, key=lambda n: self._value(("c", state, i, n)))
+            names.append(choice)
+            keys.append(("c", state, i, choice))
+        return names, keys
+
+    def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
+        for token in tokens:
+            if not token:
+                continue
+            for key in token:
+                self._record(key, reward)

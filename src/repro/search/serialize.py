@@ -1,0 +1,127 @@
+"""Persisting trained model trees and controller weights.
+
+The paper's offline/online split implies an artifact hand-off: the decision
+engine trains a model tree offline, and the device runtime loads it. This
+module provides that hand-off — JSON (de)serialization of
+:class:`~repro.search.tree.ModelTree` (structure + per-node specs + rewards)
+and numpy-archive checkpoints for the controller parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..model.spec import ModelSpec
+from ..nn.layers import Module
+from .policies import RLPolicy
+from .tree import ModelTree, TreeNode
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Model trees
+# ---------------------------------------------------------------------------
+def _node_to_dict(node: TreeNode) -> Dict:
+    return {
+        "block_index": node.block_index,
+        "fork_index": node.fork_index,
+        "bandwidth_mbps": node.bandwidth_mbps,
+        "edge_spec": node.edge_spec.to_dict() if node.edge_spec is not None else None,
+        "cloud_spec": node.cloud_spec.to_dict() if node.cloud_spec is not None else None,
+        "partitioned": node.partitioned,
+        "reward": node.reward,
+        "grafted": node.grafted,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(data: Dict) -> TreeNode:
+    return TreeNode(
+        block_index=int(data["block_index"]),
+        fork_index=data["fork_index"],
+        bandwidth_mbps=float(data["bandwidth_mbps"]),
+        edge_spec=(
+            ModelSpec.from_dict(data["edge_spec"])
+            if data["edge_spec"] is not None
+            else None
+        ),
+        cloud_spec=(
+            ModelSpec.from_dict(data["cloud_spec"])
+            if data["cloud_spec"] is not None
+            else None
+        ),
+        partitioned=bool(data["partitioned"]),
+        reward=float(data["reward"]),
+        grafted=bool(data.get("grafted", False)),
+        children=[_node_from_dict(child) for child in data["children"]],
+    )
+
+
+def tree_to_dict(tree: ModelTree) -> Dict:
+    return {
+        "format": "repro.model_tree.v1",
+        "bandwidth_types": list(tree.bandwidth_types),
+        "num_blocks": tree.num_blocks,
+        "base": tree.base.to_dict(),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: Dict) -> ModelTree:
+    if data.get("format") != "repro.model_tree.v1":
+        raise ValueError(f"unsupported tree format: {data.get('format')!r}")
+    return ModelTree(
+        root=_node_from_dict(data["root"]),
+        bandwidth_types=[float(t) for t in data["bandwidth_types"]],
+        base=ModelSpec.from_dict(data["base"]),
+        num_blocks=int(data["num_blocks"]),
+    )
+
+
+def save_tree(tree: ModelTree, path: PathLike) -> None:
+    """Write a trained model tree as JSON."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree), indent=2))
+
+
+def load_tree(path: PathLike) -> ModelTree:
+    """Load a model tree written by :func:`save_tree`."""
+    return tree_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Controller checkpoints
+# ---------------------------------------------------------------------------
+def save_policy(policy: RLPolicy, path: PathLike) -> None:
+    """Checkpoint both controllers' parameters as one ``.npz`` archive."""
+    arrays: Dict[str, np.ndarray] = {}
+    for prefix, module in (
+        ("partition", policy.partition_controller),
+        ("compression", policy.compression_controller),
+    ):
+        for name, parameter in module.named_parameters():
+            arrays[f"{prefix}/{name}"] = parameter.data
+    np.savez(Path(path), **arrays)
+
+
+def load_policy(policy: RLPolicy, path: PathLike) -> RLPolicy:
+    """Restore controller parameters in place (architectures must match)."""
+    archive = np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz")
+    try:
+        for prefix, module in (
+            ("partition", policy.partition_controller),
+            ("compression", policy.compression_controller),
+        ):
+            state = {
+                name[len(prefix) + 1 :]: archive[name]
+                for name in archive.files
+                if name.startswith(f"{prefix}/")
+            }
+            module.load_state_dict(state)
+    finally:
+        archive.close()
+    return policy

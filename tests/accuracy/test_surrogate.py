@@ -1,0 +1,171 @@
+"""Tests for the calibrated surrogate accuracy model."""
+
+import pytest
+
+from repro.accuracy.base import FixedAccuracy, MemoizedEvaluator
+from repro.accuracy.surrogate import (
+    PAPER_BASE_ACCURACY,
+    AlignmentError,
+    SurrogateAccuracyModel,
+    align_specs,
+)
+from repro.compression import default_registry
+from repro.model.spec import LayerType
+from repro.nn.zoo import alexnet, vgg11
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def base():
+    return vgg11()
+
+
+@pytest.fixture
+def surrogate(base):
+    return SurrogateAccuracyModel(base, PAPER_BASE_ACCURACY["vgg11"])
+
+
+def conv_indices(spec):
+    return [i for i, l in enumerate(spec.layers) if l.layer_type == LayerType.CONV]
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("name", ["C1", "C2", "C3", "W1"])
+    def test_detects_conv_technique(self, registry, base, name):
+        idx = next(
+            i for i in conv_indices(base) if registry.get(name).applies_to(base, i)
+        )
+        transformed = registry.get(name).apply(base, idx)
+        applied = align_specs(base, transformed)
+        assert [a.technique for a in applied] == [name]
+        assert applied[0].base_layer_index == idx
+
+    @pytest.mark.parametrize("name", ["F1", "F2"])
+    def test_detects_fc_technique(self, registry, name):
+        spec = alexnet()
+        idx = next(
+            i
+            for i, l in enumerate(spec.layers)
+            if l.layer_type == LayerType.FC and registry.get(name).applies_to(spec, i)
+        )
+        transformed = registry.get(name).apply(spec, idx)
+        applied = align_specs(spec, transformed)
+        assert [a.technique for a in applied] == [name]
+
+    def test_detects_f3(self, registry):
+        spec = alexnet()
+        idx = next(
+            i
+            for i in range(len(spec))
+            if registry.get("F3").applies_to(spec, i)
+        )
+        transformed = registry.get("F3").apply(spec, idx)
+        applied = align_specs(spec, transformed)
+        assert [a.technique for a in applied] == ["F3"]
+
+    def test_detects_multiple(self, registry, base):
+        convs = conv_indices(base)
+        spec = registry.get("C1").apply(base, convs[1])
+        spec = registry.get("C2").apply(spec, convs[3] + 1)  # shifted by C1
+        applied = align_specs(base, spec)
+        assert sorted(a.technique for a in applied) == ["C1", "C2"]
+
+    def test_identity_aligns_empty(self, base):
+        assert align_specs(base, base) == []
+
+    def test_unalignable_raises(self, base):
+        foreign = alexnet()
+        with pytest.raises(AlignmentError):
+            align_specs(base, foreign)
+
+    def test_depth_fraction_range(self, registry, base):
+        idx = conv_indices(base)[-1]
+        transformed = registry.get("C1").apply(base, idx)
+        (applied,) = align_specs(base, transformed)
+        assert 0.0 <= applied.depth_fraction <= 1.0
+
+
+class TestSurrogateBehaviour:
+    def test_base_accuracy_exact(self, surrogate, base):
+        assert surrogate.evaluate(base) == PAPER_BASE_ACCURACY["vgg11"]
+
+    def test_compression_costs_accuracy(self, surrogate, registry, base):
+        idx = conv_indices(base)[2]
+        out = registry.get("C1").apply(base, idx)
+        assert surrogate.evaluate(out) < surrogate.evaluate(base)
+
+    def test_early_layer_hurts_more(self, surrogate, registry, base):
+        convs = conv_indices(base)
+        early = registry.get("C1").apply(base, convs[0])
+        late = registry.get("C1").apply(base, convs[-1])
+        assert surrogate.evaluate(early) < surrogate.evaluate(late)
+
+    def test_stacking_superadditive(self, surrogate, registry, base):
+        """Loss of two compressions exceeds the sum of individual losses."""
+        convs = conv_indices(base)
+        base_acc = surrogate.evaluate(base)
+        one = base_acc - surrogate.evaluate(registry.get("C1").apply(base, convs[2]))
+        two_spec = registry.get("C1").apply(base, convs[2])
+        two_spec = registry.get("C1").apply(two_spec, convs[4] + 1)
+        other = base_acc - surrogate.evaluate(registry.get("C1").apply(base, convs[4]))
+        both = base_acc - surrogate.evaluate(two_spec)
+        assert both > one + other
+
+    def test_loss_scale_is_paperlike(self, surrogate, registry, base):
+        """A couple of mid-layer compressions cost ~1-3 accuracy points."""
+        convs = conv_indices(base)
+        spec = registry.get("C1").apply(base, convs[3])
+        spec = registry.get("C2").apply(spec, convs[5] + 1)
+        loss = surrogate.evaluate(base) - surrogate.evaluate(spec)
+        assert 0.005 < loss < 0.035
+
+    def test_accuracy_floor_respected(self, base, registry):
+        harsh = SurrogateAccuracyModel(
+            base, 0.9201, technique_costs={n: 0.5 for n in "F1 F2 F3 C1 C2 C3 W1".split()}
+        )
+        spec = base
+        for idx in reversed(conv_indices(base)):
+            if registry.get("C1").applies_to(spec, idx):
+                spec = registry.get("C1").apply(spec, idx)
+        assert harsh.evaluate(spec) >= 0.5
+
+    def test_deterministic(self, surrogate, registry, base):
+        idx = conv_indices(base)[1]
+        out = registry.get("C3").apply(base, idx)
+        assert surrogate.evaluate(out) == surrogate.evaluate(out)
+
+    def test_invalid_base_accuracy(self, base):
+        with pytest.raises(ValueError):
+            SurrogateAccuracyModel(base, 0.0)
+
+    def test_fallback_macc_ratio(self, surrogate):
+        """Unalignable specs get the MACC-ratio estimate, not a crash."""
+        foreign = alexnet()
+        value = surrogate.evaluate(foreign)
+        assert 0.5 <= value <= 1.0
+
+
+class TestMemoization:
+    def test_caches_by_fingerprint(self, base):
+        inner = FixedAccuracy(0.9)
+        memo = MemoizedEvaluator(inner)
+        assert memo.evaluate(base) == 0.9
+        assert memo.evaluate(base) == 0.9
+        assert memo.hits == 1
+        assert memo.misses == 1
+        assert len(memo) == 1
+
+    def test_clear(self, base):
+        memo = MemoizedEvaluator(FixedAccuracy(0.9))
+        memo.evaluate(base)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.hits == 0
+
+    def test_fixed_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            FixedAccuracy(1.5)

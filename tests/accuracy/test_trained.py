@@ -1,0 +1,115 @@
+"""Tests for real training, distillation, and the trained evaluator.
+
+These exercise the full numpy training loop, so they use very small models
+and datasets; they are the slowest unit tests in the suite (~seconds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.distillation import distill, evaluate_accuracy, train_classifier
+from repro.accuracy.trained import TrainedAccuracyEvaluator
+from repro.compression import default_registry
+from repro.model.spec import (
+    ModelSpec,
+    TensorShape,
+    conv,
+    fc,
+    flatten,
+    max_pool,
+    relu,
+)
+from repro.nn.build import build_network
+from repro.nn.data import SyntheticImageDataset
+
+
+@pytest.fixture(scope="module")
+def micro_spec():
+    """A model tiny enough to train in well under a second per epoch."""
+    return ModelSpec(
+        [
+            conv(8, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            conv(12, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            flatten(),
+            fc(5),
+        ],
+        TensorShape(3, 8, 8),
+        name="micro",
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_data():
+    return SyntheticImageDataset(
+        num_classes=5, image_size=8, num_train=96, num_test=48, noise=0.3, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_teacher(micro_spec, micro_data):
+    network = build_network(micro_spec, seed=0)
+    result = train_classifier(network, micro_data, epochs=8, seed=0)
+    return network, result
+
+
+class TestTraining:
+    def test_training_beats_chance(self, trained_teacher, micro_data):
+        _, result = trained_teacher
+        assert result.test_accuracy > 2.0 / micro_data.num_classes
+
+    def test_training_reduces_loss(self, micro_spec, micro_data):
+        network = build_network(micro_spec, seed=3)
+        before = evaluate_accuracy(network, micro_data)
+        result = train_classifier(network, micro_data, epochs=3, seed=3)
+        assert result.test_accuracy >= before
+
+    def test_evaluate_accuracy_bounds(self, trained_teacher, micro_data):
+        network, _ = trained_teacher
+        accuracy = evaluate_accuracy(network, micro_data)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_network_left_in_train_mode(self, trained_teacher, micro_data):
+        network, _ = trained_teacher
+        evaluate_accuracy(network, micro_data)
+        assert network.training
+
+
+class TestDistillation:
+    def test_student_learns_from_teacher(self, trained_teacher, micro_spec, micro_data):
+        teacher, _ = trained_teacher
+        registry = default_registry()
+        compressed = registry.get("C1").apply(micro_spec, 3)
+        student = build_network(compressed, seed=5)
+        before = evaluate_accuracy(student, micro_data)
+        result = distill(student, teacher, micro_data, epochs=5, seed=5)
+        assert result.test_accuracy > before
+
+    def test_distilled_student_close_to_teacher(
+        self, trained_teacher, micro_spec, micro_data
+    ):
+        teacher, teacher_result = trained_teacher
+        student = build_network(micro_spec, seed=7)  # same architecture
+        result = distill(student, teacher, micro_data, epochs=6, seed=7)
+        assert result.test_accuracy >= teacher_result.test_accuracy - 0.25
+
+
+class TestTrainedEvaluator:
+    def test_base_returns_teacher_accuracy(self, micro_spec, micro_data):
+        evaluator = TrainedAccuracyEvaluator(
+            micro_spec, dataset=micro_data, epochs=4, seed=0
+        )
+        assert evaluator.evaluate(micro_spec) == evaluator.base_accuracy
+        assert evaluator.base_accuracy > 0.3
+
+    def test_compressed_variant_evaluated(self, micro_spec, micro_data):
+        evaluator = TrainedAccuracyEvaluator(
+            micro_spec, dataset=micro_data, epochs=2, seed=0
+        )
+        registry = default_registry()
+        compressed = registry.get("C1").apply(micro_spec, 0)
+        accuracy = evaluator.evaluate(compressed)
+        assert 0.0 <= accuracy <= 1.0

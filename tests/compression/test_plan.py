@@ -1,0 +1,120 @@
+"""Tests for compression-plan application (index bookkeeping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import default_registry
+from repro.model.spec import LayerType
+from repro.nn.zoo import alexnet, vgg11
+from repro.search.plan import apply_compression_plan
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def id_plan(spec):
+    return ["ID"] * len(spec)
+
+
+class TestPlanApplication:
+    def test_identity_plan_is_noop(self, registry):
+        spec = vgg11()
+        result = apply_compression_plan(spec, id_plan(spec), registry)
+        assert result.spec.layers == spec.layers
+        assert result.applied == ()
+
+    def test_wrong_length_rejected(self, registry):
+        spec = vgg11()
+        with pytest.raises(ValueError):
+            apply_compression_plan(spec, ["ID"], registry)
+
+    def test_single_c1(self, registry):
+        spec = vgg11()
+        plan = id_plan(spec)
+        conv0 = next(i for i, l in enumerate(spec) if l.layer_type == LayerType.CONV)
+        plan[conv0] = "C1"
+        result = apply_compression_plan(spec, plan, registry)
+        assert result.applied == ((conv0, "C1"),)
+        assert len(result.spec) == len(spec) + 1
+
+    def test_index_shift_after_expansion(self, registry):
+        """A C1 early in the plan must not break later applications."""
+        spec = vgg11()
+        convs = [i for i, l in enumerate(spec) if l.layer_type == LayerType.CONV]
+        plan = id_plan(spec)
+        plan[convs[0]] = "C1"  # expands by one layer
+        plan[convs[3]] = "C2"  # must still hit the right conv
+        result = apply_compression_plan(spec, plan, registry)
+        applied = dict(result.applied)
+        assert applied == {convs[0]: "C1", convs[3]: "C2"}
+        # The C2 must have landed on a conv with the original channel count.
+        shifted = convs[3] + 1
+        assert result.spec[shifted].layer_type == LayerType.INVERTED_RESIDUAL
+        assert result.spec[shifted].out_channels == spec[convs[3]].out_channels
+
+    def test_inapplicable_actions_skipped(self, registry):
+        spec = vgg11()
+        plan = id_plan(spec)
+        relu0 = next(i for i, l in enumerate(spec) if l.layer_type == LayerType.RELU)
+        plan[relu0] = "C1"  # C1 on a relu: skipped, not an error
+        result = apply_compression_plan(spec, plan, registry)
+        assert (relu0, "C1") in result.skipped
+        assert result.spec.layers == spec.layers
+
+    def test_f3_consumes_classifier_range(self, registry):
+        spec = alexnet()
+        fcs = [i for i, l in enumerate(spec) if l.layer_type == LayerType.FC]
+        plan = id_plan(spec)
+        plan[fcs[0]] = "F3"
+        plan[fcs[1]] = "F1"  # inside the F3-consumed range: must be skipped
+        result = apply_compression_plan(spec, plan, registry)
+        assert (fcs[0], "F3") in result.applied
+        assert (fcs[1], "F1") in result.skipped
+        types = [l.layer_type for l in result.spec.layers]
+        assert LayerType.GLOBAL_AVG_POOL in types
+
+    def test_f3_with_earlier_conv_compression(self, registry):
+        """Conv expansion before the flatten must not confuse F3's range."""
+        spec = alexnet()
+        convs = [i for i, l in enumerate(spec) if l.layer_type == LayerType.CONV]
+        fcs = [i for i, l in enumerate(spec) if l.layer_type == LayerType.FC]
+        plan = id_plan(spec)
+        plan[convs[2]] = "C1"
+        plan[fcs[0]] = "F3"
+        result = apply_compression_plan(spec, plan, registry)
+        applied = dict(result.applied)
+        assert applied[convs[2]] == "C1"
+        assert applied[fcs[0]] == "F3"
+        assert result.spec.output_shape == spec.output_shape
+
+    def test_output_shape_always_preserved(self, registry):
+        spec = vgg11()
+        convs = [i for i, l in enumerate(spec) if l.layer_type == LayerType.CONV]
+        plan = id_plan(spec)
+        for i, conv_idx in enumerate(convs):
+            plan[conv_idx] = ["C1", "C2", "C3", "W1"][i % 4]
+        result = apply_compression_plan(spec, plan, registry)
+        assert result.spec.output_shape == spec.output_shape
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_plans_never_crash(data):
+    """Any technique assignment must produce a valid, shape-preserving spec."""
+    registry = default_registry()
+    spec = alexnet()
+    names = registry.names
+    plan = [
+        data.draw(st.sampled_from(names), label=f"layer{i}")
+        for i in range(len(spec))
+    ]
+    result = apply_compression_plan(spec, plan, registry)
+    assert result.spec.output_shape == spec.output_shape
+    # Every plan entry is accounted for: applied, skipped, or identity.
+    touched = {i for i, _ in result.applied} | {i for i, _ in result.skipped}
+    for i, name in enumerate(plan):
+        if name != "ID":
+            assert i in touched

@@ -1,0 +1,153 @@
+"""Tests for Q1 weight quantization (extension technique)."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import SurrogateAccuracyModel, align_specs
+from repro.compression import extended_registry
+from repro.compression.quantize import (
+    WeightQuantization,
+    quantize_array,
+    quantize_network,
+)
+from repro.latency.devices import XIAOMI_MI_6X
+from repro.model.spec import LayerType
+from repro.nn.build import build_network
+from repro.nn.tensor import Tensor
+from repro.nn.zoo import tiny_cnn, vgg11
+
+
+@pytest.fixture
+def registry():
+    return extended_registry()
+
+
+class TestRegistry:
+    def test_extended_includes_q1(self, registry):
+        assert "Q1" in registry
+        assert len(registry) == 9
+
+    def test_default_stays_table2(self):
+        from repro.compression import default_registry
+
+        assert "Q1" not in default_registry()
+
+
+class TestStructuralQ1:
+    def test_sets_bits(self, registry):
+        spec = vgg11()
+        out = registry.get("Q1").apply(spec, 0)
+        assert out[0].bits == 8
+        assert len(out) == len(spec)
+
+    def test_applies_to_conv_and_fc_only(self, registry):
+        spec = vgg11()
+        q1 = registry.get("Q1")
+        for i, layer in enumerate(spec.layers):
+            expected = layer.layer_type in (LayerType.CONV, LayerType.FC)
+            assert q1.applies_to(spec, i) == expected
+
+    def test_not_applicable_twice(self, registry):
+        spec = registry.get("Q1").apply(vgg11(), 0)
+        assert not registry.get("Q1").applies_to(spec, 0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            WeightQuantization(bits=3)
+
+    def test_speeds_up_layer(self, registry):
+        spec = vgg11()
+        quantized = registry.get("Q1").apply(spec, 3)  # a heavy conv
+        assert XIAOMI_MI_6X.model_latency_ms(quantized) < (
+            XIAOMI_MI_6X.model_latency_ms(spec)
+        )
+
+    def test_shrinks_storage(self, registry):
+        spec = vgg11()
+        fc_index = next(
+            i for i, l in enumerate(spec.layers) if l.layer_type == LayerType.FC
+        )
+        quantized = registry.get("Q1").apply(spec, fc_index)
+        assert quantized.parameter_bytes() < spec.parameter_bytes()
+        assert quantized.parameter_count() == spec.parameter_count()
+
+    def test_maccs_unchanged(self, registry):
+        from repro.latency.maccs import total_maccs
+
+        spec = vgg11()
+        quantized = registry.get("Q1").apply(spec, 0)
+        assert total_maccs(quantized) == total_maccs(spec)
+
+    def test_surrogate_detects_q1(self, registry):
+        base = vgg11()
+        quantized = registry.get("Q1").apply(base, 0)
+        applied = align_specs(base, quantized)
+        assert [a.technique for a in applied] == ["Q1"]
+        surrogate = SurrogateAccuracyModel(base, 0.9201)
+        assert surrogate.evaluate(quantized) < 0.9201
+
+
+class TestWeightLevelQ1:
+    def test_quantize_array_bounded_error(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(64, 64))
+        quantized = quantize_array(weights, bits=8)
+        max_error = np.abs(weights - quantized).max()
+        scale = np.abs(weights).max()
+        assert max_error <= scale / 127 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(32, 32))
+        e4 = np.abs(weights - quantize_array(weights, 4)).mean()
+        e8 = np.abs(weights - quantize_array(weights, 8)).mean()
+        e16 = np.abs(weights - quantize_array(weights, 16)).mean()
+        assert e4 > e8 > e16
+
+    def test_zero_weights_unchanged(self):
+        zeros = np.zeros((4, 4))
+        np.testing.assert_array_equal(quantize_array(zeros), zeros)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(4), bits=1)
+
+    def test_quantize_network_preserves_function_approximately(self):
+        spec = tiny_cnn()
+        net = build_network(spec, seed=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 16, 16)))
+        before = net(x).data.copy()
+        quantize_network(net, bits=8)
+        after = net(x).data
+        # INT8 fake quantization perturbs logits only slightly.
+        assert np.abs(before - after).max() < 0.5 * np.abs(before).max() + 1.0
+
+    def test_quantize_network_levels(self):
+        spec = tiny_cnn()
+        net = build_network(spec, seed=0)
+        quantize_network(net, bits=4)
+        weight = next(iter(net.parameters())).data
+        assert len(np.unique(np.round(weight / np.abs(weight).max() * 7, 6))) <= 16
+
+
+class TestQ1InSearch:
+    def test_extended_search_runs(self, registry):
+        """The RL engine searches the 9-technique space without issues."""
+        from tests.conftest import make_context
+        from repro.accuracy import MemoizedEvaluator
+        from repro.mdp import PAPER_REWARD
+        from repro.latency import CLOUD_SERVER, LatencyEstimator
+        from repro.latency.transfer import CELLULAR_TRANSFER
+        from repro.search import RLPolicy, SearchContext, optimal_branch_search
+
+        base = vgg11()
+        context = SearchContext(
+            base,
+            registry,
+            LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER),
+            MemoizedEvaluator(SurrogateAccuracyModel(base, 0.9201)),
+            PAPER_REWARD,
+        )
+        policy = RLPolicy(registry, seed=0)
+        result = optimal_branch_search(context, 12.0, policy, episodes=10, seed=1)
+        assert result.best.reward > 0

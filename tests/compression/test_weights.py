@@ -1,0 +1,107 @@
+"""Tests for weight-level compression transforms."""
+
+import numpy as np
+import pytest
+
+from repro.compression.weights import (
+    factorize_linear,
+    filter_importance,
+    prune_conv_filters,
+    prune_network_layer,
+    slice_consumer_channels,
+)
+from repro.nn.layers import Conv2d, Linear, ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFactorizeLinear:
+    def test_full_rank_exact(self, rng):
+        layer = Linear(8, 6, rng=rng)
+        factored = factorize_linear(layer, rank=6)
+        x = Tensor(rng.normal(size=(4, 8)))
+        np.testing.assert_allclose(factored(x).data, layer(x).data, atol=1e-9)
+
+    def test_low_rank_error_decreases_with_rank(self, rng):
+        layer = Linear(30, 20, rng=rng)
+        x = Tensor(rng.normal(size=(16, 30)))
+        reference = layer(x).data
+        errors = []
+        for rank in (2, 8, 20):
+            factored = factorize_linear(layer, rank)
+            errors.append(float(((factored(x).data - reference) ** 2).mean()))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-12
+
+    def test_density_sparsifies(self, rng):
+        layer = Linear(20, 20, rng=rng)
+        factored = factorize_linear(layer, rank=10, density=0.3)
+        zeros = (factored.first.weight.data == 0).mean()
+        assert zeros > 0.5
+
+
+class TestFilterPruning:
+    def test_importance_is_l1(self, rng):
+        conv = Conv2d(2, 3, 3, rng=rng)
+        importance = filter_importance(conv)
+        expected = np.abs(conv.weight.data).sum(axis=(1, 2, 3))
+        np.testing.assert_allclose(importance, expected)
+
+    def test_keeps_largest_filters(self, rng):
+        conv = Conv2d(2, 4, 3, rng=rng)
+        conv.weight.data[1] = 100.0  # make filter 1 dominant
+        conv.weight.data[3] = 50.0
+        pruned, kept = prune_conv_filters(conv, keep=2)
+        np.testing.assert_array_equal(kept, [1, 3])
+        assert pruned.out_channels == 2
+
+    def test_keep_bounds(self, rng):
+        conv = Conv2d(2, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            prune_conv_filters(conv, keep=0)
+        with pytest.raises(ValueError):
+            prune_conv_filters(conv, keep=5)
+
+    def test_pruned_forward_matches_kept_channels(self, rng):
+        conv = Conv2d(3, 6, 3, padding=1, rng=rng)
+        pruned, kept = prune_conv_filters(conv, keep=3)
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        full = conv(x).data
+        np.testing.assert_allclose(pruned(x).data, full[:, kept], atol=1e-12)
+
+    def test_consumer_slicing_preserves_function_on_kept(self, rng):
+        producer = Conv2d(2, 4, 3, padding=1, rng=rng)
+        consumer = Conv2d(4, 5, 3, padding=1, rng=rng)
+        pruned, kept = prune_conv_filters(producer, keep=4)  # keep all
+        sliced = slice_consumer_channels(consumer, kept)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        np.testing.assert_allclose(
+            sliced(pruned(x)).data, consumer(producer(x)).data, atol=1e-10
+        )
+
+    def test_prune_network_layer_end_to_end(self, rng):
+        net = Sequential(
+            Conv2d(3, 8, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(8, 4, 3, padding=1, rng=rng),
+        )
+        pruned = prune_network_layer(net, 0, keep=4)
+        x = Tensor(rng.normal(size=(1, 3, 6, 6)))
+        out = pruned(x)
+        assert out.shape == (1, 4, 6, 6)
+        assert pruned[0].out_channels == 4
+        assert pruned[2].in_channels == 4
+
+    def test_prune_network_rejects_fc_consumer(self, rng):
+        net = Sequential(Conv2d(3, 8, 3, rng=rng), Linear(8, 2, rng=rng))
+        with pytest.raises(ValueError):
+            prune_network_layer(net, 0, keep=4)
+
+    def test_prune_network_rejects_non_conv(self, rng):
+        net = Sequential(ReLU(), Conv2d(3, 4, 3, rng=rng))
+        with pytest.raises(ValueError):
+            prune_network_layer(net, 0, keep=2)

@@ -1,0 +1,90 @@
+"""Shared fixtures: small models, contexts, and deterministic RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy import MemoizedEvaluator, SurrogateAccuracyModel
+from repro.compression import default_registry
+from repro.latency import CLOUD_SERVER, XIAOMI_MI_6X, LatencyEstimator
+from repro.latency.transfer import CELLULAR_TRANSFER
+from repro.mdp import PAPER_REWARD
+from repro.model.spec import (
+    LayerSpec,
+    LayerType,
+    ModelSpec,
+    TensorShape,
+    conv,
+    fc,
+    flatten,
+    max_pool,
+    relu,
+)
+from repro.nn.zoo import tiny_cnn, vgg11
+from repro.search import SearchContext
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_spec() -> ModelSpec:
+    """A 9-layer conv/fc chain small enough for exhaustive checks."""
+    return ModelSpec(
+        [
+            conv(8, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            conv(16, 3, 1, 1),
+            relu(),
+            max_pool(2),
+            flatten(),
+            fc(32),
+            fc(10),
+        ],
+        TensorShape(3, 8, 8),
+        name="small",
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> ModelSpec:
+    return tiny_cnn()
+
+
+@pytest.fixture
+def vgg11_spec() -> ModelSpec:
+    return vgg11()
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def estimator() -> LatencyEstimator:
+    return LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER)
+
+
+def make_context(base: ModelSpec, base_accuracy: float = 0.92) -> SearchContext:
+    return SearchContext(
+        base,
+        default_registry(),
+        LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER),
+        MemoizedEvaluator(SurrogateAccuracyModel(base, base_accuracy)),
+        PAPER_REWARD,
+    )
+
+
+@pytest.fixture
+def small_context(small_spec) -> SearchContext:
+    return make_context(small_spec)
+
+
+@pytest.fixture
+def vgg_context(vgg11_spec) -> SearchContext:
+    return make_context(vgg11_spec, 0.9201)

@@ -1,0 +1,200 @@
+"""Integration tests for the experiment reproductions.
+
+Each test runs the real pipeline at a reduced episode budget and asserts the
+*shape* the paper reports — orderings, reduction bands, gap directions — not
+absolute numbers (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentConfig, format_table, run_scenario
+from repro.experiments.fig1 import ascii_sparkline, run_fig1
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8, render_fig8
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table45 import render_runtime_table, run_tables45, PAPER_TABLE4
+from repro.network.scenarios import get_scenario
+
+FAST = ExperimentConfig(
+    tree_episodes=8, branch_episodes=25, emulation_requests=15, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def static_outcome():
+    scenario = get_scenario("vgg11", "phone", "4G indoor static")
+    return run_scenario(scenario, FAST)
+
+
+@pytest.fixture(scope="module")
+def weak_outcome():
+    scenario = get_scenario("vgg11", "phone", "4G (weak) indoor")
+    return run_scenario(scenario, FAST)
+
+
+class TestTable1:
+    def test_rows_and_ordering(self):
+        rows = run_table1()
+        assert [r.model for r in rows] == ["VGG19", "ResNet50", "ResNet101", "ResNet152"]
+        latencies = [r.latency_ms for r in rows]
+        # Paper ordering: VGG19 slowest, then 152 > 101 > 50.
+        assert latencies[0] > latencies[3] > latencies[2] > latencies[1]
+
+    def test_within_tolerance_of_paper(self):
+        for row in run_table1():
+            assert abs(row.relative_error) < 0.20
+
+    def test_render(self):
+        text = render_table1(run_table1())
+        assert "VGG19" in text and "5734.89" in text
+
+
+class TestTable2:
+    def test_all_seven_techniques(self):
+        rows = run_table2()
+        assert [r.technique for r in rows] == ["F1", "F2", "F3", "C1", "C2", "C3", "W1"]
+
+    def test_every_row_reduces_parameters(self):
+        for row in run_table2():
+            assert row.param_reduction > 0, row.technique
+
+    def test_conv_techniques_cut_maccs_hard(self):
+        rows = {r.technique: r for r in run_table2()}
+        for name in ("C1", "C2", "W1"):
+            assert rows[name].macc_reduction > 0.1, name
+
+    def test_render(self):
+        assert "SqueezeNet" in render_table2(run_table2())
+
+
+class TestScenarioShape:
+    def test_offline_ordering(self, static_outcome):
+        s, b, t = [m.offline_reward for m in static_outcome.methods]
+        assert s <= b + 1e-6 <= t + 2e-6
+
+    def test_emulation_tree_dominates_surgery(self, static_outcome):
+        surgery = static_outcome.surgery.emulation
+        tree = static_outcome.tree.emulation
+        assert tree.mean_reward >= surgery.mean_reward - 0.5
+
+    def test_latency_reduction_in_paper_band(self, static_outcome):
+        """Headline claim: 30-50% latency cut (we accept 15-85% at tiny budgets)."""
+        surgery = static_outcome.surgery.emulation.mean_latency_ms
+        tree = static_outcome.tree.emulation.mean_latency_ms
+        reduction = 1 - tree / surgery
+        assert 0.10 < reduction < 0.90
+
+    def test_accuracy_loss_small(self, static_outcome):
+        surgery = static_outcome.surgery.emulation.mean_accuracy
+        tree = static_outcome.tree.emulation.mean_accuracy
+        assert surgery - tree < 0.05  # paper: ~1%, allow headroom
+
+    def test_surgery_accuracy_is_base(self, static_outcome):
+        assert static_outcome.surgery.emulation.mean_accuracy == pytest.approx(0.9201)
+
+    def test_field_rewards_below_emulation(self, weak_outcome):
+        for method in weak_outcome.methods:
+            assert method.field.mean_reward <= method.emulation.mean_reward + 2.0
+
+    def test_field_latencies_above_emulation_on_average(self, weak_outcome):
+        emu = np.mean([m.emulation.mean_latency_ms for m in weak_outcome.methods])
+        field = np.mean([m.field.mean_latency_ms for m in weak_outcome.methods])
+        assert field > emu
+
+
+class TestTable3Shape:
+    def test_single_scene_rows(self, static_outcome):
+        rows = run_table3(outcomes=[static_outcome])
+        assert len(rows) == 1
+        assert rows[0].surgery <= rows[0].branch <= rows[0].tree + 1e-9
+
+    def test_render(self, static_outcome):
+        text = render_table3(run_table3(outcomes=[static_outcome]))
+        assert "Surgery" in text and "Average" in text
+
+
+class TestTables45Shape:
+    def test_rows_from_outcomes(self, static_outcome, weak_outcome):
+        emulation, field = run_tables45(outcomes=[static_outcome, weak_outcome])
+        assert len(emulation) == 2 and len(field) == 2
+        for row in emulation:
+            assert len(row.rewards) == 3
+
+    def test_render(self, static_outcome):
+        emulation, field = run_tables45(outcomes=[static_outcome])
+        text = render_runtime_table(emulation, PAPER_TABLE4, "Table IV")
+        assert "Reward S/B/T" in text
+
+
+class TestFig1:
+    def test_two_series(self):
+        series = run_fig1(duration_s=30.0)
+        assert [s.name for s in series] == ["4G outdoor quick", "WiFi (weak) indoor"]
+
+    def test_drastic_change_within_one_second(self):
+        """The figure's point: >30% bandwidth change inside a 1 s window."""
+        for s in run_fig1(duration_s=60.0):
+            assert s.max_change_within(1.0) > 0.3
+
+    def test_sparkline_renders(self):
+        series = run_fig1(duration_s=10.0)
+        line = ascii_sparkline(series[0].samples)
+        assert len(line) > 0
+
+
+class TestFig5:
+    def test_all_devices_fit(self):
+        result = run_fig5(seed=0)
+        assert set(result.compute_fits) == {
+            "xiaomi_mi_6x", "jetson_tx2", "cloud_gtx1080ti",
+        }
+
+    def test_cpu_linear_fits_tight(self):
+        result = run_fig5(seed=0)
+        for fit in result.compute_fits["xiaomi_mi_6x"].values():
+            assert fit.r_squared > 0.99
+
+    def test_transfer_fits(self):
+        result = run_fig5(seed=0)
+        for _, (model, r2) in result.transfer_fits.items():
+            assert r2 > 0.99
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return run_fig7(episodes=8, seed=0)
+
+    def test_three_methods(self, curves):
+        assert {c.method for c in curves} == {"rl", "random", "epsilon_greedy"}
+
+    def test_rl_wins(self, curves):
+        by_name = {c.method: c.max_reward for c in curves}
+        assert by_name["rl"] >= by_name["random"] - 1e-9
+        assert by_name["rl"] >= by_name["epsilon_greedy"] - 1e-9
+
+
+class TestFig8:
+    def test_ordering_and_notation(self, static_outcome):
+        plans, tree = run_fig8(outcome=static_outcome)
+        methods = [p.method for p in plans]
+        assert methods[0] == "surgery" and methods[1] == "branch"
+        tree_best = max(p.reward for p in plans if p.method == "tree branch")
+        surgery = plans[0].reward
+        branch = plans[1].reward
+        assert surgery <= branch + 1e-6
+        assert branch <= tree_best + 1e-6
+        text = render_fig8(plans)
+        assert "ordering" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1

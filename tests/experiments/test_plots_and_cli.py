@@ -1,0 +1,134 @@
+"""Tests for ASCII plotting, the sweep module, and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.plots import ascii_chart
+from repro.experiments.sweep import render_sweep, run_sweep
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart({"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]})
+        assert "* a" in chart and "+ b" in chart
+        assert "+-" in chart  # axis
+
+    def test_y_bounds_labeled(self):
+        chart = ascii_chart({"a": [10.0, 20.0]})
+        assert "20.0" in chart
+        assert "10.0" in chart
+
+    def test_single_point_series(self):
+        chart = ascii_chart({"flat": [5.0]})
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+    def test_resampling_long_series(self):
+        chart = ascii_chart({"a": list(range(1000))}, width=40)
+        longest = max(len(line) for line in chart.splitlines())
+        assert longest <= 40 + 12
+
+    def test_y_label(self):
+        chart = ascii_chart({"a": [1, 2]}, y_label="reward")
+        assert chart.splitlines()[0] == "reward"
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = ExperimentConfig(
+            tree_episodes=3, branch_episodes=6, emulation_requests=8
+        )
+        return run_sweep(
+            ("alexnet", "phone", "WiFi (weak) indoor"),
+            blocks=(1, 2),
+            types=(1, 2),
+            config=config,
+        )
+
+    def test_grid_complete(self, rows):
+        combos = {(r.num_blocks, r.num_types) for r in rows}
+        assert combos == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_node_counts_consistent(self, rows):
+        for row in rows:
+            # A complete tree has at most sum of K^i nodes.
+            upper = sum(row.num_types**i for i in range(row.num_blocks))
+            assert 1 <= row.node_count <= upper
+
+    def test_rewards_valid(self, rows):
+        for row in rows:
+            assert 0 < row.expected_reward <= 400
+            assert 0 < row.replay_reward <= 400
+
+    def test_sharing_at_least_one(self, rows):
+        for row in rows:
+            assert row.sharing_factor >= 1.0
+
+    def test_render(self, rows):
+        text = render_sweep(rows)
+        assert "Sharing" in text
+        assert len(text.splitlines()) == len(rows) + 2
+
+
+class TestExperimentsCLI:
+    def test_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1", "fig5", "fig7", "fig8", "sweep", "energy", "regret",
+        }
+
+    def test_table1_via_cli(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "VGG19" in out
+
+    def test_fig1_via_cli(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "4G outdoor quick" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_budget_flags_parsed(self, capsys):
+        assert main(["table2", "--tree-episodes", "2", "--seed", "7"]) == 0
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.energy import run_energy
+        from repro.network.scenarios import get_scenario
+
+        config = ExperimentConfig(tree_episodes=4, branch_episodes=10)
+        scenes = [
+            get_scenario("vgg11", "phone", "4G (weak) indoor"),
+            get_scenario("alexnet", "phone", "WiFi (weak) indoor"),
+        ]
+        return run_energy(config, scenes)
+
+    def test_one_row_per_scene(self, rows):
+        assert len(rows) == 2
+
+    def test_energies_positive(self, rows):
+        for row in rows:
+            assert all(e > 0 for e in row.energies_mj)
+
+    def test_tree_energy_not_much_worse(self, rows):
+        """The tree's chosen deployment should not burn more edge energy
+        than surgery's beyond noise — compression/offload both save it."""
+        for row in rows:
+            assert row.energies_mj[2] <= row.energies_mj[0] * 1.25
+
+    def test_render(self, rows):
+        from repro.experiments.energy import render_energy
+
+        text = render_energy(rows)
+        assert "Energy S/B/T" in text

@@ -1,0 +1,82 @@
+"""Tests for the edge-device energy model (extension, DESIGN.md §6)."""
+
+import pytest
+
+from repro.compression import default_registry
+from repro.latency.compute import LatencyEstimator
+from repro.latency.devices import CLOUD_SERVER, XIAOMI_MI_6X
+from repro.latency.energy import (
+    PHONE_4G_ENERGY,
+    PHONE_WIFI_ENERGY,
+    EnergyEstimator,
+    TX2_WIFI_ENERGY,
+)
+from repro.latency.transfer import CELLULAR_TRANSFER, WIFI_TRANSFER
+from repro.nn.zoo import vgg11
+
+
+@pytest.fixture
+def energy_4g():
+    return EnergyEstimator(
+        LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER),
+        PHONE_4G_ENERGY,
+    )
+
+
+@pytest.fixture
+def energy_wifi():
+    return EnergyEstimator(
+        LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, WIFI_TRANSFER),
+        PHONE_WIFI_ENERGY,
+    )
+
+
+class TestEnergyEstimator:
+    def test_full_edge_is_pure_compute(self, energy_4g, vgg11_spec):
+        breakdown = energy_4g.estimate_composed(vgg11_spec, None, 10.0)
+        assert breakdown.radio_mj == 0.0
+        assert breakdown.tx_mj == 0.0
+        assert breakdown.compute_mj > 0.0
+
+    def test_full_cloud_is_pure_radio(self, energy_4g, vgg11_spec):
+        breakdown = energy_4g.estimate_composed(None, vgg11_spec, 10.0)
+        assert breakdown.compute_mj == 0.0
+        assert breakdown.radio_mj > 0.0
+        assert breakdown.tx_mj > 0.0
+
+    def test_total_is_sum(self, energy_4g, vgg11_spec):
+        b = energy_4g.estimate_composed(vgg11_spec.slice(0, 10), vgg11_spec.slice(10, len(vgg11_spec)), 10.0)
+        assert b.total_mj == pytest.approx(b.compute_mj + b.radio_mj + b.tx_mj)
+
+    def test_compression_saves_compute_energy(self, energy_4g, vgg11_spec):
+        """The Sec. I claim: a smaller edge model costs less energy."""
+        registry = default_registry()
+        compressed = vgg11_spec
+        for i, layer in enumerate(vgg11_spec.layers):
+            if registry.get("C1").applies_to(vgg11_spec, i):
+                compressed = registry.get("C1").apply(vgg11_spec, i)
+                break
+        full = energy_4g.estimate_composed(vgg11_spec, None, 10.0)
+        slim = energy_4g.estimate_composed(compressed, None, 10.0)
+        assert slim.compute_mj < full.compute_mj
+
+    def test_offload_trades_compute_for_radio(self, energy_4g, vgg11_spec):
+        on_device = energy_4g.estimate_composed(vgg11_spec, None, 10.0)
+        offloaded = energy_4g.estimate_composed(None, vgg11_spec, 10.0)
+        assert offloaded.compute_mj < on_device.compute_mj
+        assert offloaded.radio_mj > on_device.radio_mj
+
+    def test_wifi_radio_cheaper_than_4g(self, energy_4g, energy_wifi, vgg11_spec):
+        cellular = energy_4g.estimate_composed(None, vgg11_spec, 10.0)
+        wifi = energy_wifi.estimate_composed(None, vgg11_spec, 10.0)
+        assert wifi.radio_mj + wifi.tx_mj < cellular.radio_mj + cellular.tx_mj
+
+    def test_slow_link_costs_more_radio_energy(self, energy_4g, vgg11_spec):
+        slow = energy_4g.estimate_composed(None, vgg11_spec, 2.0)
+        fast = energy_4g.estimate_composed(None, vgg11_spec, 50.0)
+        assert slow.radio_mj > fast.radio_mj
+        # Per-byte tx energy is bandwidth-independent.
+        assert slow.tx_mj == pytest.approx(fast.tx_mj)
+
+    def test_tx2_compute_power_above_phone(self, vgg11_spec):
+        assert TX2_WIFI_ENERGY.compute_power_w > PHONE_WIFI_ENERGY.compute_power_w

@@ -1,0 +1,145 @@
+"""Unit tests for MACC counting (Eqns. 4-5)."""
+
+import pytest
+
+from repro.latency.maccs import (
+    layer_maccs,
+    maccs_by_kernel,
+    model_macc_entries,
+    total_maccs,
+)
+from repro.model.spec import (
+    LayerSpec,
+    LayerType,
+    ModelSpec,
+    TensorShape,
+    conv,
+    fc,
+    flatten,
+    max_pool,
+    relu,
+)
+
+
+class TestEqn4Conv:
+    def test_hand_computed(self):
+        # K=3, Cin=3, Cout=8, out 8x8 => 3*3*3*8*8*8 = 13824
+        layer = conv(8, 3, 1, 1)
+        entries = layer_maccs(layer, TensorShape(3, 8, 8), TensorShape(8, 8, 8))
+        assert entries[0].maccs == 3 * 3 * 3 * 8 * 8 * 8
+
+    def test_stride_reduces(self):
+        layer = conv(8, 3, 2, 1)
+        entries = layer_maccs(layer, TensorShape(3, 8, 8), TensorShape(8, 4, 4))
+        assert entries[0].maccs == 3 * 3 * 3 * 8 * 4 * 4
+
+    def test_grouped_conv(self):
+        layer = LayerSpec(LayerType.CONV, 3, 1, 1, 8, groups=2)
+        entries = layer_maccs(layer, TensorShape(8, 4, 4), TensorShape(8, 4, 4))
+        assert entries[0].maccs == 3 * 3 * 4 * 8 * 4 * 4
+
+    def test_depthwise(self):
+        layer = LayerSpec(LayerType.DEPTHWISE_CONV, 3, 1, 1, 0)
+        entries = layer_maccs(layer, TensorShape(16, 4, 4), TensorShape(16, 4, 4))
+        assert entries[0].maccs == 9 * 16 * 16
+
+    def test_pointwise(self):
+        layer = LayerSpec(LayerType.POINTWISE_CONV, 1, 1, 0, 32)
+        entries = layer_maccs(layer, TensorShape(16, 4, 4), TensorShape(32, 4, 4))
+        assert entries[0].maccs == 16 * 32 * 16
+        assert entries[0].kernel_size == 1
+
+
+class TestEqn5FC:
+    def test_hand_computed(self):
+        layer = fc(10)
+        entries = layer_maccs(
+            layer, TensorShape(100, 1, 1, flat=True), TensorShape(10, 1, 1, flat=True)
+        )
+        assert entries[0].maccs == 1000
+        assert entries[0].kind == "fc"
+
+    def test_factorized_counts_both_factors(self):
+        layer = fc(10).replace(rank=4)
+        entries = layer_maccs(
+            layer, TensorShape(100, 1, 1, flat=True), TensorShape(10, 1, 1, flat=True)
+        )
+        assert entries[0].maccs == 100 * 4 + 4 * 10
+
+    def test_sparsity_scales(self):
+        dense = fc(10).replace(rank=4)
+        sparse = fc(10).replace(rank=4, sparsity=0.5)
+        shape_in = TensorShape(100, 1, 1, flat=True)
+        shape_out = TensorShape(10, 1, 1, flat=True)
+        m_dense = layer_maccs(dense, shape_in, shape_out)[0].maccs
+        m_sparse = layer_maccs(sparse, shape_in, shape_out)[0].maccs
+        assert m_sparse == m_dense // 2
+
+
+class TestCheapLayersIgnored:
+    @pytest.mark.parametrize(
+        "layer",
+        [relu(), max_pool(), flatten(), LayerSpec(LayerType.BATCH_NORM), LayerSpec(LayerType.DROPOUT)],
+    )
+    def test_zero_maccs(self, layer):
+        assert layer_maccs(layer, TensorShape(8, 4, 4), TensorShape(8, 4, 4)) == []
+
+
+class TestCompositeLayers:
+    def test_fire_three_primitives(self):
+        layer = LayerSpec(LayerType.FIRE, 3, 1, 1, 32, squeeze_ratio=0.25)
+        entries = layer_maccs(layer, TensorShape(16, 8, 8), TensorShape(32, 8, 8))
+        assert len(entries) == 3
+        kernels = sorted(e.kernel_size for e in entries)
+        assert kernels == [1, 1, 3]
+
+    def test_fire_cheaper_than_dense(self):
+        dense = conv(64, 3, 1, 1)
+        fire = LayerSpec(LayerType.FIRE, 3, 1, 1, 64, squeeze_ratio=0.125)
+        in_shape, out_shape = TensorShape(64, 8, 8), TensorShape(64, 8, 8)
+        dense_maccs = sum(e.maccs for e in layer_maccs(dense, in_shape, out_shape))
+        fire_maccs = sum(e.maccs for e in layer_maccs(fire, in_shape, out_shape))
+        assert fire_maccs < dense_maccs
+
+    def test_inverted_residual_three_primitives(self):
+        layer = LayerSpec(LayerType.INVERTED_RESIDUAL, 3, 1, 1, 16, expansion=2)
+        entries = layer_maccs(layer, TensorShape(16, 8, 8), TensorShape(16, 8, 8))
+        assert len(entries) == 3
+        # expand (pw) + depthwise + project (pw)
+        assert sorted(e.kernel_size for e in entries) == [1, 1, 3]
+
+    def test_dw_pw_cheaper_than_dense(self):
+        in_shape, out_shape = TensorShape(128, 8, 8), TensorShape(128, 8, 8)
+        dense = sum(
+            e.maccs for e in layer_maccs(conv(128, 3, 1, 1), in_shape, out_shape)
+        )
+        dw = sum(
+            e.maccs
+            for e in layer_maccs(
+                LayerSpec(LayerType.DEPTHWISE_CONV, 3, 1, 1, 0), in_shape, out_shape
+            )
+        )
+        pw = sum(
+            e.maccs
+            for e in layer_maccs(
+                LayerSpec(LayerType.POINTWISE_CONV, 1, 1, 0, 128), in_shape, out_shape
+            )
+        )
+        assert (dw + pw) < dense / 4
+
+
+class TestModelAggregation:
+    def test_entries_carry_layer_indices(self, small_spec):
+        entries = model_macc_entries(small_spec)
+        assert all(e.layer_index >= 0 for e in entries)
+        assert len({e.layer_index for e in entries}) == 4  # 2 convs + 2 fcs
+
+    def test_total_is_sum(self, small_spec):
+        entries = model_macc_entries(small_spec)
+        assert total_maccs(small_spec) == sum(e.maccs for e in entries)
+
+    def test_by_kernel_partitions_total(self, vgg11_spec):
+        by_kernel = maccs_by_kernel(vgg11_spec)
+        assert sum(by_kernel.values()) == total_maccs(vgg11_spec)
+        assert ("conv", 3) in by_kernel
+        assert ("fc", 0) in by_kernel

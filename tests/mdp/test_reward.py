@@ -1,0 +1,95 @@
+"""Tests for the Eqn. 7 reward — including exact matches to paper numbers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdp.reward import PAPER_REWARD, RewardConfig
+
+
+class TestPaperNumbers:
+    """The reward formula reproduces published table entries exactly."""
+
+    @pytest.mark.parametrize(
+        "latency_ms,accuracy,expected",
+        [
+            # Table V, surgery column (accuracy fixed at the base 92.01%).
+            (73.99, 0.9201, 339.63),
+            (143.44, 0.9201, 297.96),
+            (100.49, 0.9201, 323.73),
+            (223.47, 0.9201, 249.94),
+            # Table V AlexNet surgery rows (base 84.08%).
+            (28.35, 0.8408, 351.15),
+            (184.04, 0.8408, 257.74),
+        ],
+    )
+    def test_exact_table5_values(self, latency_ms, accuracy, expected):
+        assert PAPER_REWARD.reward(accuracy, latency_ms) == pytest.approx(
+            expected, abs=0.01
+        )
+
+    def test_max_reward_is_400(self):
+        assert PAPER_REWARD.max_reward == 400.0
+        assert PAPER_REWARD.reward(1.0, 0.0) == 400.0
+
+    def test_weights_are_300_100(self):
+        assert PAPER_REWARD.latency_weight == 300.0
+        assert PAPER_REWARD.accuracy_weight == 100.0
+
+
+class TestNormalization:
+    def test_accuracy_clipped_below(self):
+        assert PAPER_REWARD.normalize_accuracy(0.3) == 0.0
+
+    def test_accuracy_clipped_above(self):
+        assert PAPER_REWARD.normalize_accuracy(1.2) == 1.0
+
+    def test_latency_clipped(self):
+        assert PAPER_REWARD.normalize_latency(1000.0) == 0.0
+        assert PAPER_REWARD.normalize_latency(-5.0) == 1.0
+
+    def test_midpoints(self):
+        assert PAPER_REWARD.normalize_accuracy(0.75) == pytest.approx(0.5)
+        assert PAPER_REWARD.normalize_latency(250.0) == pytest.approx(0.5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RewardConfig(min_accuracy=0.9, max_accuracy=0.9)
+        with pytest.raises(ValueError):
+            RewardConfig(min_latency_ms=100, max_latency_ms=50)
+
+    def test_custom_weights(self):
+        config = RewardConfig(accuracy_weight=50.0, latency_weight=50.0)
+        assert config.reward(1.0, 0.0) == 100.0
+
+
+@given(
+    accuracy=st.floats(0.0, 1.0),
+    latency=st.floats(0.0, 2000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_reward_bounded(accuracy, latency):
+    reward = PAPER_REWARD.reward(accuracy, latency)
+    assert 0.0 <= reward <= 400.0
+
+
+@given(
+    accuracy=st.floats(0.5, 1.0),
+    lat_a=st.floats(0.0, 500.0),
+    lat_b=st.floats(0.0, 500.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_lower_latency_never_hurts(accuracy, lat_a, lat_b):
+    low, high = sorted([lat_a, lat_b])
+    assert PAPER_REWARD.reward(accuracy, low) >= PAPER_REWARD.reward(accuracy, high)
+
+
+@given(
+    latency=st.floats(0.0, 500.0),
+    acc_a=st.floats(0.5, 1.0),
+    acc_b=st.floats(0.5, 1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_higher_accuracy_never_hurts(latency, acc_a, acc_b):
+    low, high = sorted([acc_a, acc_b])
+    assert PAPER_REWARD.reward(high, latency) >= PAPER_REWARD.reward(low, latency)

@@ -1,0 +1,75 @@
+"""Tests for MDP states and partition transitions (Sec. V-A)."""
+
+import pytest
+
+from repro.mdp.state import (
+    DnnState,
+    PartitionAction,
+    apply_partition,
+    initial_state,
+)
+
+
+class TestInitialState:
+    def test_everything_on_edge(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        assert state.is_fully_on_edge
+        assert not state.is_fully_on_cloud
+        assert state.composed() == small_spec
+
+    def test_records_bandwidth(self, small_spec):
+        assert initial_state(small_spec, 7.5).bandwidth_mbps == 7.5
+
+
+class TestPartition:
+    def test_mid_cut(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        cut = apply_partition(state, PartitionAction(4))
+        assert len(cut.edge_spec) == 4
+        assert len(cut.cloud_spec) == len(small_spec) - 4
+        assert cut.composed().layers == small_spec.layers
+
+    def test_cut_at_zero_ships_everything(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        cut = apply_partition(state, PartitionAction(0))
+        assert cut.is_fully_on_cloud
+        assert cut.composed().layers == small_spec.layers
+
+    def test_no_partition_action(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        same = apply_partition(state, PartitionAction(len(small_spec)))
+        assert same.is_fully_on_edge
+
+    def test_out_of_range_rejected(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        with pytest.raises(ValueError):
+            apply_partition(state, PartitionAction(-1))
+        with pytest.raises(ValueError):
+            apply_partition(state, PartitionAction(len(small_spec) + 1))
+
+    def test_partition_without_edge_rejected(self, small_spec):
+        state = DnnState(edge_spec=None, cloud_spec=small_spec, bandwidth_mbps=5.0)
+        with pytest.raises(ValueError):
+            apply_partition(state, PartitionAction(1))
+
+    def test_second_partition_prepends_to_cloud(self, small_spec):
+        state = initial_state(small_spec, 10.0)
+        first = apply_partition(state, PartitionAction(6))
+        second = apply_partition(first, PartitionAction(3))
+        assert len(second.edge_spec) == 3
+        assert len(second.cloud_spec) == len(small_spec) - 3
+        assert second.composed().layers == small_spec.layers
+
+
+class TestStateStrings:
+    def test_eqn1_strings_tagged_by_placement(self, small_spec):
+        state = apply_partition(initial_state(small_spec, 10.0), PartitionAction(4))
+        strings = state.to_strings()
+        assert len(strings) == len(small_spec)
+        assert strings[0].startswith("edge:")
+        assert strings[-1].startswith("cloud:")
+
+    def test_composed_raises_for_empty(self):
+        state = DnnState(edge_spec=None, cloud_spec=None, bandwidth_mbps=1.0)
+        with pytest.raises(AssertionError):
+            state.composed()

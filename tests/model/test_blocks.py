@@ -1,0 +1,75 @@
+"""Unit tests for block slicing (Alg. 3 line 2)."""
+
+import pytest
+
+from repro.model.blocks import BlockSpec, concatenate_blocks, slice_into_blocks
+from repro.nn.zoo import alexnet, tiny_cnn, vgg11
+
+
+class TestSliceIntoBlocks:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_block_count(self, n):
+        blocks = slice_into_blocks(vgg11(), n)
+        assert len(blocks) == n
+
+    def test_blocks_are_contiguous_cover(self):
+        spec = vgg11()
+        blocks = slice_into_blocks(spec, 3)
+        assert blocks[0].start == 0
+        assert blocks[-1].stop == len(spec)
+        for left, right in zip(blocks, blocks[1:]):
+            assert left.stop == right.start
+
+    def test_block_indices(self):
+        blocks = slice_into_blocks(vgg11(), 3)
+        assert [b.index for b in blocks] == [0, 1, 2]
+
+    def test_block_input_shapes_chain(self):
+        spec = vgg11()
+        blocks = slice_into_blocks(spec, 3)
+        for i, block in enumerate(blocks):
+            assert block.model.input_shape == spec.input_shape_of(block.start)
+
+    def test_concatenate_reconstructs(self):
+        spec = alexnet()
+        for n in (1, 2, 3):
+            rebuilt = concatenate_blocks(slice_into_blocks(spec, n))
+            assert rebuilt.layers == spec.layers
+
+    def test_cuts_fall_on_stage_boundaries(self):
+        """With 3 blocks on VGG11 the cuts should follow pooling layers."""
+        spec = vgg11()
+        blocks = slice_into_blocks(spec, 3)
+        from repro.model.spec import LayerType
+
+        for block in blocks[1:]:
+            before = spec[block.start - 1]
+            assert before.layer_type in (
+                LayerType.MAX_POOL,
+                LayerType.AVG_POOL,
+            ) or (before.layer_type == LayerType.CONV and before.stride > 1)
+
+    def test_paper_setting_n3_reasonably_balanced(self):
+        blocks = slice_into_blocks(vgg11(), 3)
+        sizes = [len(b) for b in blocks]
+        assert max(sizes) <= 3 * min(sizes)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            slice_into_blocks(tiny_cnn(), 0)
+        with pytest.raises(ValueError):
+            slice_into_blocks(tiny_cnn(), 1000)
+
+    def test_single_block_is_whole_model(self):
+        spec = tiny_cnn()
+        (block,) = slice_into_blocks(spec, 1)
+        assert block.model.layers == spec.layers
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_blocks([])
+
+    def test_fingerprints_unique_per_block(self):
+        blocks = slice_into_blocks(vgg11(), 3)
+        fingerprints = {b.fingerprint() for b in blocks}
+        assert len(fingerprints) == 3

@@ -1,0 +1,163 @@
+"""Tests for DAG models and DAG-level Dynamic DNN Surgery."""
+
+import pytest
+
+from repro.latency.compute import LatencyEstimator
+from repro.latency.devices import CLOUD_SERVER, XIAOMI_MI_6X
+from repro.latency.transfer import TransferModel
+from repro.model.dag import (
+    INPUT,
+    DagModel,
+    chain_dag,
+    dag_surgery,
+    evaluate_dag_partition,
+    resnet_dag,
+)
+from repro.model.spec import LayerSpec, LayerType, TensorShape, conv, fc, relu
+from repro.search.baselines import exhaustive_chain_partition
+from repro.model.spec import ModelSpec
+from tests.conftest import make_context
+
+CHEAP_LINK = TransferModel(
+    setup_ms=2.0, per_byte_overhead_ms=1e-5, setup_per_inverse_mbps_ms=5.0
+)
+
+
+@pytest.fixture
+def estimator():
+    return LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CHEAP_LINK)
+
+
+class TestDagConstruction:
+    def test_chain_topology(self):
+        dag = chain_dag([conv(8, 3, 1, 1), relu()], TensorShape(3, 8, 8))
+        assert len(dag) == 2
+        assert dag.layer_ids == ["l0", "l1"]
+        assert dag.output_ids == ["l1"]
+
+    def test_duplicate_id_rejected(self):
+        dag = DagModel(TensorShape(3, 8, 8))
+        dag.add_layer("a", conv(4, 3, 1, 1), [INPUT])
+        with pytest.raises(ValueError):
+            dag.add_layer("a", relu(), ["a"])
+
+    def test_unknown_input_rejected(self):
+        dag = DagModel(TensorShape(3, 8, 8))
+        with pytest.raises(ValueError):
+            dag.add_layer("a", conv(4), ["nope"])
+
+    def test_empty_inputs_rejected(self):
+        dag = DagModel(TensorShape(3, 8, 8))
+        with pytest.raises(ValueError):
+            dag.add_layer("a", conv(4), [])
+
+    def test_add_merge_shape_check(self):
+        dag = DagModel(TensorShape(3, 8, 8))
+        a = dag.add_layer("a", conv(4, 3, 1, 1), [INPUT])
+        b = dag.add_layer("b", conv(8, 3, 1, 1), [INPUT])
+        with pytest.raises(ValueError):
+            dag.add_layer("merge", relu(), [a, b])
+
+    def test_residual_merge_allowed(self):
+        dag = DagModel(TensorShape(3, 8, 8))
+        a = dag.add_layer("a", conv(3, 3, 1, 1), [INPUT])
+        merge = dag.add_layer("merge", relu(), [a, INPUT])
+        assert dag.output_shape_of(merge).channels == 3
+
+    def test_resnet_dag_shapes(self):
+        dag = resnet_dag()
+        assert dag.output_ids == ["fc"]
+        assert dag.output_shape_of("fc").channels == 10
+        # Skip connections exist: some node has two predecessors.
+        assert any(
+            dag.graph.in_degree(n) > 1 for n in dag.layer_ids
+        )
+
+    def test_activation_bytes(self):
+        dag = chain_dag([conv(8, 3, 1, 1)], TensorShape(3, 4, 4))
+        assert dag.activation_bytes("l0") == 8 * 4 * 4 * 4
+
+
+class TestDagPartitionEvaluation:
+    def test_full_edge_no_transfer(self, estimator):
+        dag = resnet_dag()
+        partition = evaluate_dag_partition(
+            dag, frozenset(dag.layer_ids), estimator, 10.0
+        )
+        assert partition.transfer_ms == 0.0
+        assert partition.cloud_ms == 0.0
+
+    def test_full_cloud_ships_input_once(self, estimator):
+        dag = resnet_dag()
+        partition = evaluate_dag_partition(dag, frozenset(), estimator, 10.0)
+        assert partition.crossing_activations == (INPUT,)
+        assert partition.edge_ms == 0.0
+
+    def test_cut_inside_residual_block_pays_twice(self, estimator):
+        """Cutting between conv1 and the add leaves two crossing activations:
+        conv path and skip path — the cost chains avoid."""
+        dag = resnet_dag(blocks_per_stage=1)
+        # Put the stem + b0_conv1 on edge; conv2/add on cloud. The skip
+        # (stem output) and conv1's output both cross.
+        edge = frozenset({"stem", "b0_conv1"})
+        partition = evaluate_dag_partition(dag, edge, estimator, 10.0)
+        assert len(partition.crossing_activations) >= 2
+
+    def test_total_is_sum(self, estimator):
+        dag = resnet_dag()
+        partition = evaluate_dag_partition(
+            dag, frozenset(list(dag.layer_ids)[:4]), estimator, 10.0
+        )
+        assert partition.total_ms == pytest.approx(
+            partition.edge_ms + partition.transfer_ms + partition.cloud_ms
+        )
+
+
+class TestDagSurgery:
+    def test_responds_to_bandwidth(self, estimator):
+        dag = resnet_dag(width=48, blocks_per_stage=3)
+        slow = dag_surgery(dag, estimator, 1.0)
+        fast = dag_surgery(dag, estimator, 100.0)
+        assert len(slow.edge_nodes) >= len(fast.edge_nodes)
+        assert len(slow.edge_nodes) == len(dag)  # too slow to offload
+        assert len(fast.edge_nodes) < len(dag)  # offloads when fast
+
+    def test_dominates_trivial_assignments(self, estimator):
+        """The min-cut beats both all-edge and all-cloud at any bandwidth."""
+        dag = resnet_dag(width=32, blocks_per_stage=2)
+        for bandwidth in (2.0, 20.0, 80.0):
+            best = dag_surgery(dag, estimator, bandwidth)
+            all_edge = evaluate_dag_partition(
+                dag, frozenset(dag.layer_ids), estimator, bandwidth
+            )
+            all_cloud = evaluate_dag_partition(dag, frozenset(), estimator, bandwidth)
+            assert best.total_ms <= all_edge.total_ms + 1e-6
+            assert best.total_ms <= all_cloud.total_ms + 1e-6
+
+    def test_never_cuts_inside_residual_when_avoidable(self, estimator):
+        """Optimal DAG cuts land at block boundaries (single crossing)."""
+        dag = resnet_dag(width=48, blocks_per_stage=2)
+        for bandwidth in (5.0, 50.0):
+            partition = dag_surgery(dag, estimator, bandwidth)
+            assert len(partition.crossing_activations) <= 1
+
+    def test_chain_dag_matches_chain_surgery(self, estimator):
+        """On a chain, DAG surgery equals the exhaustive chain partition."""
+        layers = [
+            conv(16, 3, 1, 1),
+            relu(),
+            conv(32, 3, 2, 1),
+            relu(),
+            LayerSpec(LayerType.GLOBAL_AVG_POOL),
+            fc(10),
+        ]
+        shape = TensorShape(3, 16, 16)
+        dag = chain_dag(layers, shape)
+        spec = ModelSpec(layers, shape)
+        for bandwidth in (1.0, 10.0, 100.0):
+            dag_result = dag_surgery(dag, estimator, bandwidth)
+            best_chain = min(
+                estimator.estimate(spec, p, bandwidth).total_ms
+                for p in range(len(spec) + 1)
+            )
+            assert dag_result.total_ms == pytest.approx(best_chain, rel=1e-9)

@@ -1,0 +1,59 @@
+"""Tests for the model summary renderer."""
+
+import pytest
+
+from repro.compression import extended_registry
+from repro.model.summary import render_summary, summarize
+from repro.nn.zoo import alexnet, vgg11
+
+
+class TestSummarize:
+    def test_one_row_per_layer(self):
+        spec = vgg11()
+        rows = summarize(spec)
+        assert len(rows) == len(spec)
+
+    def test_totals_match_spec(self):
+        spec = alexnet()
+        rows = summarize(spec)
+        assert sum(r.params for r in rows) == spec.parameter_count()
+
+    def test_maccs_match(self):
+        from repro.latency.maccs import total_maccs
+
+        spec = vgg11()
+        assert sum(r.maccs for r in summarize(spec)) == total_maccs(spec)
+
+    def test_activation_bytes(self):
+        spec = vgg11()
+        rows = summarize(spec)
+        assert rows[0].activation_bytes == spec.feature_bytes_after(0)
+
+    def test_flat_shapes_rendered(self):
+        spec = vgg11()
+        assert summarize(spec)[-1].output_shape == "(10,)"
+
+    def test_quantized_layer_labeled(self):
+        registry = extended_registry()
+        spec = registry.get("Q1").apply(vgg11(), 0)
+        assert "int8" in summarize(spec)[0].name
+
+    def test_factorized_layer_labeled(self):
+        registry = extended_registry()
+        spec = vgg11()
+        fc_index = len(spec) - 1
+        spec = registry.get("F1").apply(spec, fc_index)
+        assert "r" in summarize(spec)[fc_index].name
+
+
+class TestRender:
+    def test_contains_totals_and_layers(self):
+        text = render_summary(vgg11())
+        assert "total:" in text
+        assert "conv 3x3" in text
+        assert "vgg11" in text
+
+    def test_line_count(self):
+        spec = alexnet()
+        text = render_summary(spec)
+        assert len(text.splitlines()) == len(spec) + 5

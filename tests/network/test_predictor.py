@@ -1,0 +1,122 @@
+"""Tests for bandwidth predictors and tree storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.network.predictor import (
+    EWMAPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    evaluate_predictor,
+)
+from repro.network.scenarios import get_scenario
+
+
+class TestLastValue:
+    def test_returns_latest(self):
+        predictor = LastValuePredictor()
+        predictor.update(5.0)
+        predictor.update(8.0)
+        assert predictor.predict() == 8.0
+
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            LastValuePredictor().predict()
+
+
+class TestEWMA:
+    def test_converges_to_constant(self):
+        predictor = EWMAPredictor(alpha=0.5)
+        for _ in range(30):
+            predictor.update(10.0)
+        assert predictor.predict() == pytest.approx(10.0)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        noisy = 10.0 + rng.normal(0, 3.0, size=200)
+        predictor = EWMAPredictor(alpha=0.2)
+        for value in noisy:
+            predictor.update(value)
+        # Smoothed level is closer to the mean than a raw sample would be.
+        assert abs(predictor.predict() - 10.0) < 2.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+
+    def test_alpha_one_is_last_value(self):
+        predictor = EWMAPredictor(alpha=1.0)
+        predictor.update(3.0)
+        predictor.update(7.0)
+        assert predictor.predict() == 7.0
+
+
+class TestHolt:
+    def test_tracks_linear_trend(self):
+        predictor = HoltPredictor(alpha=0.6, beta=0.4)
+        for t in range(50):
+            predictor.update(5.0 + 0.5 * t)
+        # One-step-ahead forecast continues the ramp.
+        assert predictor.predict() > 5.0 + 0.5 * 49
+
+    def test_floor_positive(self):
+        predictor = HoltPredictor()
+        predictor.update(1.0)
+        predictor.update(0.2)
+        predictor.update(0.1)
+        assert predictor.predict() >= 0.1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HoltPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltPredictor(beta=2.0)
+
+
+class TestEvaluatePredictor:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(EWMAPredictor(), [1.0])
+
+    def test_smoothing_beats_last_value_at_coarse_probing(self):
+        """Probing once per second (the realistic field cadence), the trace's
+        short-range autocorrelation is gone and smoothing wins; at the
+        10 Hz cadence last-value wins — which is why the *emulation* engine
+        (instantaneous probes) does fine without a predictor."""
+        trace = get_scenario("vgg11", "phone", "WiFi (weak) indoor").trace(60.0)
+        coarse = trace.samples[::10]  # probe every 1.0 s
+        last = evaluate_predictor(LastValuePredictor(), coarse)
+        ewma = evaluate_predictor(EWMAPredictor(alpha=0.3), coarse)
+        assert ewma < last
+        fine = trace.samples[::1]  # probe every 0.1 s
+        last_fine = evaluate_predictor(LastValuePredictor(), fine)
+        ewma_fine = evaluate_predictor(EWMAPredictor(alpha=0.3), fine)
+        assert last_fine < ewma_fine
+
+    def test_holt_competitive_on_trending_series(self):
+        ramp = [5.0 + 0.3 * t for t in range(60)]
+        holt = evaluate_predictor(HoltPredictor(), ramp)
+        last = evaluate_predictor(LastValuePredictor(), ramp)
+        assert holt < last
+
+
+class TestTreeStorageSharing:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        from tests.conftest import make_context
+        from repro.nn.zoo import vgg11
+        from repro.search.tree import TreeSearchConfig, model_tree_search
+
+        context = make_context(vgg11(), 0.9201)
+        config = TreeSearchConfig(num_blocks=3, episodes=4, branch_episodes=8, seed=0)
+        return model_tree_search(context, [5.0, 20.0], config=config).tree
+
+    def test_sharing_factor_at_least_one(self, tree):
+        assert tree.sharing_factor() >= 1.0
+
+    def test_shared_storage_below_branch_sum(self, tree):
+        if len(tree.branches()) > 1:
+            assert tree.storage_bytes() <= tree.branches_total_bytes()
+
+    def test_storage_positive(self, tree):
+        assert tree.storage_bytes() >= 0

@@ -1,0 +1,43 @@
+"""Tests for network checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_network, load_network, save_network, tiny_cnn
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_weights(self, tmp_path):
+        spec = tiny_cnn()
+        net = build_network(spec, seed=1)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        other = build_network(spec, seed=99)
+        load_network(other, path)
+        for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_restored_network_same_outputs(self, tmp_path):
+        spec = tiny_cnn()
+        net = build_network(spec, seed=2)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        clone = load_network(build_network(spec, seed=3), path)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 16, 16)))
+        net.eval()
+        clone.eval()
+        np.testing.assert_allclose(net(x).data, clone(x).data)
+
+    def test_parameterless_network_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_network(Sequential(ReLU()), tmp_path / "x.npz")
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        net = build_network(tiny_cnn(), seed=0)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        wrong = build_network(tiny_cnn(width=8), seed=0)
+        with pytest.raises((ValueError, KeyError)):
+            load_network(wrong, path)

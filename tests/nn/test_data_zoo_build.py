@@ -1,0 +1,165 @@
+"""Tests for the synthetic dataset, the model zoo and spec->network building."""
+
+import numpy as np
+import pytest
+
+from repro.model.spec import LayerType, ModelSpec, TensorShape
+from repro.nn.build import build_network
+from repro.nn.data import SyntheticImageDataset
+from repro.nn.tensor import Tensor
+from repro.nn.zoo import (
+    BASE_MODELS,
+    alexnet,
+    get_model,
+    resnet50,
+    resnet101,
+    resnet152,
+    tiny_cnn,
+    vgg11,
+    vgg19,
+)
+from repro.latency.maccs import total_maccs
+
+
+class TestSyntheticDataset:
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageDataset(seed=3, num_train=32, num_test=16)
+        b = SyntheticImageDataset(seed=3, num_train=32, num_test=16)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seed_differs(self):
+        a = SyntheticImageDataset(seed=1, num_train=32, num_test=16)
+        b = SyntheticImageDataset(seed=2, num_train=32, num_test=16)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_shapes(self):
+        data = SyntheticImageDataset(image_size=12, channels=3, num_train=20, num_test=8)
+        assert data.train_images.shape == (20, 3, 12, 12)
+        assert data.test_labels.shape == (8,)
+
+    def test_labels_within_range(self):
+        data = SyntheticImageDataset(num_classes=5, num_train=64, num_test=32)
+        assert data.train_labels.min() >= 0
+        assert data.train_labels.max() < 5
+
+    def test_batches_cover_all(self):
+        data = SyntheticImageDataset(num_train=50, num_test=10)
+        total = sum(len(b) for b in data.batches(16, train=True))
+        assert total == 50
+
+    def test_batches_shuffle_determinism(self):
+        data = SyntheticImageDataset(num_train=40, num_test=10)
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        b1 = next(iter(data.batches(8, rng=rng1)))
+        b2 = next(iter(data.batches(8, rng=rng2)))
+        np.testing.assert_array_equal(b1.labels, b2.labels)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+
+    def test_classes_are_separable(self):
+        """A nearest-prototype classifier should beat chance by a wide margin."""
+        data = SyntheticImageDataset(num_train=128, num_test=64, noise=0.3, seed=0)
+        prototypes = data._prototypes.reshape(data.num_classes, -1)
+        flat = data.test_images.reshape(len(data.test_labels), -1)
+        predictions = np.argmin(
+            ((flat[:, None, :] - prototypes[None]) ** 2).sum(-1), axis=1
+        )
+        accuracy = (predictions == data.test_labels).mean()
+        assert accuracy > 0.9
+
+
+class TestZoo:
+    @pytest.mark.parametrize("name", sorted(BASE_MODELS))
+    def test_all_models_construct(self, name):
+        spec = get_model(name)
+        assert len(spec) > 0
+        assert spec.output_shape.flat
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("resnet9000")
+
+    def test_vgg11_cifar_classifier_head(self):
+        spec = vgg11()
+        fc_layers = [l for l in spec if l.layer_type == LayerType.FC]
+        assert fc_layers[-1].out_channels == 10
+
+    def test_vgg11_imagenet_has_wide_head(self):
+        spec = vgg11(input_shape=TensorShape(3, 224, 224), num_classes=1000)
+        fc_layers = [l for l in spec if l.layer_type == LayerType.FC]
+        assert len(fc_layers) == 3
+        assert fc_layers[0].out_channels == 4096
+
+    def test_vgg19_macc_count_near_reference(self):
+        # Published VGG19 @224 ≈ 19.6 GMACs.
+        maccs = total_maccs(vgg19())
+        assert 18e9 < maccs < 21e9
+
+    def test_resnet_depth_ordering(self):
+        m50 = total_maccs(resnet50())
+        m101 = total_maccs(resnet101())
+        m152 = total_maccs(resnet152())
+        assert m50 < m101 < m152
+        # Published ratio R101/R50 ≈ 2.
+        assert 1.7 < m101 / m50 < 2.3
+
+    def test_alexnet_lighter_than_vgg11(self):
+        assert total_maccs(alexnet()) < total_maccs(vgg11())
+
+    def test_width_multiplier_scales(self):
+        slim = vgg11(width_multiplier=0.5)
+        full = vgg11()
+        assert slim.parameter_count() < full.parameter_count()
+
+    def test_alexnet_imagenet_variant(self):
+        spec = alexnet(input_shape=TensorShape(3, 224, 224), num_classes=1000)
+        assert spec[0].kernel_size == 11
+
+
+class TestBuildNetwork:
+    def test_tiny_cnn_builds_and_runs(self):
+        spec = tiny_cnn()
+        net = build_network(spec, seed=0)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count_matches_spec(self):
+        spec = tiny_cnn()
+        net = build_network(spec)
+        assert net.num_parameters() == spec.parameter_count()
+
+    def test_build_seed_determinism(self):
+        spec = tiny_cnn()
+        a = build_network(spec, seed=1)
+        b = build_network(spec, seed=1)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_build_all_compressed_layer_types(self):
+        """A spec using every compression-produced layer type must build."""
+        from repro.model.spec import LayerSpec
+
+        spec = ModelSpec(
+            [
+                LayerSpec(LayerType.CONV, 3, 1, 1, 8),
+                LayerSpec(LayerType.RELU),
+                LayerSpec(LayerType.DEPTHWISE_CONV, 3, 1, 1, 0),
+                LayerSpec(LayerType.POINTWISE_CONV, 1, 1, 0, 8),
+                LayerSpec(LayerType.INVERTED_RESIDUAL, 3, 1, 1, 8, expansion=2),
+                LayerSpec(LayerType.FIRE, 3, 1, 1, 8, squeeze_ratio=0.25),
+                LayerSpec(LayerType.BATCH_NORM),
+                LayerSpec(LayerType.MAX_POOL, 2, 2, 0, 0),
+                LayerSpec(LayerType.GLOBAL_AVG_POOL),
+                LayerSpec(LayerType.FC, 0, 1, 0, 6, rank=2),
+                LayerSpec(LayerType.FC, 0, 1, 0, 4),
+            ],
+            TensorShape(3, 8, 8),
+        )
+        net = build_network(spec, seed=0)
+        out = net(Tensor(np.random.default_rng(1).normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+        assert net.num_parameters() > 0

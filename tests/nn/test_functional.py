@@ -1,0 +1,266 @@
+"""Unit tests for the differentiable NN operations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Straightforward loop reference implementation."""
+    n, c_in, h, wd = x.shape
+    c_out, _, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (wd + 2 * padding - k) // stride + 1
+    out = np.zeros((n, c_out, oh, ow))
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[ni, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[ni, co, i, j] = (patch * w[co]).sum() + (b[co] if b is not None else 0)
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, padding)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, b, stride, padding), atol=1e-10)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, 1, 1)
+        np.testing.assert_allclose(out.data, naive_conv2d(x, w, None, 1, 1), atol=1e-10)
+
+    def test_depthwise_groups(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(4, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, 1, 1, groups=4)
+        # Each channel is an independent 1-channel conv.
+        for c in range(4):
+            ref = naive_conv2d(x[:, c : c + 1], w[c : c + 1], None, 1, 1)
+            np.testing.assert_allclose(out.data[:, c : c + 1], ref, atol=1e-10)
+
+    def test_group_validation(self):
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        w = Tensor(np.zeros((4, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None, 1, 1, groups=2)
+
+    def test_wrong_weight_channels(self):
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        w = Tensor(np.zeros((4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None, 1, 1)
+
+    def test_gradients_numeric(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=2), requires_grad=True)
+        (F.conv2d(x, w, b, 1, 1) ** 2).sum().backward()
+
+        def loss():
+            return float(
+                (F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data), 1, 1).data ** 2).sum()
+            )
+
+        eps = 1e-6
+        for tensor, index in [(x, (0, 1, 2, 2)), (w, (1, 0, 1, 1)), (b, (0,))]:
+            orig = tensor.data[index]
+            tensor.data[index] = orig + eps
+            up = loss()
+            tensor.data[index] = orig - eps
+            down = loss()
+            tensor.data[index] = orig
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - tensor.grad[index]) < 1e-4
+
+    def test_grouped_gradients_numeric(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        (F.conv2d(x, w, None, 1, 1, groups=2) ** 2).sum().backward()
+
+        def loss():
+            return float(
+                (F.conv2d(Tensor(x.data), Tensor(w.data), None, 1, 1, groups=2).data ** 2).sum()
+            )
+
+        eps = 1e-6
+        for tensor, index in [(x, (0, 3, 1, 1)), (w, (2, 1, 0, 0))]:
+            orig = tensor.data[index]
+            tensor.data[index] = orig + eps
+            up = loss()
+            tensor.data[index] = orig - eps
+            down = loss()
+            tensor.data[index] = orig
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - tensor.grad[index]) < 1e-4
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad_uniform(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_pool_with_stride(self):
+        x = Tensor(np.zeros((1, 2, 6, 6)))
+        out = F.max_pool2d(x, 3, stride=3)
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.arange(8.0).reshape(1, 2, 2, 2))
+        out = F.global_avg_pool2d(x)
+        np.testing.assert_allclose(out.data, [[1.5, 5.5]])
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(8, 4, 5, 5)), requires_grad=True)
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        mean = np.zeros(4)
+        var = np.ones(4)
+        out = F.batch_norm2d(x, gamma, beta, mean, var, training=True)
+        assert abs(out.data.mean()) < 1e-8
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_running_stats_update(self):
+        x = Tensor(np.full((4, 2, 3, 3), 10.0))
+        gamma, beta = Tensor(np.ones(2), requires_grad=True), Tensor(np.zeros(2), requires_grad=True)
+        mean = np.zeros(2)
+        var = np.ones(2)
+        F.batch_norm2d(x, gamma, beta, mean, var, training=True, momentum=0.5)
+        np.testing.assert_allclose(mean, [5.0, 5.0])
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((2, 1, 2, 2), 4.0))
+        gamma, beta = Tensor(np.ones(1), requires_grad=True), Tensor(np.zeros(1), requires_grad=True)
+        mean = np.array([4.0])
+        var = np.array([1.0])
+        out = F.batch_norm2d(x, gamma, beta, mean, var, training=False)
+        np.testing.assert_allclose(out.data, np.zeros_like(out.data), atol=1e-3)
+
+    def test_gradient_flows(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(4, 3, 2, 2)), requires_grad=True)
+        gamma = Tensor(np.ones(3), requires_grad=True)
+        beta = Tensor(np.zeros(3), requires_grad=True)
+        out = F.batch_norm2d(x, gamma, beta, np.zeros(3), np.ones(3), training=True)
+        (out**2).sum().backward()
+        assert x.grad is not None and gamma.grad is not None and beta.grad is not None
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(np.ones(100))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_scales_in_train(self):
+        x = Tensor(np.ones(10000))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        # Inverted dropout preserves the expectation.
+        assert abs(out.data.mean() - 1.0) < 0.05
+        assert (out.data == 0).any()
+
+    def test_zero_probability_is_identity(self):
+        x = Tensor(np.ones(10))
+        assert F.dropout(x, 0.0, training=True, rng=np.random.default_rng(0)) is x
+
+
+class TestLosses:
+    def test_log_softmax_normalizes(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        out = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(out.data).sum(), 1.0)
+
+    def test_softmax_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(10), rtol=1e-6)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        # Gradient should push the true class logit up (negative gradient).
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_distillation_matches_teacher_gives_low_soft_loss(self):
+        teacher = np.array([[5.0, 0.0, 0.0]])
+        student = Tensor(teacher.copy(), requires_grad=True)
+        labels = np.array([0])
+        loss_same = F.distillation_loss(student, teacher, labels)
+        student_bad = Tensor(np.array([[0.0, 5.0, 0.0]]), requires_grad=True)
+        loss_diff = F.distillation_loss(student_bad, teacher, labels)
+        assert loss_same.item() < loss_diff.item()
+
+    def test_distillation_alpha_zero_is_cross_entropy(self):
+        logits = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        labels = np.array([1])
+        kd = F.distillation_loss(logits, np.zeros((1, 2)), labels, alpha=0.0)
+        ce = F.cross_entropy(Tensor(logits.data), labels)
+        np.testing.assert_allclose(kd.item(), ce.item(), rtol=1e-9)
+
+    def test_accuracy_helper(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+        assert F.accuracy(logits, np.array([1, 0])) == 0.0
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 5, 5))
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 27, 25)
+        back = F.col2im(cols, x.shape, 3, 1, 1)
+        assert back.shape == x.shape
+
+    def test_col2im_accumulates_overlaps(self):
+        x = np.ones((1, 1, 3, 3))
+        cols = F.im2col(x, 3, 1, 1)
+        back = F.col2im(cols, x.shape, 3, 1, 1)
+        # The center pixel participates in all 9 windows.
+        assert back[0, 0, 1, 1] == 9.0

@@ -1,0 +1,196 @@
+"""Unit tests for layer modules and composites."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseSeparableConv,
+    Dropout,
+    FactorizedLinear,
+    Fire,
+    Flatten,
+    GlobalAvgPool2d,
+    InvertedResidual,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_parameter_count(self, rng):
+        conv = Conv2d(3, 8, 3, rng=rng)
+        assert conv.num_parameters() == 3 * 8 * 9 + 8
+
+    def test_no_bias(self, rng):
+        conv = Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert conv.num_parameters() == 3 * 8 * 9
+
+    def test_depthwise_parameter_count(self, rng):
+        conv = Conv2d(8, 8, 3, groups=8, rng=rng)
+        assert conv.num_parameters() == 8 * 9 + 8
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(10, 4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 10))))
+        assert out.shape == (3, 4)
+
+    def test_factorized_from_linear_full_rank_is_exact(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        layer.bias.data = rng.normal(size=4)
+        factored = FactorizedLinear.from_linear(layer, rank=4)
+        x = Tensor(rng.normal(size=(5, 6)))
+        np.testing.assert_allclose(factored(x).data, layer(x).data, atol=1e-10)
+
+    def test_factorized_low_rank_approximates(self, rng):
+        layer = Linear(20, 10, rng=rng)
+        # Construct a rank-2 weight so a rank-2 factorization is exact.
+        u = rng.normal(size=(10, 2))
+        v = rng.normal(size=(2, 20))
+        layer.weight.data = u @ v
+        factored = FactorizedLinear.from_linear(layer, rank=2)
+        x = Tensor(rng.normal(size=(3, 20)))
+        np.testing.assert_allclose(factored(x).data, layer(x).data, atol=1e-8)
+
+    def test_factorized_parameter_reduction(self, rng):
+        layer = Linear(100, 100, rng=rng)
+        factored = FactorizedLinear.from_linear(layer, rank=10)
+        assert factored.num_parameters() < layer.num_parameters()
+
+
+class TestContainers:
+    def test_sequential_iteration_and_index(self, rng):
+        seq = Sequential(Conv2d(3, 4, 3, rng=rng), ReLU(), Flatten())
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        assert isinstance(seq[0:2], Sequential)
+
+    def test_sequential_forward(self, rng):
+        seq = Sequential(Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), Flatten())
+        out = seq(Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert out.shape == (2, 64)
+
+    def test_parameters_recursive(self, rng):
+        seq = Sequential(Conv2d(3, 4, 3, rng=rng), Sequential(Linear(4, 2, rng=rng)))
+        names = [n for n, _ in seq.named_parameters()]
+        assert len(names) == 4  # conv w/b + linear w/b
+        assert all(isinstance(n, str) for n in names)
+
+    def test_state_dict_roundtrip(self, rng):
+        seq = Sequential(Conv2d(2, 3, 3, rng=rng), Linear(3, 2, rng=rng))
+        state = seq.state_dict()
+        seq2 = Sequential(Conv2d(2, 3, 3, rng=np.random.default_rng(9)), Linear(3, 2, rng=np.random.default_rng(10)))
+        seq2.load_state_dict(state)
+        for (_, a), (_, b) in zip(seq.named_parameters(), seq2.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_load_state_dict_missing_key(self, rng):
+        seq = Sequential(Linear(3, 2, rng=rng))
+        with pytest.raises(KeyError):
+            seq.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        seq = Sequential(Linear(3, 2, rng=rng))
+        state = {n: np.zeros((1, 1)) for n, _ in seq.named_parameters()}
+        with pytest.raises(ValueError):
+            seq.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Dropout(0.5), Sequential(BatchNorm2d(3)))
+        seq.eval()
+        assert not seq[0].training
+        assert not seq[1][0].training
+        seq.train()
+        assert seq[0].training
+
+    def test_zero_grad_clears(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestCompositeBlocks:
+    def test_depthwise_separable_shape_and_params(self, rng):
+        block = DepthwiseSeparableConv(8, 16, rng=rng)
+        out = block(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 16, 6, 6)
+        dense = Conv2d(8, 16, 3, rng=rng)
+        assert block.num_parameters() < dense.num_parameters()
+
+    def test_depthwise_separable_stride(self, rng):
+        block = DepthwiseSeparableConv(4, 4, stride=2, rng=rng)
+        out = block(Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_inverted_residual_with_skip(self, rng):
+        block = InvertedResidual(8, 8, rng=rng)
+        assert block.use_residual
+        out = block(Tensor(rng.normal(size=(1, 8, 5, 5))))
+        assert out.shape == (1, 8, 5, 5)
+
+    def test_inverted_residual_no_skip_on_stride(self, rng):
+        block = InvertedResidual(8, 8, stride=2, rng=rng)
+        assert not block.use_residual
+        out = block(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 8, 3, 3)
+
+    def test_inverted_residual_no_skip_on_channel_change(self, rng):
+        block = InvertedResidual(8, 16, rng=rng)
+        assert not block.use_residual
+
+    def test_fire_shape(self, rng):
+        fire = Fire(16, 32, rng=rng)
+        out = fire(Tensor(rng.normal(size=(1, 16, 5, 5))))
+        assert out.shape == (1, 32, 5, 5)
+
+    def test_fire_odd_channels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Fire(16, 31, rng=rng)
+
+    def test_fire_fewer_params_than_dense(self, rng):
+        fire = Fire(64, 64, squeeze_ratio=0.125, rng=rng)
+        dense = Conv2d(64, 64, 3, rng=rng)
+        assert fire.num_parameters() < dense.num_parameters()
+
+    def test_fire_gradient_flows(self, rng):
+        fire = Fire(4, 8, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)), requires_grad=True)
+        (fire(x) ** 2).sum().backward()
+        assert x.grad is not None
+        for p in fire.parameters():
+            assert p.grad is not None
+
+
+class TestPoolingLayers:
+    def test_max_pool_module(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_avg_pool_module(self, rng):
+        out = AvgPool2d(2)(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_global_avg_pool_module(self, rng):
+        out = GlobalAvgPool2d()(Tensor(rng.normal(size=(1, 5, 3, 3))))
+        assert out.shape == (1, 5)

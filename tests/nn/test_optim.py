@@ -1,0 +1,92 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, steps=200):
+    for _ in range(steps):
+        loss = quadratic_loss(param)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param).item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        final = run_steps(SGD([param], lr=0.1), param)
+        assert final < 1e-8
+
+    def test_momentum_accelerates(self):
+        p1 = Tensor(np.zeros(2), requires_grad=True)
+        p2 = Tensor(np.zeros(2), requires_grad=True)
+        plain = run_steps(SGD([p1], lr=0.01), p1, steps=50)
+        momentum = run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, steps=50)
+        assert momentum < plain
+
+    def test_weight_decay_shrinks(self):
+        param = Tensor(np.array([10.0]), requires_grad=True)
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        # With zero gradient, weight decay alone shrinks the weight.
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        param = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([param], lr=0.1).step()  # no backward -> no grad -> no change
+        assert param.data[0] == 1.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        final = run_steps(Adam([param], lr=0.1), param, steps=300)
+        assert final < 1e-6
+
+    def test_bias_correction_first_step(self):
+        param = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # First Adam step magnitude should be ~lr regardless of grad scale.
+        assert abs(abs(param.data[0]) - 0.1) < 1e-6
+
+    def test_weight_decay(self):
+        param = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.01, weight_decay=0.5)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 5.0
+
+
+class TestGradClipping:
+    def test_clip_reduces_large_norm(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        param.grad = np.full(4, 100.0)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_clip_leaves_small_norm(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        param.grad = np.array([0.1, 0.1])
+        optimizer.clip_grad_norm(5.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])

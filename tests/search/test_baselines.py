@@ -1,0 +1,124 @@
+"""Tests for Dynamic DNN Surgery (min-cut) and the search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.search.baselines import (
+    dynamic_dnn_surgery,
+    exhaustive_branch_search,
+    exhaustive_chain_partition,
+)
+from repro.search.policies import EpsilonGreedyPolicy, RandomPolicy
+from tests.conftest import make_context
+
+
+class TestDynamicDNNSurgery:
+    @pytest.mark.parametrize("bandwidth", [1.0, 5.0, 15.0, 60.0, 200.0])
+    def test_mincut_matches_chain_oracle(self, vgg_context, bandwidth):
+        """For chain DNNs the min-cut must equal the exhaustive best cut."""
+        surgery = dynamic_dnn_surgery(vgg_context, bandwidth)
+        oracle = exhaustive_chain_partition(vgg_context, bandwidth)
+        assert surgery.result.latency_ms == pytest.approx(
+            oracle.result.latency_ms, rel=1e-9
+        )
+
+    def test_high_bandwidth_prefers_cloud(self, vgg_context):
+        surgery = dynamic_dnn_surgery(vgg_context, 500.0)
+        assert surgery.partition_index < len(vgg_context.base) // 2
+
+    def test_low_bandwidth_prefers_edge(self, vgg_context):
+        surgery = dynamic_dnn_surgery(vgg_context, 0.5)
+        assert surgery.partition_index == len(vgg_context.base)
+
+    def test_accuracy_always_base(self, vgg_context):
+        """Surgery never compresses, so accuracy equals the base (92.01%)."""
+        for bandwidth in (2.0, 20.0):
+            surgery = dynamic_dnn_surgery(vgg_context, bandwidth)
+            assert surgery.result.accuracy == pytest.approx(0.9201)
+
+    def test_partition_consistent_with_result(self, vgg_context):
+        surgery = dynamic_dnn_surgery(vgg_context, 10.0)
+        p = surgery.partition_index
+        if p == 0:
+            assert surgery.result.edge_spec is None
+        elif p == len(vgg_context.base):
+            assert surgery.result.cloud_spec is None
+        else:
+            assert len(surgery.result.edge_spec) == p
+
+
+class TestExhaustiveSearch:
+    def test_chain_partition_minimizes_latency(self, small_context):
+        oracle = exhaustive_chain_partition(small_context, 10.0)
+        spec = small_context.base
+        latencies = [
+            small_context.estimator.estimate(spec, p, 10.0).total_ms
+            for p in range(len(spec) + 1)
+        ]
+        assert oracle.result.latency_ms == pytest.approx(min(latencies))
+
+    def test_exhaustive_dominates_everything(self, small_context):
+        """Brute force is an upper bound for any other search."""
+        optimum = exhaustive_branch_search(small_context, 10.0)
+        oracle = exhaustive_chain_partition(small_context, 10.0)
+        assert optimum.reward >= oracle.result.reward - 1e-9
+
+    def test_candidate_cap_enforced(self, vgg_context):
+        with pytest.raises(RuntimeError):
+            exhaustive_branch_search(vgg_context, 10.0, max_candidates=100)
+
+
+class TestBaselinePolicies:
+    def test_random_policy_samples_valid(self, small_context):
+        policy = RandomPolicy(small_context.registry)
+        rng = np.random.default_rng(0)
+        spec = small_context.base
+        for _ in range(20):
+            cut, _ = policy.sample_partition(spec, 10.0, rng)
+            assert cut == -1 or 0 <= cut < len(spec)
+            names, _ = policy.sample_compression(spec, 10.0, rng)
+            for i, name in enumerate(names):
+                if name != "ID":
+                    assert small_context.registry.get(name).applies_to(spec, i)
+
+    def test_random_policy_force(self, small_context):
+        policy = RandomPolicy(small_context.registry)
+        rng = np.random.default_rng(0)
+        cut, _ = policy.sample_partition(
+            small_context.base, 10.0, rng, force_no_partition=True
+        )
+        assert cut == -1
+
+    def test_epsilon_greedy_learns_values(self, small_context):
+        policy = EpsilonGreedyPolicy(small_context.registry, epsilon=0.0)
+        rng = np.random.default_rng(0)
+        spec = small_context.base
+        # Record a strong reward for one specific partition action.
+        state = policy._state_key(spec, 10.0)
+        policy._record(("p", state, 4), 400.0)
+        # Drain optimism for all other arms.
+        for action in list(range(len(spec))) + [-1]:
+            if action != 4:
+                policy._record(("p", state, action), 0.0)
+        cut, token = policy.sample_partition(spec, 10.0, rng)
+        assert cut == 4
+
+    def test_epsilon_greedy_update_records(self, small_context):
+        policy = EpsilonGreedyPolicy(small_context.registry)
+        rng = np.random.default_rng(1)
+        spec = small_context.base
+        _, token = policy.sample_partition(spec, 10.0, rng)
+        policy.update([token], 123.0)
+        key = token[0]
+        mean, count = policy._values[key]
+        assert count == 1
+        assert mean == 123.0
+
+    def test_epsilon_one_is_uniform_random(self, small_context):
+        policy = EpsilonGreedyPolicy(small_context.registry, epsilon=1.0)
+        rng = np.random.default_rng(2)
+        cuts = {
+            policy.sample_partition(small_context.base, 10.0, rng)[0]
+            for _ in range(50)
+        }
+        assert len(cuts) > 3

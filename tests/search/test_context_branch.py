@@ -1,0 +1,142 @@
+"""Tests for the search context, branch search (Alg. 1) and its guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.search.branch import (
+    BranchPlan,
+    optimal_branch_search,
+    realize_branch_plan,
+)
+from repro.search.baselines import exhaustive_branch_search, exhaustive_chain_partition
+from repro.search.policies import RLPolicy, RandomPolicy
+from tests.conftest import make_context
+
+
+class TestSearchContext:
+    def test_evaluate_full_edge(self, small_context):
+        base = small_context.base
+        result = small_context.evaluate(base, None, 10.0)
+        assert result.latency.transfer_ms == 0.0
+        assert result.latency.cloud_ms == 0.0
+        assert 0 <= result.reward <= 400
+
+    def test_evaluate_full_cloud(self, small_context):
+        base = small_context.base
+        result = small_context.evaluate(None, base, 10.0)
+        assert result.latency.edge_ms == 0.0
+        assert result.latency.transfer_ms > 0.0
+
+    def test_evaluate_rejects_empty(self, small_context):
+        with pytest.raises(ValueError):
+            small_context.evaluate(None, None, 10.0)
+
+    def test_memo_pool_hits(self, small_context):
+        base = small_context.base
+        small_context.evaluate(base, None, 10.0)
+        evaluations = small_context.evaluations
+        small_context.evaluate(base, None, 10.0)
+        assert small_context.evaluations == evaluations
+        assert small_context.pool_size >= 1
+
+    def test_memo_distinguishes_bandwidth(self, small_context):
+        base = small_context.base
+        a = small_context.evaluate(base.slice(0, 3), base.slice(3, len(base)), 5.0)
+        b = small_context.evaluate(base.slice(0, 3), base.slice(3, len(base)), 50.0)
+        assert a.latency_ms > b.latency_ms
+
+    def test_accuracy_independent_of_partition(self, small_context):
+        """Paper: accuracy has nothing to do with where we partition."""
+        base = small_context.base
+        accuracies = set()
+        for p in (2, 5, len(base)):
+            edge = base.slice(0, p) if p else None
+            cloud = base.slice(p, len(base)) if p < len(base) else None
+            accuracies.add(small_context.evaluate(edge, cloud, 10.0).accuracy)
+        assert len(accuracies) == 1
+
+
+class TestRealizeBranchPlan:
+    def test_no_partition_plan(self, small_context):
+        plan = BranchPlan(len(small_context.base), tuple(["ID"] * len(small_context.base)))
+        result = realize_branch_plan(small_context, plan, 10.0)
+        assert result.cloud_spec is None
+        assert result.latency.transfer_ms == 0.0
+
+    def test_full_offload_plan(self, small_context):
+        plan = BranchPlan(0, ())
+        result = realize_branch_plan(small_context, plan, 10.0)
+        assert result.edge_spec is None
+
+    def test_compression_applied(self, small_context):
+        plan_names = ["ID"] * len(small_context.base)
+        plan_names[0] = "C1"
+        plan = BranchPlan(len(small_context.base), tuple(plan_names))
+        result = realize_branch_plan(small_context, plan, 10.0)
+        assert len(result.edge_spec) == len(small_context.base) + 1
+
+
+class TestOptimalBranchSearch:
+    def test_never_loses_to_pure_partition(self, small_context):
+        """Seeded search dominates the chain-partition oracle."""
+        policy = RLPolicy(small_context.registry, seed=0)
+        for bandwidth in (3.0, 15.0, 60.0):
+            oracle = exhaustive_chain_partition(small_context, bandwidth)
+            result = optimal_branch_search(
+                small_context, bandwidth, policy, episodes=5, seed=1
+            )
+            assert result.best.reward >= oracle.result.reward - 1e-9
+
+    def test_histories_lengths(self, small_context):
+        policy = RLPolicy(small_context.registry, seed=0)
+        result = optimal_branch_search(small_context, 10.0, policy, episodes=7, seed=2)
+        assert len(result.reward_history) == 7
+        assert len(result.best_history) == 7
+
+    def test_best_history_monotone(self, small_context):
+        policy = RLPolicy(small_context.registry, seed=0)
+        result = optimal_branch_search(small_context, 10.0, policy, episodes=10, seed=3)
+        assert all(
+            a <= b + 1e-12
+            for a, b in zip(result.best_history, result.best_history[1:])
+        )
+
+    def test_invalid_episodes(self, small_context):
+        policy = RandomPolicy(small_context.registry)
+        with pytest.raises(ValueError):
+            optimal_branch_search(small_context, 10.0, policy, episodes=0)
+
+    def test_seed_plans_respected(self, small_context):
+        """A supplied optimal plan must never be lost."""
+        # Find a strong plan by brute force on the small model.
+        best = exhaustive_branch_search(small_context, 10.0)
+        seed_plan = BranchPlan(
+            len(best.edge_spec or []) and len(small_context.base),
+            tuple(["ID"] * len(small_context.base)),
+        )
+        policy = RandomPolicy(small_context.registry)
+        result = optimal_branch_search(
+            small_context,
+            10.0,
+            policy,
+            episodes=2,
+            seed=0,
+            seed_plans=[seed_plan],
+        )
+        seeded_reward = realize_branch_plan(small_context, seed_plan, 10.0).reward
+        assert result.best.reward >= seeded_reward - 1e-9
+
+    def test_rl_approaches_exhaustive_optimum(self, small_context):
+        """On the small model, RL with a decent budget gets close to brute force."""
+        optimum = exhaustive_branch_search(small_context, 12.0)
+        policy = RLPolicy(small_context.registry, seed=4)
+        result = optimal_branch_search(
+            small_context, 12.0, policy, episodes=60, seed=5
+        )
+        assert result.best.reward >= optimum.reward - 3.0
+
+    def test_plan_matches_best_candidate(self, small_context):
+        policy = RLPolicy(small_context.registry, seed=6)
+        result = optimal_branch_search(small_context, 10.0, policy, episodes=8, seed=7)
+        replay = realize_branch_plan(small_context, result.plan, 10.0)
+        assert replay.reward == pytest.approx(result.best.reward)

@@ -1,0 +1,138 @@
+"""Tests for the three-tier edge/fog/cloud placement extension."""
+
+import pytest
+
+from repro.latency.devices import CLOUD_SERVER, XIAOMI_MI_6X
+from repro.latency.transfer import CELLULAR_TRANSFER, WIFI_TRANSFER
+from repro.search.multitier import (
+    BACKHAUL_TRANSFER,
+    FOG_SERVER,
+    ThreeTierEstimator,
+    optimal_three_tier_partition,
+)
+from repro.nn.zoo import vgg11
+
+
+@pytest.fixture
+def estimator():
+    return ThreeTierEstimator(
+        edge=XIAOMI_MI_6X,
+        fog=FOG_SERVER,
+        cloud=CLOUD_SERVER,
+        access=WIFI_TRANSFER,
+        backhaul=BACKHAUL_TRANSFER,
+    )
+
+
+@pytest.fixture
+def spec():
+    return vgg11()
+
+
+class TestThreeTierEstimate:
+    def test_all_on_edge_no_transfers(self, estimator, spec):
+        L = len(spec)
+        breakdown = estimator.estimate(spec, L, L, 10.0, 200.0)
+        assert breakdown.access_transfer_ms == 0.0
+        assert breakdown.backhaul_transfer_ms == 0.0
+        assert breakdown.fog_ms == 0.0
+        assert breakdown.cloud_ms == 0.0
+        assert breakdown.edge_ms > 0
+
+    def test_all_on_fog(self, estimator, spec):
+        L = len(spec)
+        breakdown = estimator.estimate(spec, 0, L, 10.0, 200.0)
+        assert breakdown.edge_ms == 0.0
+        assert breakdown.cloud_ms == 0.0
+        assert breakdown.fog_ms > 0.0
+        assert breakdown.access_transfer_ms > 0.0
+        assert breakdown.backhaul_transfer_ms == 0.0
+
+    def test_all_on_cloud_pays_both_links(self, estimator, spec):
+        breakdown = estimator.estimate(spec, 0, 0, 10.0, 200.0)
+        assert breakdown.access_transfer_ms > 0.0
+        assert breakdown.backhaul_transfer_ms > 0.0
+        assert breakdown.cloud_ms > 0.0
+        assert breakdown.fog_ms == 0.0
+
+    def test_invalid_cuts_rejected(self, estimator, spec):
+        with pytest.raises(ValueError):
+            estimator.estimate(spec, 5, 3, 10.0, 200.0)
+        with pytest.raises(ValueError):
+            estimator.estimate(spec, -1, 3, 10.0, 200.0)
+        with pytest.raises(ValueError):
+            estimator.estimate(spec, 0, len(spec) + 1, 10.0, 200.0)
+
+    def test_total_is_sum(self, estimator, spec):
+        breakdown = estimator.estimate(spec, 4, 12, 10.0, 200.0)
+        assert breakdown.total_ms == pytest.approx(
+            breakdown.edge_ms
+            + breakdown.access_transfer_ms
+            + breakdown.fog_ms
+            + breakdown.backhaul_transfer_ms
+            + breakdown.cloud_ms
+        )
+
+    def test_degenerate_matches_two_tier(self, estimator, spec):
+        """p == q == L reduces to the plain two-tier full-edge case."""
+        from repro.latency.compute import LatencyEstimator
+
+        two_tier = LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, WIFI_TRANSFER)
+        L = len(spec)
+        three = estimator.estimate(spec, L, L, 10.0, 200.0)
+        two = two_tier.estimate(spec, L, 10.0)
+        assert three.total_ms == pytest.approx(two.total_ms)
+
+
+class TestOptimalThreeTier:
+    def test_dominates_all_single_tier_placements(self, estimator, spec):
+        for access in (2.0, 10.0, 50.0):
+            plan = optimal_three_tier_partition(spec, estimator, access)
+            L = len(spec)
+            trivial = [
+                estimator.estimate(spec, L, L, access, 200.0),  # all edge
+                estimator.estimate(spec, 0, L, access, 200.0),  # all fog
+                estimator.estimate(spec, 0, 0, access, 200.0),  # all cloud
+            ]
+            for breakdown in trivial:
+                assert plan.breakdown.total_ms <= breakdown.total_ms + 1e-9
+
+    def test_slow_access_keeps_edge(self, estimator, spec):
+        plan = optimal_three_tier_partition(spec, estimator, access_mbps=0.2)
+        assert plan.edge_cut == len(spec)
+        assert not plan.uses_fog and not plan.uses_cloud
+
+    def test_fast_access_offloads(self, estimator, spec):
+        plan = optimal_three_tier_partition(spec, estimator, access_mbps=100.0)
+        assert plan.edge_cut < len(spec)
+
+    def test_fog_attractive_when_backhaul_slow(self, spec):
+        """With a terrible backhaul, the fog absorbs the offloaded work."""
+        estimator = ThreeTierEstimator(
+            edge=XIAOMI_MI_6X,
+            fog=FOG_SERVER,
+            cloud=CLOUD_SERVER,
+            access=WIFI_TRANSFER,
+            backhaul=CELLULAR_TRANSFER,  # pretend the backhaul is congested
+        )
+        plan = optimal_three_tier_partition(
+            spec, estimator, access_mbps=50.0, backhaul_mbps=0.5
+        )
+        assert not plan.uses_cloud
+        assert plan.uses_fog or plan.edge_cut == len(spec)
+
+    def test_three_tier_never_worse_than_two_tier(self, estimator, spec):
+        """Adding a fog tier can only help (two-tier cuts are a subset)."""
+        from repro.latency.compute import LatencyEstimator
+
+        two_tier = LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, WIFI_TRANSFER)
+        for access in (2.0, 20.0):
+            plan = optimal_three_tier_partition(spec, estimator, access)
+            best_two = min(
+                two_tier.estimate(spec, p, access).total_ms
+                for p in range(len(spec) + 1)
+            )
+            # Not strictly comparable (the backhaul relay adds a hop for
+            # p==q cuts), but the fog option should never lose by much and
+            # usually wins outright.
+            assert plan.breakdown.total_ms <= best_two * 1.25

@@ -1,0 +1,90 @@
+"""Tests for the top-level CLI (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.model == "vgg11"
+        assert args.blocks == 3
+        assert args.types == 2
+
+    def test_compose_requires_tree_and_bandwidth(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compose"])
+
+
+class TestCommands:
+    def test_scenes_lists_all_14(self, capsys):
+        assert main(["scenes"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("vgg11") == 10
+        assert out.count("alexnet") == 4
+
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vgg11", "vgg19", "alexnet", "resnet50", "tiny_cnn"):
+            assert name in out
+
+    def test_search_compose_roundtrip(self, tmp_path, capsys):
+        tree_path = tmp_path / "tree.json"
+        code = main(
+            [
+                "search",
+                "--model", "alexnet",
+                "--environment", "WiFi (weak) indoor",
+                "--episodes", "3",
+                "--branch-episodes", "5",
+                "--out", str(tree_path),
+            ]
+        )
+        assert code == 0
+        assert tree_path.exists()
+        capsys.readouterr()
+
+        assert main(["compose", "--tree", str(tree_path), "--bandwidth", "5.0"]) == 0
+        out = capsys.readouterr().out
+        assert "edge layers" in out
+
+    def test_emulate_prints_three_methods(self, capsys):
+        code = main(
+            [
+                "emulate",
+                "--model", "alexnet",
+                "--environment", "WiFi (weak) indoor",
+                "--episodes", "3",
+                "--branch-episodes", "5",
+                "--requests", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for method in ("surgery", "branch", "tree"):
+            assert method in out
+
+    def test_emulate_field_flag(self, capsys):
+        code = main(
+            [
+                "emulate",
+                "--model", "alexnet",
+                "--environment", "WiFi (weak) indoor",
+                "--episodes", "3",
+                "--branch-episodes", "5",
+                "--requests", "5",
+                "--field",
+            ]
+        )
+        assert code == 0
+        assert "(field" in capsys.readouterr().out

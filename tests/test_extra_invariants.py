@@ -1,0 +1,171 @@
+"""Cross-module invariants, mostly property-based (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import default_registry, extended_registry
+from repro.latency import (
+    CLOUD_SERVER,
+    JETSON_TX2,
+    XIAOMI_MI_6X,
+    LatencyEstimator,
+    total_maccs,
+)
+from repro.latency.transfer import CELLULAR_TRANSFER, WIFI_TRANSFER
+from repro.mdp import PAPER_REWARD
+from repro.nn.zoo import alexnet, vgg11
+from repro.search.plan import apply_compression_plan
+from tests.conftest import make_context
+
+
+# ---------------------------------------------------------------------------
+# Latency-model invariants
+# ---------------------------------------------------------------------------
+class TestLatencyInvariants:
+    @given(
+        p=st.integers(0, 23),
+        bandwidth=st.floats(0.5, 200.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_terms_nonnegative(self, p, bandwidth):
+        estimator = LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER)
+        spec = vgg11()
+        breakdown = estimator.estimate(spec, min(p, len(spec)), bandwidth)
+        assert breakdown.edge_ms >= 0
+        assert breakdown.transfer_ms >= 0
+        assert breakdown.cloud_ms >= 0
+
+    @given(bandwidth=st.floats(0.5, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_monotone_in_bandwidth_for_fixed_cut(self, bandwidth):
+        estimator = LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, WIFI_TRANSFER)
+        spec = vgg11()
+        slow = estimator.estimate(spec, 5, bandwidth)
+        fast = estimator.estimate(spec, 5, bandwidth * 2)
+        assert fast.transfer_ms <= slow.transfer_ms + 1e-9
+
+    def test_compression_never_increases_phone_latency(self):
+        """On the CPU profile, every technique cuts or preserves latency."""
+        registry = extended_registry()
+        for spec in (vgg11(), alexnet()):
+            base_latency = XIAOMI_MI_6X.model_latency_ms(spec)
+            for technique in registry:
+                if technique.name in ("ID",):
+                    continue
+                for i in range(len(spec)):
+                    if not technique.applies_to(spec, i):
+                        continue
+                    out = technique.apply(spec, i)
+                    # Allow tiny overhead (extra dispatch) but no blowup.
+                    assert XIAOMI_MI_6X.model_latency_ms(out) < base_latency * 1.05
+
+    def test_gpu_may_regress_under_compression(self):
+        """On TX2 the dispatch overhead can make C1 a net loss — the reason
+        its searches compress less (Tables IV/V TX2 rows)."""
+        registry = default_registry()
+        spec = vgg11()
+        technique = registry.get("C1")
+        regressions = 0
+        for i in range(len(spec)):
+            if technique.applies_to(spec, i):
+                out = technique.apply(spec, i)
+                if JETSON_TX2.model_latency_ms(out) > JETSON_TX2.model_latency_ms(spec):
+                    regressions += 1
+        assert regressions > 0
+
+
+# ---------------------------------------------------------------------------
+# Compression invariants
+# ---------------------------------------------------------------------------
+class TestCompressionInvariants:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_plans_reduce_or_preserve_maccs(self, data):
+        registry = default_registry()
+        spec = vgg11()
+        names = [
+            data.draw(st.sampled_from(["ID", "C1", "C2", "W1"]))
+            for _ in range(len(spec))
+        ]
+        result = apply_compression_plan(spec, names, registry)
+        assert total_maccs(result.spec) <= total_maccs(spec)
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_plans_reduce_or_preserve_parameters(self, data):
+        registry = default_registry()
+        spec = alexnet()
+        names = [
+            data.draw(st.sampled_from(["ID", "F1", "C1", "C3", "W1"]))
+            for _ in range(len(spec))
+        ]
+        result = apply_compression_plan(spec, names, registry)
+        assert result.spec.parameter_count() <= spec.parameter_count()
+
+    def test_applying_identity_everywhere_is_fingerprint_stable(self):
+        registry = default_registry()
+        spec = vgg11()
+        result = apply_compression_plan(spec, ["ID"] * len(spec), registry)
+        assert result.spec.fingerprint() == spec.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Search-context invariants
+# ---------------------------------------------------------------------------
+class TestRewardContextInvariants:
+    @given(
+        p=st.integers(0, 23),
+        bandwidth=st.floats(1.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_rewards_bounded(self, p, bandwidth):
+        context = make_context(vgg11(), 0.9201)
+        spec = context.base
+        p = min(p, len(spec))
+        edge = spec.slice(0, p) if p else None
+        cloud = spec.slice(p, len(spec)) if p < len(spec) else None
+        result = context.evaluate(edge, cloud, bandwidth)
+        assert 0.0 <= result.reward <= PAPER_REWARD.max_reward
+
+    def test_uncompressed_candidates_share_base_accuracy(self):
+        context = make_context(vgg11(), 0.9201)
+        spec = context.base
+        rewards = set()
+        for p in (0, 7, len(spec)):
+            edge = spec.slice(0, p) if p else None
+            cloud = spec.slice(p, len(spec)) if p < len(spec) else None
+            rewards.add(context.evaluate(edge, cloud, 10.0).accuracy)
+        assert rewards == {0.9201}
+
+
+# ---------------------------------------------------------------------------
+# Tree invariants at K = 3 (generalization beyond the paper's K = 2)
+# ---------------------------------------------------------------------------
+class TestK3Runtime:
+    @pytest.fixture(scope="class")
+    def k3_tree(self):
+        from repro.search.tree import TreeSearchConfig, model_tree_search
+
+        context = make_context(vgg11(), 0.9201)
+        config = TreeSearchConfig(num_blocks=3, episodes=3, branch_episodes=5, seed=0)
+        return model_tree_search(context, [3.0, 10.0, 40.0], config=config).tree
+
+    def test_straight_paths_exist_per_type(self, k3_tree):
+        for k in range(3):
+            assert k3_tree.straight_path_reward(k) > 0
+
+    def test_expected_is_mean_of_straight_paths(self, k3_tree):
+        expected = np.mean([k3_tree.straight_path_reward(k) for k in range(3)])
+        assert k3_tree.expected_reward() == pytest.approx(expected)
+
+    def test_runtime_walk_all_types(self, k3_tree):
+        from repro.search.compose import compose_from_tree
+
+        for bandwidth in (1.0, 10.0, 80.0):
+            composed = compose_from_tree(k3_tree, probe=lambda block: bandwidth)
+            assert composed.full_spec().output_shape == k3_tree.base.output_shape
+
+    def test_worst_branch_not_above_best(self, k3_tree):
+        assert k3_tree.worst_branch_reward() <= k3_tree.best_branch()[1] + 1e-12
