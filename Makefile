@@ -1,26 +1,52 @@
 # Convenience targets for the reproduction workflow.
+#
+# `test` matches the tier-1 invocation exactly, so it works from a clean
+# checkout with no `pip install -e .` (the sources live under src/).
+# `lint` = ruff + mypy + the custom repolint; ruff/mypy are skipped with a
+# notice when not installed (offline containers), repolint always runs.
 
-.PHONY: install test bench experiments examples clean
+PY ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: install test bench experiments examples lint typecheck repolint clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/ -q
+	$(PYTHONPATH_SRC) $(PY) -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/ --benchmark-only
 
 experiments:
-	python -m repro.experiments all
+	$(PYTHONPATH_SRC) $(PY) -m repro.experiments all
 
 examples:
-	python examples/quickstart.py
-	python examples/streaming_video_analytics.py
-	python examples/field_study.py
-	python examples/resnet_dag_energy.py
-	python examples/train_compress_distill.py
+	$(PYTHONPATH_SRC) $(PY) examples/quickstart.py
+	$(PYTHONPATH_SRC) $(PY) examples/streaming_video_analytics.py
+	$(PYTHONPATH_SRC) $(PY) examples/field_study.py
+	$(PYTHONPATH_SRC) $(PY) examples/resnet_dag_energy.py
+	$(PYTHONPATH_SRC) $(PY) examples/train_compress_distill.py
+
+lint: repolint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "lint: ruff not installed - skipping (pip install ruff)"; \
+	fi
+	@$(MAKE) --no-print-directory typecheck
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "typecheck: mypy not installed - skipping (pip install mypy)"; \
+	fi
+
+repolint:
+	$(PYTHONPATH_SRC) $(PY) -m repro.analysis.repolint src/repro
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .ruff_cache .mypy_cache src/repro.egg-info

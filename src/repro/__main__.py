@@ -9,8 +9,10 @@ Usage::
     python -m repro compose --tree tree.json --bandwidth 6.5
     python -m repro emulate --model vgg11 --device phone \
         --environment "4G (weak) indoor" --field
+    python -m repro verify tree.json               # static artifact check
 
-Table/figure regeneration lives under ``python -m repro.experiments``.
+Table/figure regeneration lives under ``python -m repro.experiments``;
+the full static-verifier CLI is ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -136,6 +138,15 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as analysis_main
+
+    argv = list(args.artifacts)
+    if args.strict:
+        argv.append("--strict")
+    return analysis_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -182,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="overlap cloud tails with the next request (with --queued)",
     )
     emulate.set_defaults(func=_cmd_emulate)
+
+    verify = sub.add_parser(
+        "verify", help="statically verify a saved tree/plan/spec artifact"
+    )
+    verify.add_argument("artifacts", nargs="+", help="JSON artifact files")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    verify.set_defaults(func=_cmd_verify)
     return parser
 
 

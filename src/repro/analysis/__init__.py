@@ -1,0 +1,61 @@
+"""Static analysis for searchable artifacts and for the repo itself.
+
+Two halves:
+
+- the **domain verifier** (:mod:`repro.analysis.verifier`): rule-based
+  static checks over model specs, compression plans, fixed/tree runtime
+  plans and whole model trees, producing structured
+  :class:`~repro.analysis.diagnostics.Diagnostic` findings without
+  executing anything. Wired into ``SearchContext`` (debug mode), the
+  ``repro.search.serialize`` load paths (always) and runtime plan
+  admission, plus ``python -m repro.analysis artifact.json``;
+- the **repo lint** (:mod:`repro.analysis.repolint`): a small AST linter
+  enforcing repository invariants (no module-level unseeded RNG calls, no
+  mutable default arguments, no bare ``except:``), run by ``make lint``
+  and as a pytest-collected check.
+"""
+
+from .artifact import detect_kind, verify_artifact
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    VerificationError,
+    errors_of,
+    format_report,
+    has_errors,
+    raise_on_error,
+)
+from .verifier import (
+    verify_bandwidth_types,
+    verify_branch_plan,
+    verify_candidate,
+    verify_compression_plan,
+    verify_fixed_plan,
+    verify_memo_keys,
+    verify_model_spec,
+    verify_partition_point,
+    verify_split,
+    verify_tree,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "VerificationError",
+    "errors_of",
+    "format_report",
+    "has_errors",
+    "raise_on_error",
+    "detect_kind",
+    "verify_artifact",
+    "verify_bandwidth_types",
+    "verify_branch_plan",
+    "verify_candidate",
+    "verify_compression_plan",
+    "verify_fixed_plan",
+    "verify_memo_keys",
+    "verify_model_spec",
+    "verify_partition_point",
+    "verify_split",
+    "verify_tree",
+]

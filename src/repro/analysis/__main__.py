@@ -1,0 +1,67 @@
+"""CLI: statically verify searchable artifacts.
+
+Usage::
+
+    python -m repro.analysis tree.json                # auto-detect kind
+    python -m repro.analysis --kind model_spec m.json # force the kind
+    python -m repro.analysis --strict tree.json       # warnings fail too
+
+Exit status is 0 when every artifact is clean (no error diagnostics;
+``--strict`` also counts warnings), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .artifact import KINDS, verify_artifact
+from .diagnostics import Severity
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify model specs, plans and model trees.",
+    )
+    parser.add_argument("artifacts", nargs="+", help="JSON artifact files")
+    parser.add_argument(
+        "--kind", choices=KINDS, default="",
+        help="force the artifact kind instead of auto-detecting",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="treat warnings as failures"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-artifact OK lines"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    failed = False
+    for path in args.artifacts:
+        kind, diagnostics = verify_artifact(path, kind=args.kind)
+        bad = [
+            d
+            for d in diagnostics
+            if d.severity is Severity.ERROR
+            or (args.strict and d.severity is Severity.WARNING)
+        ]
+        for diagnostic in diagnostics:
+            print(f"{path}: {diagnostic.format()}")
+        if bad:
+            failed = True
+        elif not args.quiet:
+            label = kind or "artifact"
+            extra = (
+                f", {len(diagnostics)} warning(s)" if diagnostics else ""
+            )
+            print(f"{path}: OK ({label}{extra})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

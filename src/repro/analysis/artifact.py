@@ -1,0 +1,141 @@
+"""Artifact-level entry point: detect what a JSON document is and verify it.
+
+The CLI (``python -m repro.analysis artifact.json``) and the serialization
+load paths both funnel through :func:`verify_artifact`, which sniffs the
+artifact kind and dispatches to the right rule set:
+
+- ``model_tree``  — ``{"format": "repro.model_tree.v1", ...}`` (save_tree);
+- ``fixed_plan``  — ``{"format": "repro.fixed_plan.v1", ...}`` (save_plan);
+- ``model_spec``  — ``{"input_shape": ..., "layers": [...]}`` (ModelSpec.to_dict);
+- ``branch_plan`` — ``{"base": <spec>, "partition_index": int,
+  "compression": [...]}`` (a whole-model Alg. 1 plan).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping, Tuple, Union
+
+from .diagnostics import Diagnostic, Severity
+from .verifier import (
+    _coerce_spec,
+    verify_compression_plan,
+    verify_model_spec,
+    verify_partition_point,
+    verify_split,
+    verify_tree,
+)
+
+TREE_FORMAT = "repro.model_tree.v1"
+FIXED_PLAN_FORMAT = "repro.fixed_plan.v1"
+
+KINDS = ("model_tree", "fixed_plan", "model_spec", "branch_plan")
+
+
+def detect_kind(data: Mapping) -> str:
+    """Best-effort classification of a JSON artifact; '' when unknown."""
+    fmt = data.get("format")
+    if fmt == TREE_FORMAT:
+        return "model_tree"
+    if fmt == FIXED_PLAN_FORMAT:
+        return "fixed_plan"
+    if "layers" in data and "input_shape" in data:
+        return "model_spec"
+    if "partition_index" in data and "compression" in data and "base" in data:
+        return "branch_plan"
+    return ""
+
+
+def _verify_fixed_plan_dict(data: Mapping) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    edge = _coerce_spec(data.get("edge_spec"), "edge", diagnostics)
+    cloud = _coerce_spec(data.get("cloud_spec"), "cloud", diagnostics)
+    if diagnostics:
+        return diagnostics
+    base = _coerce_spec(data.get("base"), "base", diagnostics)
+    return diagnostics + verify_split(edge, cloud, base=base, location="fixed plan")
+
+
+def _verify_branch_plan_dict(data: Mapping) -> List[Diagnostic]:
+    from ..compression import default_registry
+
+    diagnostics: List[Diagnostic] = []
+    base = _coerce_spec(data.get("base"), "base", diagnostics)
+    if base is None:
+        return diagnostics
+    try:
+        cut = int(data["partition_index"])
+        names = [str(n) for n in data["compression"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        diagnostics.append(
+            Diagnostic(
+                "artifact-format", Severity.ERROR, "branch plan",
+                f"malformed branch plan: {exc}",
+            )
+        )
+        return diagnostics
+    diagnostics += verify_partition_point(base, cut, location="branch plan")
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        return diagnostics
+    if cut > 0:
+        edge = base.slice(0, cut)
+        diagnostics += verify_compression_plan(
+            edge, names[:cut], default_registry(), location="branch plan"
+        )
+        if len(names) != cut:
+            diagnostics.append(
+                Diagnostic(
+                    "plan-length", Severity.ERROR, "branch plan",
+                    f"compression covers {len(names)} layers but the edge "
+                    f"half has {cut}",
+                    "one entry per edge base layer",
+                )
+            )
+    return diagnostics
+
+
+def verify_artifact(
+    source: Union[Mapping, str, Path], kind: str = ""
+) -> Tuple[str, List[Diagnostic]]:
+    """Verify one artifact (a dict, or a path to a JSON file).
+
+    Returns ``(kind, diagnostics)``. Unknown or unreadable artifacts yield
+    an ``artifact-format`` error rather than raising.
+    """
+    if not isinstance(source, Mapping):
+        path = Path(source)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return "", [
+                Diagnostic(
+                    "artifact-format", Severity.ERROR, str(path),
+                    f"cannot read artifact: {exc}",
+                )
+            ]
+        if not isinstance(data, Mapping):
+            return "", [
+                Diagnostic(
+                    "artifact-format", Severity.ERROR, str(path),
+                    f"artifact must be a JSON object, got {type(data).__name__}",
+                )
+            ]
+        return verify_artifact(data, kind=kind)
+
+    kind = kind or detect_kind(source)
+    if kind == "model_tree":
+        return kind, verify_tree(source)
+    if kind == "fixed_plan":
+        return kind, _verify_fixed_plan_dict(source)
+    if kind == "model_spec":
+        return kind, verify_model_spec(source)
+    if kind == "branch_plan":
+        return kind, _verify_branch_plan_dict(source)
+    return "", [
+        Diagnostic(
+            "artifact-format", Severity.ERROR, "artifact",
+            "unrecognized artifact kind",
+            f"expected one of {KINDS} (pass --kind to force one)",
+        )
+    ]

@@ -1,0 +1,99 @@
+"""Diagnostics — the currency of the static verifier.
+
+Every rule in :mod:`repro.analysis.verifier` reports problems as
+:class:`Diagnostic` values instead of raising mid-walk, so one pass over an
+artifact surfaces *all* of its defects with rule ids, locations and fix
+hints. The choke points that must reject bad artifacts outright
+(deserialization, plan admission) convert error-severity diagnostics into a
+:class:`VerificationError`, which carries the full diagnostic list for
+callers that want structure rather than a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make an artifact unusable (admission must reject);
+    ``WARNING`` findings are suspicious but executable (e.g. a plan entry
+    that will be skipped at apply time); ``INFO`` is advisory only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    - ``rule``: stable rule id (``shape-flow``, ``fork-cover``, ...);
+    - ``severity``: :class:`Severity`;
+    - ``location``: where in the artifact (``"layer 3"``, ``"path 0>1"``);
+    - ``message``: what is wrong;
+    - ``hint``: optional suggestion for fixing it.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        text = f"{self.severity.value} [{self.rule}] {self.location}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def errors_of(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset of ``diagnostics``."""
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def format_report(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable multi-line report (empty string when clean)."""
+    return "\n".join(d.format() for d in diagnostics)
+
+
+class VerificationError(ValueError):
+    """Raised when an artifact fails verification at a hard choke point.
+
+    Subclasses ``ValueError`` so existing callers that catch malformed
+    artifacts keep working; the structured findings ride along in
+    ``self.diagnostics``.
+    """
+
+    def __init__(self, diagnostics: Iterable[Diagnostic], context: str = "artifact") -> None:
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+        failures = errors_of(self.diagnostics)
+        summary = "; ".join(d.format() for d in failures[:3])
+        if len(failures) > 3:
+            summary += f"; ... ({len(failures) - 3} more)"
+        super().__init__(
+            f"{context} failed verification with "
+            f"{len(failures)} error(s): {summary}"
+        )
+
+
+def raise_on_error(diagnostics: Sequence[Diagnostic], context: str = "artifact") -> None:
+    """Raise :class:`VerificationError` if any diagnostic is an error."""
+    if has_errors(diagnostics):
+        raise VerificationError(diagnostics, context=context)

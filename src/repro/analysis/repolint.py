@@ -1,0 +1,179 @@
+"""Custom AST lint enforcing repo-wide invariants on ``src/repro``.
+
+Generic linters cannot know this repo's rules; these three bite us in ways
+the test suite may not catch:
+
+- ``unseeded-rng``     — module-level calls into ``random`` /
+  ``np.random`` (the process-global RNGs). Import-time randomness makes
+  search results depend on import order; all randomness must flow through
+  an explicitly seeded ``np.random.default_rng(seed)`` or a ``rng``
+  argument.
+- ``mutable-default``  — ``def f(x=[])`` / ``def f(x={})``: the default is
+  shared across calls, a classic source of cross-request state leaks in a
+  long-running serving process.
+- ``bare-except``      — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch a concrete exception type.
+
+Run it three ways: ``make repolint``, the pytest-collected check in
+``tests/analysis/test_repolint.py``, and
+``python -m repro.analysis.repolint <paths>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Call names that are allowed at module level *if* explicitly seeded.
+_SEEDABLE = frozenset({"default_rng", "Random", "RandomState", "Generator"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One repolint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _dotted_name(node: ast.expr) -> str:
+    """Render ``np.random.rand`` -> "np.random.rand"; '' when not a name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_global_rng_call(call: ast.Call) -> bool:
+    name = _dotted_name(call.func)
+    if not name:
+        return False
+    head, _, _ = name.partition(".")
+    if head == "random" or name.startswith(("np.random.", "numpy.random.")):
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf in _SEEDABLE:
+            return not call.args and not call.keywords  # unseeded constructor
+        return True
+    return False
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and not node.args and not node.keywords:
+        return _dotted_name(node.func) in {"list", "dict", "set"}
+    return False
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one Python source string."""
+    findings: List[LintFinding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(
+            LintFinding("syntax", path, exc.lineno or 0, f"cannot parse: {exc.msg}")
+        )
+        return findings
+
+    functions = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def walk(node: ast.AST, in_function: bool) -> None:
+        if isinstance(node, functions):
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _mutable_default(default):
+                    findings.append(
+                        LintFinding(
+                            "mutable-default",
+                            path,
+                            default.lineno,
+                            "mutable default argument is shared across calls; "
+                            "use None and create it in the body",
+                        )
+                    )
+            in_function = True
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                LintFinding(
+                    "bare-except",
+                    path,
+                    node.lineno,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and not in_function
+            and _is_global_rng_call(node)
+        ):
+            findings.append(
+                LintFinding(
+                    "unseeded-rng",
+                    path,
+                    node.lineno,
+                    f"module-level call to the global RNG "
+                    f"({_dotted_name(node.func)}); thread an explicitly "
+                    "seeded np.random.default_rng through instead",
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            walk(child, in_function)
+
+    walk(tree, in_function=False)
+    return findings
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[PathLike]) -> List[LintFinding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[LintFinding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    targets = args or ["src/repro"]
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.format())
+    checked = len(iter_python_files(targets))
+    status = f"repolint: {checked} files checked, {len(findings)} finding(s)"
+    print(status, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment
+from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
 
 
 @dataclass
@@ -54,6 +54,7 @@ def run_emulation(
     spacing_ms: float = 0.0,
     queued: bool = False,
     pipelined: bool = False,
+    admit: bool = True,
 ) -> EmulationResult:
     """Issue ``num_requests`` inferences at times spread across the trace.
 
@@ -73,9 +74,14 @@ def run_emulation(
     overlap with the next request's local work. This is offloading's
     throughput advantage — a partitioned plan can sustain frame rates a
     full-on-device plan cannot, even at similar per-request latency.
+
+    ``admit=True`` (the default) statically verifies the plan with
+    :func:`~repro.runtime.engine.admit_plan` before the first request.
     """
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
+    if admit:
+        admit_plan(plan)
     rng = np.random.default_rng(seed)
     result = EmulationResult()
     duration_ms = env.trace.duration_s * 1e3

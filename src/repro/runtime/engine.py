@@ -110,6 +110,22 @@ class InferencePlan(Protocol):
     ) -> InferenceOutcome: ...
 
 
+def admit_plan(plan: "InferencePlan", base: Optional[ModelSpec] = None) -> None:
+    """Statically verify a plan before the engine will execute it.
+
+    Admission-time rejection (``VerificationError``) beats discovering a
+    malformed split mid-inference: every :class:`FixedPlan` boundary and
+    every runtime-reachable tree path is checked without running anything.
+    Plans of unknown types pass through (the Protocol is open).
+    """
+    from ..analysis import raise_on_error, verify_fixed_plan, verify_tree
+
+    if isinstance(plan, FixedPlan):
+        raise_on_error(verify_fixed_plan(plan, base=base), context="fixed plan")
+    elif isinstance(plan, TreePlan):
+        raise_on_error(verify_tree(plan.tree), context="tree plan")
+
+
 @dataclass(frozen=True)
 class FixedPlan:
     """A once-for-all (edge, cloud) split — surgery and optimal branch."""

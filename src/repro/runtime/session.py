@@ -51,7 +51,15 @@ class InferenceSession:
         predictor: Optional[BandwidthPredictor] = None,
         fork_matcher: Optional[QuantileForkMatcher] = None,
         seed: int = 0,
+        verify: bool = True,
     ) -> None:
+        if verify:
+            # Admission-time static check: a malformed tree is rejected
+            # here, not discovered when some bandwidth finally reaches the
+            # broken fork mid-inference.
+            from ..analysis import raise_on_error, verify_tree
+
+            raise_on_error(verify_tree(tree), context="inference session tree")
         self.tree = tree
         self.env = env
         self.predictor = predictor

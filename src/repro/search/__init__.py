@@ -16,8 +16,12 @@ from .compose import ComposedModel, compose_from_tree, match_fork
 from .context import CandidateResult, SearchContext
 from .plan import AppliedPlan, apply_compression_plan
 from .serialize import (
+    load_plan,
     load_policy,
     load_tree,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
     save_policy,
     save_tree,
     tree_from_dict,
@@ -33,8 +37,12 @@ from .tree import (
 )
 
 __all__ = [
+    "load_plan",
     "load_policy",
     "load_tree",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
     "save_policy",
     "save_tree",
     "tree_from_dict",

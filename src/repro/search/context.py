@@ -6,6 +6,11 @@ evaluator, and the reward normalization (Eqn. 7) — behind one
 :meth:`SearchContext.evaluate` call, with a memoization pool over
 (edge, cloud, bandwidth) triples (Sec. VII-A: "a memory pool storing the
 hash code of searched models to avoid redundant computations").
+
+``debug=True`` statically verifies every candidate with
+:mod:`repro.analysis` before it is evaluated, raising
+:class:`~repro.analysis.VerificationError` on a malformed split — useful
+when developing new techniques or search policies.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ class SearchContext:
         estimator: LatencyEstimator,
         accuracy: AccuracyEvaluator,
         reward: RewardConfig,
+        debug: bool = False,
     ) -> None:
         self.base = base
         self.registry = registry
@@ -56,6 +62,7 @@ class SearchContext:
             else MemoizedEvaluator(accuracy)
         )
         self.reward_config = reward
+        self.debug = debug
         self._pool: Dict[Tuple[str, str, float], CandidateResult] = {}
         self.evaluations = 0
 
@@ -74,6 +81,14 @@ class SearchContext:
         )
         if key in self._pool:
             return self._pool[key]
+        if self.debug:
+            # Lazy import: analysis is optional on the evaluation hot path.
+            from ..analysis import raise_on_error, verify_candidate
+
+            raise_on_error(
+                verify_candidate(edge_spec, cloud_spec, base=self.base),
+                context="search candidate",
+            )
         self.evaluations += 1
 
         if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):

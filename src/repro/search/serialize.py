@@ -4,21 +4,30 @@ The paper's offline/online split implies an artifact hand-off: the decision
 engine trains a model tree offline, and the device runtime loads it. This
 module provides that hand-off — JSON (de)serialization of
 :class:`~repro.search.tree.ModelTree` (structure + per-node specs + rewards)
-and numpy-archive checkpoints for the controller parameters.
+and of runtime :class:`~repro.runtime.engine.FixedPlan` splits, plus
+numpy-archive checkpoints for the controller parameters.
+
+Every load path statically verifies the artifact with :mod:`repro.analysis`
+before constructing anything, so a corrupted or hand-edited file is
+rejected at the door with a :class:`~repro.analysis.VerificationError`
+carrying structured diagnostics — instead of failing deep inside emulation.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 
+from ..analysis import raise_on_error, verify_artifact
 from ..model.spec import ModelSpec
-from ..nn.layers import Module
 from .policies import RLPolicy
 from .tree import ModelTree, TreeNode
+
+if TYPE_CHECKING:  # a runtime import would be circular (runtime imports search)
+    from ..runtime.engine import FixedPlan
 
 PathLike = Union[str, Path]
 
@@ -73,8 +82,16 @@ def tree_to_dict(tree: ModelTree) -> Dict:
 
 
 def tree_from_dict(data: Dict) -> ModelTree:
+    """Rebuild a model tree, statically verifying the dict first.
+
+    Raises :class:`~repro.analysis.VerificationError` (a ``ValueError``)
+    when the artifact carries error-severity diagnostics — a corrupted tree
+    never reaches the runtime.
+    """
     if data.get("format") != "repro.model_tree.v1":
         raise ValueError(f"unsupported tree format: {data.get('format')!r}")
+    _, diagnostics = verify_artifact(data, kind="model_tree")
+    raise_on_error(diagnostics, context="model tree")
     return ModelTree(
         root=_node_from_dict(data["root"]),
         bandwidth_types=[float(t) for t in data["bandwidth_types"]],
@@ -89,8 +106,55 @@ def save_tree(tree: ModelTree, path: PathLike) -> None:
 
 
 def load_tree(path: PathLike) -> ModelTree:
-    """Load a model tree written by :func:`save_tree`."""
+    """Load (and verify) a model tree written by :func:`save_tree`."""
     return tree_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Fixed plans (Dynamic DNN Surgery / optimal-branch deployments)
+# ---------------------------------------------------------------------------
+def plan_to_dict(plan: "FixedPlan", base: Optional[ModelSpec] = None) -> Dict:
+    """Serialize a runtime fixed plan (optionally with its base interface)."""
+    return {
+        "format": "repro.fixed_plan.v1",
+        "edge_spec": plan.edge_spec.to_dict() if plan.edge_spec is not None else None,
+        "cloud_spec": plan.cloud_spec.to_dict() if plan.cloud_spec is not None else None,
+        "base": base.to_dict() if base is not None else None,
+    }
+
+
+def plan_from_dict(data: Dict) -> "FixedPlan":
+    """Rebuild (and verify) a fixed plan written by :func:`plan_to_dict`."""
+    from ..runtime.engine import FixedPlan  # deferred: runtime imports search
+
+    if data.get("format") != "repro.fixed_plan.v1":
+        raise ValueError(f"unsupported plan format: {data.get('format')!r}")
+    _, diagnostics = verify_artifact(data, kind="fixed_plan")
+    raise_on_error(diagnostics, context="fixed plan")
+    return FixedPlan(
+        edge_spec=(
+            ModelSpec.from_dict(data["edge_spec"])
+            if data.get("edge_spec") is not None
+            else None
+        ),
+        cloud_spec=(
+            ModelSpec.from_dict(data["cloud_spec"])
+            if data.get("cloud_spec") is not None
+            else None
+        ),
+    )
+
+
+def save_plan(
+    plan: "FixedPlan", path: PathLike, base: Optional[ModelSpec] = None
+) -> None:
+    """Write a fixed plan as JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan, base=base), indent=2))
+
+
+def load_plan(path: PathLike) -> "FixedPlan":
+    """Load (and verify) a fixed plan written by :func:`save_plan`."""
+    return plan_from_dict(json.loads(Path(path).read_text()))
 
 
 # ---------------------------------------------------------------------------

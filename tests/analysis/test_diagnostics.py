@@ -1,0 +1,69 @@
+"""Diagnostic value type, report formatting, and the raising helper."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    VerificationError,
+    errors_of,
+    format_report,
+    has_errors,
+    raise_on_error,
+)
+
+
+def make(rule="shape-flow", severity=Severity.ERROR, hint=None):
+    return Diagnostic(
+        rule=rule,
+        severity=severity,
+        location="layer 3",
+        message="something is off",
+        hint=hint,
+    )
+
+
+class TestDiagnostic:
+    def test_format_carries_rule_severity_and_location(self):
+        text = make().format()
+        assert "error" in text
+        assert "[shape-flow]" in text
+        assert "layer 3" in text
+        assert "something is off" in text
+
+    def test_format_includes_hint_when_present(self):
+        assert "hint:" not in make().format()
+        assert "fix it" in make(hint="fix it").format()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().rule = "other"
+
+
+class TestHelpers:
+    def test_errors_of_filters_severity(self):
+        diags = [make(), make(severity=Severity.WARNING), make(severity=Severity.INFO)]
+        assert errors_of(diags) == [diags[0]]
+        assert has_errors(diags)
+        assert not has_errors(diags[1:])
+
+    def test_format_report_one_line_per_diagnostic(self):
+        diags = [make(), make(rule="memo-key")]
+        report = format_report(diags)
+        assert len(report.splitlines()) == 2
+        assert "[memo-key]" in report
+
+
+class TestRaiseOnError:
+    def test_silent_on_warnings_only(self):
+        raise_on_error([make(severity=Severity.WARNING)], context="plan")
+
+    def test_raises_and_carries_diagnostics(self):
+        diags = [make(), make(severity=Severity.WARNING)]
+        with pytest.raises(VerificationError) as excinfo:
+            raise_on_error(diags, context="model tree")
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # catchable as plain ValueError
+        assert err.diagnostics == tuple(diags)
+        assert "model tree" in str(err)
+        assert "shape-flow" in str(err)

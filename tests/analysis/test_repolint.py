@@ -1,0 +1,114 @@
+"""Repolint: rule goldens on snippets, plus the live gate over src/repro."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.repolint import lint_paths, lint_source, main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestUnseededRng:
+    def test_module_level_global_rng_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules(lint_source(src)) == ["unseeded-rng"]
+
+    def test_module_level_random_module_flagged(self):
+        assert rules(lint_source("import random\nv = random.random()\n")) == [
+            "unseeded-rng"
+        ]
+
+    def test_unseeded_constructor_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(lint_source(src)) == ["unseeded-rng"]
+
+    def test_seeded_constructor_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_source(src) == []
+
+    def test_calls_inside_functions_allowed(self):
+        src = textwrap.dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random()
+            """
+        )
+        assert lint_source(src) == []
+
+
+class TestMutableDefault:
+    def test_list_literal_default_flagged(self):
+        assert rules(lint_source("def f(x=[]):\n    return x\n")) == [
+            "mutable-default"
+        ]
+
+    def test_argless_dict_call_default_flagged(self):
+        assert rules(lint_source("def f(x=dict()):\n    return x\n")) == [
+            "mutable-default"
+        ]
+
+    def test_keyword_only_default_flagged(self):
+        assert rules(lint_source("def f(*, x={}):\n    return x\n")) == [
+            "mutable-default"
+        ]
+
+    def test_immutable_defaults_allowed(self):
+        assert lint_source("def f(x=(), y=None, z=0):\n    return x, y, z\n") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        assert rules(lint_source(src)) == ["bare-except"]
+
+    def test_typed_except_allowed(self):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert lint_source(src) == []
+
+
+class TestGoldenSnippet:
+    def test_all_rules_fire_with_locations(self):
+        src = textwrap.dedent(
+            """
+            import random
+
+            SEED = random.randint(0, 10)
+
+            def f(acc=[]):
+                try:
+                    acc.append(1)
+                except:
+                    pass
+                return acc
+            """
+        )
+        findings = lint_source(src, path="golden.py")
+        assert sorted(rules(findings)) == [
+            "bare-except",
+            "mutable-default",
+            "unseeded-rng",
+        ]
+        assert all(f.path == "golden.py" and f.line > 0 for f in findings)
+
+    def test_syntax_error_reported_not_raised(self):
+        assert rules(lint_source("def f(:\n")) == ["syntax"]
+
+
+class TestGate:
+    def test_src_repro_is_clean(self):
+        assert lint_paths([REPO_SRC]) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert "mutable-default" in capsys.readouterr().out

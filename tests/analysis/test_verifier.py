@@ -1,0 +1,179 @@
+"""Golden tests: every verifier rule fires on a deliberately broken artifact
+and stays silent on well-formed ones."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    verify_bandwidth_types,
+    verify_branch_plan,
+    verify_candidate,
+    verify_compression_plan,
+    verify_memo_keys,
+    verify_model_spec,
+    verify_partition_point,
+    verify_split,
+)
+from repro.model.spec import (
+    ModelSpec,
+    TensorShape,
+    batch_norm,
+    conv,
+    fc,
+    flatten,
+    max_pool,
+    relu,
+)
+from repro.search.branch import BranchPlan
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def error_rules(diagnostics):
+    return {d.rule for d in diagnostics if d.severity is Severity.ERROR}
+
+
+class TestModelSpecRules:
+    def test_clean_spec(self, small_spec):
+        assert verify_model_spec(small_spec) == []
+
+    def test_clean_spec_dict_form(self, small_spec):
+        assert verify_model_spec(small_spec.to_dict()) == []
+
+    def test_shape_flow_on_oversized_kernel(self, small_spec):
+        data = small_spec.to_dict()
+        data["layers"][0]["kernel_size"] = 999  # collapses H/W below zero
+        diags = verify_model_spec(data)
+        assert error_rules(diags) == {"shape-flow"}
+
+    def test_artifact_format_on_garbage_layers(self):
+        data = {"input_shape": {"channels": 3, "height": 8, "width": 8}, "layers": 7}
+        assert "artifact-format" in rules(verify_model_spec(data))
+
+
+class TestSplitRules:
+    def test_every_legal_cut_is_clean(self, small_spec):
+        for cut in range(len(small_spec) + 1):
+            edge = small_spec.slice(0, cut) if cut else None
+            cloud = small_spec.slice(cut, len(small_spec)) if cut < len(small_spec) else None
+            assert verify_split(edge, cloud, base=small_spec) == []
+
+    def test_boundary_mismatch(self, small_spec):
+        edge = small_spec.slice(0, 3)
+        cloud = small_spec.slice(5, len(small_spec))  # skips the second conv
+        assert "shape-flow" in error_rules(verify_split(edge, cloud, base=small_spec))
+
+    def test_output_interface_violation(self, small_spec):
+        edge = small_spec.slice(0, 4)
+        cloud = small_spec.slice(4, len(small_spec) - 1)  # drops the final fc
+        assert "shape-flow" in error_rules(verify_split(edge, cloud, base=small_spec))
+
+    def test_verify_candidate_clean(self, small_spec):
+        edge = small_spec.slice(0, 3)
+        cloud = small_spec.slice(3, len(small_spec))
+        assert verify_candidate(edge, cloud, base=small_spec) == []
+
+
+class TestPartitionPointRules:
+    def test_in_range_cuts_clean(self, small_spec):
+        for cut in range(len(small_spec) + 1):
+            assert verify_partition_point(small_spec, cut) == []
+
+    @pytest.mark.parametrize("cut", [-1, 10, 999])
+    def test_partition_range(self, small_spec, cut):
+        diags = verify_partition_point(small_spec, cut)
+        assert error_rules(diags) == {"partition-range"}
+
+    def test_fused_cut_inside_conv_bn(self):
+        spec = ModelSpec(
+            [conv(8, 3, 1, 1), batch_norm(), relu(), flatten(), fc(10)],
+            TensorShape(3, 8, 8),
+        )
+        assert error_rules(verify_partition_point(spec, 1)) == {"fused-cut"}
+        assert verify_partition_point(spec, 2) == []
+
+
+class TestCompressionPlanRules:
+    def test_identity_plan_clean(self, small_spec, registry):
+        plan = ["ID"] * len(small_spec)
+        assert verify_compression_plan(small_spec, plan, registry) == []
+
+    def test_plan_length(self, small_spec, registry):
+        diags = verify_compression_plan(small_spec, ["ID"] * 3, registry)
+        assert error_rules(diags) == {"plan-length"}
+
+    def test_technique_unknown(self, small_spec, registry):
+        plan = ["ID"] * len(small_spec)
+        plan[0] = "Z9"
+        diags = verify_compression_plan(small_spec, plan, registry)
+        assert error_rules(diags) == {"technique-unknown"}
+
+    def test_technique_apply_is_warning(self, small_spec, registry):
+        plan = ["ID"] * len(small_spec)
+        plan[1] = "C2"  # a conv technique aimed at a relu layer
+        diags = verify_compression_plan(small_spec, plan, registry)
+        assert rules(diags) == {"technique-apply"}
+        assert error_rules(diags) == set()
+
+
+class TestBranchPlanRules:
+    def test_valid_plan_clean(self, small_spec, registry):
+        cut = 4
+        plan = BranchPlan(partition_index=cut, compression=("ID",) * cut)
+        assert verify_branch_plan(small_spec, plan, registry) == []
+
+    def test_cut_out_of_range(self, small_spec, registry):
+        plan = BranchPlan(partition_index=len(small_spec) + 1, compression=())
+        diags = verify_branch_plan(small_spec, plan, registry)
+        assert error_rules(diags) == {"partition-range"}
+
+    def test_compression_shorter_than_edge(self, small_spec, registry):
+        plan = BranchPlan(partition_index=4, compression=("ID",) * 2)
+        diags = verify_branch_plan(small_spec, plan, registry)
+        assert "plan-length" in error_rules(diags)
+
+
+class TestForkCoverRules:
+    def test_clean_types(self):
+        assert verify_bandwidth_types([5.0, 20.0]) == []
+
+    def test_empty(self):
+        assert error_rules(verify_bandwidth_types([])) == {"fork-cover"}
+
+    def test_non_positive(self):
+        assert "fork-cover" in error_rules(verify_bandwidth_types([-1.0, 5.0]))
+
+    def test_duplicates_overlap(self):
+        assert "fork-cover" in error_rules(verify_bandwidth_types([5.0, 5.0]))
+
+    def test_unsorted_is_warning_only(self):
+        diags = verify_bandwidth_types([20.0, 5.0])
+        assert rules(diags) == {"fork-cover"}
+        assert error_rules(diags) == set()
+
+    def test_memo_key_collision_between_close_types(self):
+        # 5.0001 and 5.0004 both round to 5.000 under the pool's 1e-3 key.
+        assert "memo-key" in error_rules(verify_bandwidth_types([5.0001, 5.0004]))
+
+
+class TestMemoKeyRule:
+    def test_distinct_bandwidths_colliding_key(self, small_spec):
+        edge = small_spec.slice(0, 4)
+        cloud = small_spec.slice(4, len(small_spec))
+        candidates = [(edge, cloud, 5.0001), (edge, cloud, 5.0004)]
+        diags = verify_memo_keys(candidates)
+        assert error_rules(diags) == {"memo-key"}
+
+    def test_identical_candidates_do_not_collide(self, small_spec):
+        edge = small_spec.slice(0, 4)
+        cloud = small_spec.slice(4, len(small_spec))
+        # The same (edge, cloud, W) appearing twice is a cache *hit*, not a
+        # collision.
+        assert verify_memo_keys([(edge, cloud, 5.0), (edge, cloud, 5.0)]) == []
+
+    def test_distinct_keys_clean(self, small_spec):
+        a = (small_spec.slice(0, 3), small_spec.slice(3, len(small_spec)), 5.0)
+        b = (small_spec.slice(0, 4), small_spec.slice(4, len(small_spec)), 5.0)
+        assert verify_memo_keys([a, b]) == []
