@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench experiments examples lint typecheck repolint clean
+.PHONY: install test bench experiments examples lint typecheck repolint flowcheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,9 @@ typecheck:
 
 repolint:
 	$(PYTHONPATH_SRC) $(PY) -m repro.analysis.repolint src/repro
+
+flowcheck:
+	$(PYTHONPATH_SRC) $(PY) -m repro.analysis --flow src/repro
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""flowcheck — dataflow-based numeric-safety & RNG-discipline analyzer.
+
+The repo-code half of :mod:`repro.analysis`, grown out of the flat
+``repolint`` AST gate into a multi-pass engine: per-module symbol tables,
+an intraprocedural guard-tracking dataflow interpreter, and rule plugins
+that emit the shared :class:`~repro.analysis.diagnostics.Diagnostic` type.
+
+Rule catalog (stable ids):
+
+==================== =====================================================
+``div-guard``         division by bandwidth/latency/probability-like value
+                      with no zero-guard on some path
+``float-eq``          exact ``==``/``!=`` on floats
+``math-domain``       log/sqrt/exp domain or overflow hazard in
+                      reward/accuracy/RL code
+``ambient-rng``       draw from the process-global RNG
+``unseeded-generator`` RNG constructed without an explicit seed
+``tensor-alias``      in-place mutation of a parameter/cached array
+``boundary-contract`` public latency/search/runtime function with
+                      unvalidated unit parameters
+``print-call``        print() outside experiments//__main__/main()
+``mutable-default``   (legacy) mutable default argument
+``bare-except``       (legacy) bare ``except:``
+==================== =====================================================
+
+Suppress one finding inline with ``# flowcheck: ignore[rule-id] -- why``;
+accept a known finding in ``flowcheck-baseline.json``. Run the gate with
+``python -m repro.analysis --flow src/repro`` or ``make flowcheck``.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .core import Finding, make_finding
+from .engine import CheckResult, check_paths, check_source
+from .rules import all_rule_ids, rule_catalog
+
+__all__ = [
+    "BaselineError",
+    "CheckResult",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "all_rule_ids",
+    "apply_baseline",
+    "check_paths",
+    "check_source",
+    "load_baseline",
+    "make_finding",
+    "rule_catalog",
+    "save_baseline",
+]

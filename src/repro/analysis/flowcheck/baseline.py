@@ -1,0 +1,75 @@
+"""Checked-in baseline of accepted findings.
+
+The gate must be installable on a codebase that is not yet clean: known
+findings go into ``flowcheck-baseline.json`` (each with a justification),
+CI fails only on *new* findings, and the baseline burns down over time.
+Matching is by :meth:`Finding.fingerprint` — rule id, file and message,
+deliberately excluding line numbers so unrelated edits don't churn it.
+
+Stale entries (baselined findings that no longer occur) are reported by
+the CLI so the file shrinks as fixes land.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+DEFAULT_BASELINE = "flowcheck-baseline.json"
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(f"{path}: expected {{'version': {_VERSION}, ...}}")
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    for entry in entries:
+        missing = {"rule", "path", "message"} - set(entry)
+        if missing:
+            raise BaselineError(
+                f"{path}: baseline entry missing {sorted(missing)}: {entry}"
+            )
+    return entries
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.diagnostic.message,
+            "justification": "TODO: justify or fix",
+        }
+        for finding in findings
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _entry_fingerprint(entry: Dict[str, str]) -> str:
+    return f"{entry['rule']}::{entry['path']}::{entry['message']}"
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Split findings into (new, baselined); also return stale entries."""
+    known = {_entry_fingerprint(entry) for entry in entries}
+    fresh = [f for f in findings if f.fingerprint() not in known]
+    matched = [f for f in findings if f.fingerprint() in known]
+    seen = {f.fingerprint() for f in findings}
+    stale = [e for e in entries if _entry_fingerprint(e) not in seen]
+    return fresh, matched, stale

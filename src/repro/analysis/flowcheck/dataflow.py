@@ -1,0 +1,504 @@
+"""Pass 3 machinery — intraprocedural guard-tracking dataflow.
+
+:class:`FunctionFlow` interprets one function body in source order while
+maintaining a :class:`GuardEnv`:
+
+- ``guarded`` — the set of *subjects* (local names, dotted ``self.x``
+  chains, ``len(x)`` expressions) currently known non-zero/positive on the
+  path being walked;
+- ``float_typed`` — names known to hold floats (seeded from annotations,
+  propagated through assignments), consumed by the float-equality rule.
+
+Branching follows the usual flow-analysis shape: an ``if`` narrows the
+environment differently in each arm (``if w <= 0: raise`` guards ``w``
+afterwards; ``if w > 0:`` guards it inside the arm), a branch that always
+terminates (raise/return/continue/break) propagates its sibling's narrowing
+past the statement, and the join of two live arms keeps only guards proven
+on *both* paths. ``and``/``or``/ternary expressions narrow left-to-right the
+same way, and ``math.isclose(x, 0)`` / ``np.any(x <= 0)`` /
+``np.all(x > 0)`` are understood as zero-tests so tolerance-based guards
+count.
+
+Rules subscribe through :class:`FlowHooks` callbacks; the interpreter runs
+once per function regardless of how many rules listen.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from .core import FunctionInfo, ModuleInfo
+
+#: Identifier tokens that mark a value as a zero-risk denominator: the
+#: paper's own failure modes (sampled bandwidths, latencies in ms,
+#: probabilities/rates from the MDP and trace models).
+SUSPECT_TOKENS = frozenset(
+    {
+        "bandwidth",
+        "bandwidths",
+        "mbps",
+        "bw",
+        "latency",
+        "latencies",
+        "ms",
+        "prob",
+        "probs",
+        "probability",
+        "probabilities",
+        "rate",
+        "rates",
+        "denom",
+        "denominator",
+    }
+)
+
+#: Calls whose value passes its argument through unchanged for zero-ness.
+_PASSTHROUGH = frozenset({"float", "abs", "fabs"})
+
+
+def name_tokens(identifier: str) -> Set[str]:
+    return {token for token in identifier.lower().split("_") if token}
+
+
+def mentions_suspect(node: ast.expr) -> bool:
+    """True when any identifier in ``node`` carries a suspect token."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and name_tokens(sub.id) & SUSPECT_TOKENS:
+            return True
+        if isinstance(sub, ast.Attribute) and name_tokens(sub.attr) & SUSPECT_TOKENS:
+            return True
+    return False
+
+
+def subject_key(node: ast.expr) -> Optional[str]:
+    """Canonical key for a guardable expression, or None.
+
+    Names map to their id, attribute chains to ``a.b.c``, and
+    ``abs(x)``/``float(x)`` pass through to their argument so a guard on
+    ``abs(x)`` protects a later division by ``x``. ``len(x)`` gets its own
+    ``len(x)`` key: a non-empty container says nothing about ``x`` itself.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = subject_key(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Call) and len(node.args) == 1 and not node.keywords:
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if leaf in _PASSTHROUGH:
+            return subject_key(node.args[0])
+        if leaf == "len":
+            inner = subject_key(node.args[0])
+            return f"len({inner})" if inner else None
+    return None
+
+
+def literal_value(node: ast.expr, module: ModuleInfo) -> Optional[float]:
+    """Numeric value of a literal or module-level constant, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = literal_value(node.operand, module)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Name):
+        return module.constants.get(node.id)
+    return None
+
+
+@dataclass
+class GuardEnv:
+    """Per-path facts: guarded subjects and float-typed names."""
+
+    guarded: Set[str] = field(default_factory=set)
+    float_typed: Set[str] = field(default_factory=set)
+
+    def copy(self) -> "GuardEnv":
+        return GuardEnv(set(self.guarded), set(self.float_typed))
+
+    def narrowed(self, extra: Set[str]) -> "GuardEnv":
+        env = self.copy()
+        env.guarded |= extra
+        return env
+
+    def forget(self, key: str) -> None:
+        self.guarded.discard(key)
+
+
+def _mirror(op: ast.cmpop) -> ast.cmpop:
+    """The comparison seen from the right operand (``0 < x`` -> ``x > 0``)."""
+    table = {ast.Lt: ast.Gt, ast.LtE: ast.GtE, ast.Gt: ast.Lt, ast.GtE: ast.LtE}
+    for source, target in table.items():
+        if isinstance(op, source):
+            return target()
+    return op  # Eq / NotEq are symmetric
+
+
+def _narrow_pair(
+    left: ast.expr,
+    op: ast.cmpop,
+    right: ast.expr,
+    module: ModuleInfo,
+    then: Set[str],
+    otherwise: Set[str],
+) -> None:
+    for subj, cmp_op, lit in ((left, op, right), (right, _mirror(op), left)):
+        key = subject_key(subj)
+        value = literal_value(lit, module)
+        if key is None or value is None:
+            continue
+        if isinstance(cmp_op, ast.Gt) and value >= 0:
+            then.add(key)  # x > 0  ->  guarded in the then-arm
+        elif isinstance(cmp_op, ast.GtE) and value > 0:
+            then.add(key)
+        elif isinstance(cmp_op, ast.LtE) and value <= 0:
+            otherwise.add(key)  # not (x <= 0)  ->  x > 0
+        elif isinstance(cmp_op, ast.Lt) and value > 0:
+            otherwise.add(key)  # not (x < eps)  ->  x >= eps
+        elif isinstance(cmp_op, ast.Eq) and value == 0:
+            otherwise.add(key)  # not (x == 0)  ->  x != 0
+        elif isinstance(cmp_op, ast.NotEq) and value == 0:
+            then.add(key)
+        return  # first orientation with a (subject, literal) pair wins
+
+
+def narrow(test: ast.expr, module: ModuleInfo) -> Tuple[Set[str], Set[str]]:
+    """Subjects guaranteed non-zero in the then / else arm of ``test``."""
+    then: Set[str] = set()
+    otherwise: Set[str] = set()
+    if isinstance(test, ast.Compare):
+        left = test.left
+        for op, comparator in zip(test.ops, test.comparators):
+            _narrow_pair(left, op, comparator, module, then, otherwise)
+            left = comparator
+        return then, otherwise
+    if isinstance(test, ast.BoolOp):
+        if isinstance(test.op, ast.And):
+            for value in test.values:
+                then |= narrow(value, module)[0]
+            return then, set()
+        for value in test.values:  # Or: only the all-false arm is known
+            otherwise |= narrow(value, module)[1]
+        return set(), otherwise
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner_then, inner_else = narrow(test.operand, module)
+        return inner_else, inner_then
+    if isinstance(test, ast.Call):
+        leaf = module.resolve(test.func).rsplit(".", 1)[-1]
+        if leaf == "isclose" and len(test.args) >= 2:
+            for subj, lit in (
+                (test.args[0], test.args[1]),
+                (test.args[1], test.args[0]),
+            ):
+                key = subject_key(subj)
+                if key is not None and literal_value(lit, module) == 0:
+                    return set(), {key}  # not close to zero -> non-zero
+        if leaf in {"any", "all"} and len(test.args) == 1 and isinstance(
+            test.args[0], ast.Compare
+        ):
+            inner_then, inner_else = narrow(test.args[0], module)
+            if leaf == "any":
+                return set(), inner_else  # not any(x <= 0) -> all x > 0
+            return inner_then, set()  # all(x > 0) -> x positive
+        return then, otherwise
+    key = subject_key(test)
+    if key is not None:  # truthiness: `if x:` means x != 0 in the then-arm
+        return {key}, set()
+    return then, otherwise
+
+
+def is_nonzero(node: ast.expr, env: GuardEnv, module: ModuleInfo) -> bool:
+    """Conservatively: is ``node`` provably non-zero on this path?"""
+    value = literal_value(node, module)
+    if value is not None:
+        return value != 0
+    key = subject_key(node)
+    if key is not None and key in env.guarded:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return is_nonzero(node.operand, env, module)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            return is_nonzero(node.left, env, module) and is_nonzero(
+                node.right, env, module
+            )
+        if isinstance(node.op, ast.Add):
+            # Guards establish positivity (>0), so pos + pos stays positive.
+            return is_nonzero(node.left, env, module) and is_nonzero(
+                node.right, env, module
+            )
+        if isinstance(node.op, ast.Pow):
+            return is_nonzero(node.left, env, module)
+        return False
+    if isinstance(node, ast.Call):
+        leaf = module.resolve(node.func).rsplit(".", 1)[-1]
+        if leaf in _PASSTHROUGH and len(node.args) == 1:
+            return is_nonzero(node.args[0], env, module)
+        if leaf in {"max", "maximum"}:
+            return any(is_nonzero(arg, env, module) for arg in node.args)
+        if leaf == "clip" and len(node.args) >= 2:
+            return is_nonzero(node.args[1], env, module)  # positive lower bound
+        if leaf.startswith("require_") and "positive" in leaf:
+            return True  # repro.contracts validators raise on <= 0
+    return False
+
+
+def _is_floatish(node: ast.expr, env: GuardEnv, module: ModuleInfo) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in env.float_typed
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, env, module) or _is_floatish(
+            node.right, env, module
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, env, module)
+    if isinstance(node, ast.Call):
+        return module.resolve(node.func).rsplit(".", 1)[-1] == "float"
+    return False
+
+
+def terminates(body: List[ast.stmt]) -> bool:
+    """Does the block always leave the enclosing suite?"""
+    for stmt in body:
+        if isinstance(stmt, (ast.Raise, ast.Return, ast.Continue, ast.Break)):
+            return True
+        if (
+            isinstance(stmt, ast.If)
+            and stmt.orelse
+            and terminates(stmt.body)
+            and terminates(stmt.orelse)
+        ):
+            return True
+    return False
+
+
+def _assigned_names(stmts: List[ast.stmt]) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            names.add(leaf.id)
+            elif isinstance(sub, ast.For):
+                for leaf in ast.walk(sub.target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+    return names
+
+
+@dataclass
+class FlowHooks:
+    """Rule callbacks fired while the interpreter walks a function."""
+
+    on_division: Optional[
+        Callable[[ast.AST, ast.expr, GuardEnv], None]
+    ] = None
+    on_compare: Optional[Callable[[ast.Compare, GuardEnv], None]] = None
+    on_call: Optional[Callable[[ast.Call, GuardEnv], None]] = None
+
+
+class FunctionFlow:
+    """Interpret one function, firing :class:`FlowHooks` along the way."""
+
+    def __init__(
+        self, module: ModuleInfo, function: FunctionInfo, hooks: FlowHooks
+    ) -> None:
+        self.module = module
+        self.function = function
+        self.hooks = hooks
+
+    def run(self) -> None:
+        env = GuardEnv()
+        for param in self.function.params():
+            annotation = param.annotation
+            if isinstance(annotation, ast.Name) and annotation.id == "float":
+                env.float_typed.add(param.arg)
+        self._exec_block(self.function.node.body, env)  # type: ignore[attr-defined]
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, body: List[ast.stmt], env: GuardEnv) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: GuardEnv) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test, env)
+            then_n, else_n = narrow(stmt.test, self.module)
+            then_env = env.narrowed(then_n)
+            else_env = env.narrowed(else_n)
+            self._exec_block(stmt.body, then_env)
+            self._exec_block(stmt.orelse, else_env)
+            body_term = terminates(stmt.body)
+            else_term = bool(stmt.orelse) and terminates(stmt.orelse)
+            if body_term and else_term:
+                return  # code after the if is unreachable from here
+            if body_term:
+                env.guarded |= else_env.guarded
+                env.float_typed |= else_env.float_typed
+            elif else_term:
+                env.guarded |= then_env.guarded
+                env.float_typed |= then_env.float_typed
+            else:
+                env.guarded &= then_env.guarded & else_env.guarded
+                env.float_typed |= then_env.float_typed & else_env.float_typed
+        elif isinstance(stmt, ast.Assert):
+            self._visit_expr(stmt.test, env)
+            env.guarded |= narrow(stmt.test, self.module)[0]
+        elif isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value, env)
+            self._bind_targets(stmt.targets, stmt.value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, env)
+                self._bind_targets([stmt.target], stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value, env)
+            if isinstance(stmt.op, (ast.Div, ast.FloorDiv)) and self.hooks.on_division:
+                self.hooks.on_division(stmt, stmt.value, env)
+            key = subject_key(stmt.target)
+            if key is not None:
+                keeps_guard = isinstance(
+                    stmt.op, (ast.Mult, ast.Div, ast.Add)
+                ) and is_nonzero(stmt.value, env, self.module)
+                if not (key in env.guarded and keeps_guard):
+                    env.forget(key)
+                if isinstance(stmt.op, ast.Div) and isinstance(stmt.target, ast.Name):
+                    env.float_typed.add(stmt.target.id)
+        elif isinstance(stmt, (ast.While,)):
+            self._visit_expr(stmt.test, env)
+            body_env = env.narrowed(narrow(stmt.test, self.module)[0])
+            self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, env.copy())
+            for name in _assigned_names(stmt.body):
+                env.forget(name)
+        elif isinstance(stmt, ast.For):
+            self._visit_expr(stmt.iter, env)
+            body_env = env.copy()
+            for leaf in ast.walk(stmt.target):
+                if isinstance(leaf, ast.Name):
+                    body_env.forget(leaf.id)
+            self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, env.copy())
+            for name in _assigned_names(stmt.body) | {
+                leaf.id
+                for leaf in ast.walk(stmt.target)
+                if isinstance(leaf, ast.Name)
+            }:
+                env.forget(name)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env.copy())
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, env.copy())
+            self._exec_block(stmt.orelse, env.copy())
+            self._exec_block(stmt.finalbody, env.copy())
+            for name in _assigned_names(stmt.body):
+                env.forget(name)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._visit_expr(item.context_expr, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._visit_expr(stmt.exc, env)
+        elif isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value, env)
+            call = stmt.value
+            if isinstance(call, ast.Call) and call.args:
+                leaf = self.module.resolve(call.func).rsplit(".", 1)[-1]
+                if leaf.startswith("require_") and "positive" in leaf:
+                    key = subject_key(call.args[0])
+                    if key is not None:  # bare `require_positive(x, "x")`
+                        env.guarded.add(key)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # analyzed as their own entries in the function index
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child, env)
+
+    def _bind_targets(
+        self, targets: List[ast.expr], value: ast.expr, env: GuardEnv
+    ) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if is_nonzero(value, env, self.module):
+                    env.guarded.add(target.id)
+                else:
+                    env.forget(target.id)
+                if _is_floatish(value, env, self.module):
+                    env.float_typed.add(target.id)
+                else:
+                    env.float_typed.discard(target.id)
+            else:  # tuple unpack / subscript / attribute: drop stale facts
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        env.forget(leaf.id)
+
+    # -- expressions -------------------------------------------------------
+    def _visit_expr(self, node: ast.expr, env: GuardEnv) -> None:
+        if isinstance(node, ast.IfExp):
+            self._visit_expr(node.test, env)
+            then_n, else_n = narrow(node.test, self.module)
+            self._visit_expr(node.body, env.narrowed(then_n))
+            self._visit_expr(node.orelse, env.narrowed(else_n))
+            return
+        if isinstance(node, ast.BoolOp):
+            acc = env
+            for value in node.values:
+                self._visit_expr(value, acc)
+                then_n, else_n = narrow(value, self.module)
+                acc = acc.narrowed(
+                    then_n if isinstance(node.op, ast.And) else else_n
+                )
+            return
+        if isinstance(node, ast.Lambda):
+            return  # separate scope
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            acc = env.copy()
+            for gen in node.generators:
+                self._visit_expr(gen.iter, acc)
+                for leaf in ast.walk(gen.target):
+                    if isinstance(leaf, ast.Name):
+                        acc.forget(leaf.id)
+                for if_clause in gen.ifs:
+                    self._visit_expr(if_clause, acc)
+                    acc = acc.narrowed(narrow(if_clause, self.module)[0])
+            if isinstance(node, ast.DictComp):
+                self._visit_expr(node.key, acc)
+                self._visit_expr(node.value, acc)
+            else:
+                self._visit_expr(node.elt, acc)
+            return
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Div, ast.FloorDiv))
+            and self.hooks.on_division
+        ):
+            self.hooks.on_division(node, node.right, env)
+        if isinstance(node, ast.Compare) and self.hooks.on_compare:
+            self.hooks.on_compare(node, env)
+        if isinstance(node, ast.Call) and self.hooks.on_call:
+            self.hooks.on_call(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child, env)

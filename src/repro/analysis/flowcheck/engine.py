@@ -1,0 +1,131 @@
+"""The flowcheck engine — orchestrates the passes over a file set.
+
+For each ``.py`` file: parse (pass 0, with suppression pragmas), build
+symbols (pass 1), run the module rules (pass 2) and drive the dataflow
+interpreter once per function with every flow rule's hooks multiplexed
+(pass 3). Suppressed findings are dropped at report time; the caller
+applies the baseline afterwards (see :mod:`.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..diagnostics import Severity
+from ..repolint import iter_python_files
+from .core import Finding, ModuleInfo, make_finding
+from .dataflow import FlowHooks, FunctionFlow
+from .rules import FLOW_RULES, MODULE_RULES
+from .suppress import collect_suppressions, is_suppressed
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one engine run (before baseline application)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+
+
+class _Reporter:
+    """Per-module report() closure handed to every rule."""
+
+    def __init__(self, module: ModuleInfo, result: CheckResult) -> None:
+        self.module = module
+        self.result = result
+
+    def __call__(
+        self,
+        rule: str,
+        where: Union[ast.AST, int],
+        message: str,
+        hint: Optional[str] = None,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        line = where if isinstance(where, int) else getattr(where, "lineno", 0)
+        if is_suppressed(self.module.suppressions, line, rule):
+            self.result.suppressed += 1
+            return
+        self.result.findings.append(
+            make_finding(rule, self.module.path, line, message, hint, severity)
+        )
+
+
+def _merge_hooks(hooks: List[FlowHooks]) -> FlowHooks:
+    divisions = [h.on_division for h in hooks if h.on_division]
+    compares = [h.on_compare for h in hooks if h.on_compare]
+    calls = [h.on_call for h in hooks if h.on_call]
+
+    def fan_out(callbacks):
+        def dispatch(*args):
+            for callback in callbacks:
+                callback(*args)
+
+        return dispatch if callbacks else None
+
+    return FlowHooks(
+        on_division=fan_out(divisions),
+        on_compare=fan_out(compares),
+        on_call=fan_out(calls),
+    )
+
+
+def check_source(source: str, path: str = "<string>") -> CheckResult:
+    """Run every pass on one source string."""
+    result = CheckResult(files_checked=1)
+    _check_into(source, path, result)
+    return result
+
+
+def _check_into(source: str, path: str, result: CheckResult) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            make_finding(
+                "syntax", path, exc.lineno or 0, f"cannot parse: {exc.msg}"
+            )
+        )
+        return
+    module = ModuleInfo(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=collect_suppressions(source),
+    )
+    from .symbols import build_symbols  # local import to keep module DAG flat
+
+    build_symbols(module)
+    reporter = _Reporter(module, result)
+    for rule in MODULE_RULES:
+        rule.check(module, reporter)
+    for function in module.functions:
+        hooks = _merge_hooks(
+            [
+                rule.flow_hooks(module, function, reporter)
+                for rule in FLOW_RULES
+            ]
+        )
+        if hooks.on_division or hooks.on_compare or hooks.on_call:
+            FunctionFlow(module, function, hooks).run()
+
+
+def check_paths(paths: Iterable[PathLike]) -> CheckResult:
+    """Run the engine over every ``.py`` file under ``paths``."""
+    result = CheckResult()
+    for file in iter_python_files(paths):
+        result.files_checked += 1
+        _check_into(file.read_text(), str(file), result)
+    result.findings = result.sorted_findings()
+    return result

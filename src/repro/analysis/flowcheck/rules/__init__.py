@@ -1,0 +1,50 @@
+"""Flowcheck rule registry.
+
+Two plugin shapes:
+
+- **flow rules** implement ``flow_hooks(module, function, report)`` and get
+  driven by the dataflow interpreter once per function;
+- **module rules** implement ``check(module, report)`` and walk the module
+  themselves (no path sensitivity needed).
+
+``report(rule_id, node_or_line, message, hint=..., severity=...)`` is
+provided by the engine and handles location bookkeeping, suppression and
+baseline matching. Every rule has a stable id — renaming one invalidates
+baselines and inline pragmas, so don't.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .aliasing import TensorAliasRule
+from .contracts import BoundaryContractRule
+from .legacy import LegacyRepolintRule
+from .numeric import DivGuardRule, FloatEqRule, MathDomainRule
+from .printcall import PrintCallRule
+from .rng import RngDisciplineRule
+
+#: Rules driven by the per-function dataflow interpreter.
+FLOW_RULES = [DivGuardRule(), FloatEqRule(), MathDomainRule()]
+
+#: Rules that walk each module directly.
+MODULE_RULES = [
+    RngDisciplineRule(),
+    TensorAliasRule(),
+    BoundaryContractRule(),
+    PrintCallRule(),
+    LegacyRepolintRule(),
+]
+
+
+def rule_catalog() -> Dict[str, str]:
+    """Stable rule id -> one-line summary, for ``--list-rules`` and docs."""
+    catalog: Dict[str, str] = {}
+    for rule in [*FLOW_RULES, *MODULE_RULES]:
+        for rule_id, summary in rule.catalog().items():
+            catalog[rule_id] = summary
+    return dict(sorted(catalog.items()))
+
+
+def all_rule_ids() -> List[str]:
+    return list(rule_catalog())

@@ -1,0 +1,157 @@
+"""Tensor-aliasing rule.
+
+``tensor-alias``: in-place mutation of an array the function does not own —
+either a parameter (the caller's tensor) or the result of a cache/memo-pool
+lookup (shared across callers). The numpy substrate hands ndarrays around
+by reference, so ``weights *= mask`` inside an estimator silently corrupts
+the caller's model or a memoized activation for every later hit.
+
+Tracked origins:
+
+- parameters whose annotation mentions an array type
+  (``np.ndarray``, ``Tensor``, ``ArrayLike``);
+- names assigned from a subscript or ``.get``/``.setdefault`` call on a
+  cache-like container (identifier contains ``cache``/``memo``/``pool``).
+
+Rebinding the name (``x = x.copy()``) releases it. Flagged mutations:
+subscript assignment, augmented assignment, known in-place methods
+(``fill``/``sort``/``partition``/``resize``/``put``), and ``out=`` kwargs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from ..core import FunctionInfo, ModuleInfo
+from ..dataflow import name_tokens
+
+_ARRAY_MARKERS = ("ndarray", "Tensor", "ArrayLike", "array")
+_CACHE_TOKENS = frozenset({"cache", "memo", "memoized", "pool"})
+_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "resize", "put"})
+
+
+def _is_cache_like(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and name_tokens(sub.id) & _CACHE_TOKENS:
+            return True
+        if isinstance(sub, ast.Attribute) and name_tokens(sub.attr) & _CACHE_TOKENS:
+            return True
+    return False
+
+
+def _cache_lookup_origin(value: ast.expr) -> str:
+    """Describe a cache lookup producing a shared array, '' otherwise."""
+    if isinstance(value, ast.Subscript) and _is_cache_like(value.value):
+        return f"cache lookup `{ast.unparse(value)}`"
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr in {"get", "setdefault"}
+        and _is_cache_like(value.func.value)
+    ):
+        return f"cache lookup `{ast.unparse(value)}`"
+    return ""
+
+
+class TensorAliasRule:
+    id = "tensor-alias"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "in-place mutation of a parameter tensor or cached array "
+                "the function does not own"
+            )
+        }
+
+    def check(self, module: ModuleInfo, report) -> None:
+        for function in module.functions:
+            self._check_function(module, function, report)
+
+    def _check_function(
+        self, module: ModuleInfo, function: FunctionInfo, report
+    ) -> None:
+        tracked: Dict[str, str] = {}
+        for param in function.params():
+            if param.annotation is None:
+                continue
+            annotation = ast.unparse(param.annotation)
+            if any(marker in annotation for marker in _ARRAY_MARKERS):
+                tracked[param.arg] = f"parameter `{param.arg}`"
+
+        def emit(node: ast.AST, name: str) -> None:
+            report(
+                self.id,
+                node,
+                f"in-place mutation of `{name}` in {function.qualname}, "
+                f"which aliases {tracked[name]}",
+                hint="copy before mutating (x = x.copy()) or return a new array",
+            )
+
+        def walk(stmts: List[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    self._flag_mutations(stmt.value, tracked, emit)
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in tracked
+                        ):
+                            emit(stmt, target.value.id)
+                    origin = _cache_lookup_origin(stmt.value)
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            if origin:
+                                tracked[target.id] = origin
+                            else:
+                                tracked.pop(target.id, None)  # rebound: owned now
+                elif isinstance(stmt, ast.AugAssign):
+                    self._flag_mutations(stmt.value, tracked, emit)
+                    target = stmt.target
+                    if isinstance(target, ast.Name) and target.id in tracked:
+                        emit(stmt, target.id)
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in tracked
+                    ):
+                        emit(stmt, target.value.id)
+                elif isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue  # their bodies are separate function-index entries
+                else:
+                    for child in ast.iter_child_nodes(stmt):
+                        if isinstance(child, ast.expr):
+                            self._flag_mutations(child, tracked, emit)
+                    walk(
+                        [
+                            child
+                            for child in ast.iter_child_nodes(stmt)
+                            if isinstance(child, ast.stmt)
+                        ]
+                    )
+
+        walk(function.node.body)  # type: ignore[attr-defined]
+
+    def _flag_mutations(self, expr: ast.expr, tracked: Dict[str, str], emit) -> None:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracked
+                and func.attr in _INPLACE_METHODS
+            ):
+                emit(sub, func.value.id)
+            for keyword in sub.keywords:
+                if (
+                    keyword.arg == "out"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in tracked
+                ):
+                    emit(sub, keyword.value.id)

@@ -1,0 +1,140 @@
+"""Boundary-contract rule.
+
+``boundary-contract``: the packages on the estimate/serve path —
+``latency/``, ``search/``, ``runtime/`` — take physical quantities as bare
+floats (``bandwidth_mbps``, ``size_bytes``, ``at_ms``). A negative or
+zero value silently propagates into Eqn. 3/6 and comes out as a plausible
+latency, so every *public* function there must validate its unit-suffixed
+parameters at entry: an ``if``-guard that raises or returns, an ``assert``,
+or a call into a validator helper (``repro.contracts.require_*``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set
+
+from ..core import FunctionInfo, ModuleInfo
+from ..dataflow import terminates
+
+_SCOPE = ("latency", "search", "runtime")
+
+#: Parameter names that carry units or shapes and therefore need contracts.
+_UNIT_PARAM = re.compile(r".*_(ms|mbps|bytes|bits|s)$|^(shape|bandwidth)$")
+
+#: Callable-name prefixes recognized as validators.
+_VALIDATOR = re.compile(r"^(require_|validate|check_|_check|verify_|_require)")
+
+
+def _is_stub(function: FunctionInfo) -> bool:
+    """Docstring-only / ``pass`` / ``...`` / ``raise NotImplementedError``."""
+    statements = [
+        stmt
+        for stmt in function.node.body  # type: ignore[attr-defined]
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        )
+    ]
+    if not statements:
+        return True
+    if len(statements) > 1:
+        return False
+    stmt = statements[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    ):
+        return True
+    if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+        exc = stmt.exc
+        name = exc.func if isinstance(exc, ast.Call) else exc
+        return isinstance(name, ast.Name) and name.id == "NotImplementedError"
+    return False
+
+
+def unit_params(function: FunctionInfo) -> List[str]:
+    names = []
+    for arg in function.params():
+        if arg.arg in ("self", "cls"):
+            continue
+        if _UNIT_PARAM.match(arg.arg):
+            names.append(arg.arg)
+    return names
+
+
+def _names_in(node: ast.expr) -> Set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _call_leaf(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def validated_params(function: FunctionInfo) -> Set[str]:
+    """Parameter names that get a validating use somewhere in the body."""
+    validated: Set[str] = set()
+    for stmt in ast.walk(function.node):
+        if isinstance(stmt, ast.If) and (
+            terminates(stmt.body) or (stmt.orelse and terminates(stmt.orelse))
+        ):
+            validated |= _names_in(stmt.test)
+        elif isinstance(stmt, ast.Assert):
+            validated |= _names_in(stmt.test)
+        elif isinstance(stmt, ast.Call) and _VALIDATOR.match(_call_leaf(stmt)):
+            for arg in stmt.args:
+                validated |= _names_in(arg)
+            for keyword in stmt.keywords:
+                validated |= _names_in(keyword.value)
+    return validated
+
+
+class BoundaryContractRule:
+    id = "boundary-contract"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "public latency/search/runtime function taking unit "
+                "parameters without entry validation"
+            )
+        }
+
+    def check(self, module: ModuleInfo, report) -> None:
+        if not module.in_package(*_SCOPE):
+            return
+        if module.basename == "__main__.py":
+            return  # CLI glue parses/validates via argparse
+        for function in module.functions:
+            if not function.is_public or function.is_nested:
+                continue
+            if _is_stub(function):
+                continue  # interface declarations put contracts on overriders
+            needed = unit_params(function)
+            if not needed:
+                continue
+            missing = [
+                name for name in needed if name not in validated_params(function)
+            ]
+            if missing:
+                report(
+                    self.id,
+                    function.node,
+                    f"{function.qualname} does not validate unit "
+                    f"parameter(s) {', '.join(sorted(missing))} at entry",
+                    hint=(
+                        "guard with `if p <= 0: raise ValueError(...)` or "
+                        "call repro.contracts.require_positive/"
+                        "require_non_negative"
+                    ),
+                )

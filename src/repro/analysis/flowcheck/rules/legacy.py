@@ -1,0 +1,35 @@
+"""Adapter for the flat repolint rules flowcheck grew out of.
+
+``mutable-default`` and ``bare-except`` (plus the ``syntax`` catch-all)
+stay exactly as :mod:`repro.analysis.repolint` defines them — flowcheck
+re-emits them as :class:`Diagnostic` findings so one ``--flow`` run is the
+whole repo gate. Repolint's module-level ``unseeded-rng`` rule is *not*
+re-run: flowcheck's ``ambient-rng``/``unseeded-generator`` supersede it at
+every scope, not just module level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ... import repolint
+from ..core import ModuleInfo
+
+_KEPT = frozenset({"mutable-default", "bare-except", "syntax"})
+
+
+class LegacyRepolintRule:
+    ids = tuple(sorted(_KEPT))
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            "mutable-default": "mutable default argument shared across calls",
+            "bare-except": "bare except: swallows KeyboardInterrupt/SystemExit",
+            "syntax": "file does not parse",
+        }
+
+    def check(self, module: ModuleInfo, report) -> None:
+        for finding in repolint.lint_source(module.source, module.path):
+            if finding.rule not in _KEPT:
+                continue
+            report(finding.rule, finding.line, finding.message)

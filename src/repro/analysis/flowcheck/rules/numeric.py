@@ -1,0 +1,188 @@
+"""Numeric-safety rules — the paper's own failure modes.
+
+- ``div-guard``: Eqn. 6 divides by a *sampled* bandwidth; any division
+  whose denominator names a bandwidth/latency/probability-like value must
+  be dominated by a zero-guard on every path reaching it.
+- ``float-eq``: exact ``==``/``!=`` on floats (literal float operands or
+  names proven float by the dataflow) — use ``math.isclose`` or an
+  explicit epsilon.
+- ``math-domain``: ``log``/``sqrt`` of a value not proven inside the
+  domain, and ``exp`` of an unclamped ratio, in the reward/accuracy/RL
+  code where the REINFORCE objective mixes exponentials and ratios.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+from ..core import FunctionInfo, ModuleInfo
+from ..dataflow import (
+    FlowHooks,
+    GuardEnv,
+    _is_floatish,
+    is_nonzero,
+    mentions_suspect,
+)
+
+_MATH_SCOPE = ("mdp", "accuracy", "rl")
+
+#: Bounding calls that make an `exp` argument overflow-safe.
+_CLAMPS = frozenset({"clip", "min", "max", "minimum", "maximum", "tanh"})
+
+
+class DivGuardRule:
+    id = "div-guard"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "division by a bandwidth/latency/probability-like value "
+                "with no zero-guard on some path"
+            )
+        }
+
+    def flow_hooks(self, module: ModuleInfo, function: FunctionInfo, report):
+        def on_division(node: ast.AST, denominator: ast.expr, env: GuardEnv):
+            if not mentions_suspect(denominator):
+                return
+            if is_nonzero(denominator, env, module):
+                return
+            report(
+                self.id,
+                node,
+                f"division by `{ast.unparse(denominator)}` in "
+                f"{function.qualname} has no zero-guard on this path",
+                hint=(
+                    "raise ValueError on non-positive input, or clamp with "
+                    "max(x, eps), before dividing"
+                ),
+            )
+
+        return FlowHooks(on_division=on_division)
+
+
+class FloatEqRule:
+    id = "float-eq"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: "exact ==/!= comparison on floating-point values"
+        }
+
+    def flow_hooks(self, module: ModuleInfo, function: FunctionInfo, report):
+        def on_compare(node: ast.Compare, env: GuardEnv):
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[index], operands[index + 1])
+                if any(_is_floatish(side, env, module) for side in pair):
+                    report(
+                        self.id,
+                        node,
+                        f"exact float comparison "
+                        f"`{ast.unparse(node)}` in {function.qualname}",
+                        hint="use math.isclose or an explicit tolerance",
+                    )
+                    return  # one finding per comparison expression
+
+        return FlowHooks(on_compare=on_compare)
+
+
+class MathDomainRule:
+    id = "math-domain"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "log/sqrt/exp domain or overflow hazard in reward, "
+                "accuracy or RL code"
+            )
+        }
+
+    def flow_hooks(self, module: ModuleInfo, function: FunctionInfo, report):
+        if not module.in_package(*_MATH_SCOPE):
+            return FlowHooks()
+
+        def on_call(node: ast.Call, env: GuardEnv):
+            leaf = module.resolve(node.func).rsplit(".", 1)[-1]
+            if not node.args:
+                return
+            argument = node.args[0]
+            if leaf in {"log", "log2", "log10"}:
+                if not is_nonzero(argument, env, module):
+                    report(
+                        self.id,
+                        node,
+                        f"`{leaf}({ast.unparse(argument)})` in "
+                        f"{function.qualname} is not proven positive",
+                        hint="guard the argument or use log1p on x >= 0",
+                    )
+            elif leaf == "sqrt":
+                if not (
+                    is_nonzero(argument, env, module)
+                    or _always_non_negative(argument)
+                ):
+                    report(
+                        self.id,
+                        node,
+                        f"`sqrt({ast.unparse(argument)})` in "
+                        f"{function.qualname} is not proven non-negative",
+                        hint="clamp with max(x, 0.0) before sqrt",
+                    )
+            elif leaf == "exp":
+                if _has_unclamped_ratio(argument):
+                    report(
+                        self.id,
+                        node,
+                        f"`exp({ast.unparse(argument)})` in "
+                        f"{function.qualname} exponentiates an unclamped "
+                        "ratio and can overflow",
+                        hint="np.clip the exponent to a finite range",
+                    )
+
+        return FlowHooks(on_call=on_call)
+
+
+def _always_non_negative(node: ast.expr) -> bool:
+    """Structurally non-negative: |x|, x**2, sums/products of such."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and node.value >= 0
+    if isinstance(node, ast.Call):
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return leaf in {"abs", "fabs", "square", "len"}
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Pow):
+            power = node.right
+            return (
+                isinstance(power, ast.Constant)
+                and isinstance(power.value, int)
+                and power.value % 2 == 0
+            )
+        if isinstance(node.op, (ast.Add, ast.Mult)):
+            return _always_non_negative(node.left) and _always_non_negative(
+                node.right
+            )
+    return False
+
+
+def _has_unclamped_ratio(node: ast.expr) -> bool:
+    has_ratio = any(
+        isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div)
+        for sub in ast.walk(node)
+    )
+    if not has_ratio:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            leaf = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if leaf in _CLAMPS:
+                return False
+    return True

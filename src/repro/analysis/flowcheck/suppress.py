@@ -1,0 +1,52 @@
+"""Pass 0 — inline suppression pragmas.
+
+A finding is suppressed by a trailing comment on its line::
+
+    t = size / bandwidth  # flowcheck: ignore[div-guard] -- guarded upstream
+
+``ignore[rule-a,rule-b]`` suppresses the listed rules; a bare
+``# flowcheck: ignore`` suppresses every rule on that line. The text after
+``--`` is the justification; it is not parsed but reviewers should require
+one. Pragmas are matched per physical line, so put them on the line the
+finding points at.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+_PRAGMA = re.compile(
+    r"#\s*flowcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-, ]+)\])?"
+)
+
+#: Sentinel rule set meaning "all rules".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = ALL_RULES
+        else:
+            names = frozenset(
+                name.strip() for name in rules.split(",") if name.strip()
+            )
+            if names:
+                suppressions[lineno] = names
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    active = suppressions.get(line)
+    if not active:
+        return False
+    return "*" in active or rule in active

@@ -1,0 +1,122 @@
+"""Pass 1 — per-module symbol tables.
+
+Collects the three things the rule passes repeatedly need:
+
+- the **import alias table**, so rules reason about fully qualified names
+  (``np.random.normal`` and ``from numpy import random as r; r.normal``
+  are the same call to a rule);
+- **module-level numeric constants**, so a division by ``EPSILON`` or a
+  guard against ``_MIN_BANDWIDTH`` can be evaluated;
+- the **function index** with enclosing-class qualnames, so function-scoped
+  rules (dataflow, contracts) iterate without re-walking the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import List, Optional
+
+from .core import FunctionInfo, ModuleInfo
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.partition(".")[0]
+                    module.imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: qualify below the repo package
+                base = "repro." + (node.module or "")
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                module.imports[local] = f"{base}.{alias.name}".strip(".")
+
+
+def _collect_constants(module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        number = _numeric_value(value)
+        if number is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module.constants[target.id] = number
+
+
+#: Pure unary math functions folded over literal arguments, so constants
+#: like ``_LOG_MAX = np.log(1001.0)`` carry a known (positive) value.
+_FOLDABLE = {
+    "log": math.log,
+    "log1p": math.log1p,
+    "log2": math.log2,
+    "log10": math.log10,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+}
+
+
+def _numeric_value(node: ast.expr) -> Optional[float]:
+    """Evaluate a literal numeric expression (unary +/-, folded math calls)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _numeric_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Call) and len(node.args) == 1 and not node.keywords:
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        fold = _FOLDABLE.get(leaf)
+        if fold is not None:
+            argument = _numeric_value(node.args[0])
+            if argument is None:
+                return None
+            try:
+                return float(fold(argument))
+            except (ValueError, OverflowError):
+                return None
+    return None
+
+
+def _collect_functions(module: ModuleInfo) -> None:
+    def walk(node: ast.AST, class_name: Optional[str], nested: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{class_name}.{child.name}" if class_name else child.name
+                module.functions.append(
+                    FunctionInfo(child, qual, class_name, nested)
+                )
+                walk(child, class_name, nested=True)
+            elif isinstance(child, ast.ClassDef):
+                walk(child, child.name, nested)
+            else:
+                walk(child, class_name, nested)
+
+    walk(module.tree, class_name=None, nested=False)
+
+
+def build_symbols(module: ModuleInfo) -> ModuleInfo:
+    """Populate ``imports``, ``constants`` and ``functions`` in place."""
+    _collect_imports(module)
+    _collect_constants(module)
+    _collect_functions(module)
+    return module

@@ -19,6 +19,7 @@ regenerated with the paper's action space.
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 import numpy as np
@@ -55,7 +56,9 @@ def quantize_array(weights: np.ndarray, bits: int = 8) -> np.ndarray:
     if bits < 2:
         raise ValueError("need at least 2 bits")
     scale = float(np.abs(weights).max())
-    if scale == 0.0:
+    # abs_tol=1e-12: a tensor whose largest weight is below 1e-12 is
+    # numerically all-zero at any supported bit width.
+    if math.isclose(scale, 0.0, abs_tol=1e-12):
         return weights.copy()
     levels = 2 ** (bits - 1) - 1
     quantized = np.round(weights / scale * levels)

@@ -1,0 +1,72 @@
+"""Runtime boundary contracts — tiny validators for unit-carrying floats.
+
+The estimate/serve path passes physical quantities around as bare floats
+(``bandwidth_mbps``, ``size_bytes``, ``at_ms``); a zero or negative value
+flows through Eqn. 3/6 and comes out looking like a plausible latency.
+Public functions in ``latency/``, ``search/`` and ``runtime/`` validate
+their unit parameters at entry with these helpers — enforced statically by
+flowcheck's ``boundary-contract`` rule, which recognizes ``require_*``
+calls as contracts.
+
+All helpers raise :class:`ValueError` naming the offending parameter, and
+return the value so they compose in expressions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def require_positive(value: Number, name: str) -> Number:
+    """``value`` must be a finite number > 0 (bandwidths, intervals)."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+    return value
+
+
+def require_non_negative(value: Number, name: str) -> Number:
+    """``value`` must be a finite number >= 0 (sizes, timestamps)."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{name} must be non-negative and finite, got {value!r}"
+        )
+    return value
+
+
+def require_unit_interval(value: Number, name: str) -> Number:
+    """``value`` must lie in [0, 1] (probabilities, ratios)."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_all_positive(values: Sequence[Number], name: str) -> np.ndarray:
+    """Every element must be finite and > 0 (bandwidth arrays)."""
+    array = np.asarray(values, dtype=float)
+    if array.size and (not np.all(np.isfinite(array)) or np.any(array <= 0)):
+        raise ValueError(f"{name} must be positive and finite everywhere")
+    return array
+
+
+def require_all_non_negative(values: Sequence[Number], name: str) -> np.ndarray:
+    """Every element must be finite and >= 0 (size/latency arrays)."""
+    array = np.asarray(values, dtype=float)
+    if array.size and (not np.all(np.isfinite(array)) or np.any(array < 0)):
+        raise ValueError(f"{name} must be non-negative and finite everywhere")
+    return array
+
+
+def require_shape(
+    shape: Tuple[int, ...], name: str, rank: int = 0
+) -> Tuple[int, ...]:
+    """``shape`` must be all-positive ints, optionally of a fixed rank."""
+    if rank and len(shape) != rank:
+        raise ValueError(f"{name} must have rank {rank}, got {shape!r}")
+    if any((not isinstance(dim, int)) or dim <= 0 for dim in shape):
+        raise ValueError(f"{name} must be positive integers, got {shape!r}")
+    return shape

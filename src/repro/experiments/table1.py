@@ -35,6 +35,8 @@ class Table1Row:
 
     @property
     def relative_error(self) -> float:
+        if self.paper_latency_ms <= 0:
+            raise ValueError("paper_latency_ms must be positive")
         return (self.latency_ms - self.paper_latency_ms) / self.paper_latency_ms
 
 

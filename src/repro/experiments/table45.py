@@ -66,7 +66,10 @@ class RuntimeRow:
 
     def latency_reduction_vs_surgery(self) -> float:
         """Fractional latency cut of the tree against surgery."""
-        return 1.0 - self.latencies_ms[2] / self.latencies_ms[0]
+        surgery_ms = self.latencies_ms[0]
+        if surgery_ms <= 0:
+            raise ValueError("surgery latency must be positive")
+        return 1.0 - self.latencies_ms[2] / surgery_ms
 
 
 def _row_from_results(

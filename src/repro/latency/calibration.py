@@ -15,11 +15,14 @@ content.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import require_all_non_negative, require_all_positive
+from ..contracts import require_non_negative, require_positive
 from .devices import DeviceProfile
 from .maccs import MaccEntry
 from .transfer import TransferModel, transmission_delay_ms
@@ -69,6 +72,8 @@ class MeasurementSimulator:
         size_bytes: float,
         bandwidth_mbps: float,
     ) -> TransferMeasurement:
+        require_non_negative(size_bytes, "size_bytes")
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         truth = model.latency_ms(size_bytes, bandwidth_mbps)
         noisy = truth * (1.0 + self.rng.normal(0.0, self.noise))
         return TransferMeasurement(size_bytes, bandwidth_mbps, max(noisy, 1e-6))
@@ -94,7 +99,8 @@ def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     predicted = coeff * x + intercept
     ss_res = float(((y - predicted) ** 2).sum())
     ss_tot = float(((y - y.mean()) ** 2).sum())
-    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    # abs_tol=1e-12: constant ys leave R² undefined; float dust counts as 0.
+    r2 = 1.0 if math.isclose(ss_tot, 0.0, abs_tol=1e-12) else 1.0 - ss_res / ss_tot
     return LinearFit(float(coeff), float(intercept), r2)
 
 
@@ -173,6 +179,8 @@ def transfer_measurement_sweep(
     repeats: int = 3,
 ) -> List[TransferMeasurement]:
     """The Fig. 5 transfer sweep across file sizes and bandwidths."""
+    require_all_non_negative(sizes_bytes, "sizes_bytes")
+    require_all_positive(bandwidths_mbps, "bandwidths_mbps")
     measurements = []
     for size in sizes_bytes:
         for bandwidth in bandwidths_mbps:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from .devices import DeviceProfile
 from .transfer import TransferModel
@@ -64,6 +65,7 @@ class LatencyEstimator:
         ``partition_index == len(spec)`` means fully on-edge (no transfer);
         ``partition_index == 0`` ships the raw input to the cloud.
         """
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         if not 0 <= partition_index <= len(spec):
             raise ValueError(
                 f"partition index {partition_index} out of range for "
@@ -88,6 +90,7 @@ class LatencyEstimator:
     ) -> LatencyBreakdown:
         """Latency for explicit edge/cloud halves (the edge half may be
         compressed, so the simple partition-index form does not apply)."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         edge_ms = self.edge.model_latency_ms(edge_spec) if edge_spec and len(edge_spec) else 0.0
         cloud_ms = (
             self.cloud.model_latency_ms(cloud_spec) if cloud_spec and len(cloud_spec) else 0.0

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from .compute import LatencyBreakdown, LatencyEstimator
 from .devices import DeviceProfile
@@ -82,6 +83,7 @@ class EnergyEstimator:
         bandwidth_mbps: float,
     ) -> EnergyBreakdown:
         """Edge energy for an (edge, cloud) deployment at one bandwidth."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         breakdown = self.latency.estimate_composed(
             edge_spec, cloud_spec, bandwidth_mbps
         )

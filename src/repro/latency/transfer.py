@@ -14,16 +14,25 @@ function of ``S`` given ``W``, fit from measurements. We use
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+
+from ..contracts import (
+    require_all_non_negative,
+    require_all_positive,
+    require_non_negative,
+    require_positive,
+)
 
 BITS_PER_BYTE = 8.0
 
 
 def transmission_delay_ms(size_bytes: float, bandwidth_mbps: float) -> float:
     """S / W in milliseconds for S bytes at W megabits per second."""
+    require_non_negative(size_bytes, "size_bytes")
     if bandwidth_mbps <= 0:
         raise ValueError("bandwidth must be positive")
     return size_bytes * BITS_PER_BYTE / (bandwidth_mbps * 1e6) * 1e3
@@ -51,6 +60,9 @@ class TransferModel:
 
     def first_packet_delay_ms(self, size_bytes: float, bandwidth_mbps: float) -> float:
         """f(S | W): linear in S for a given W."""
+        require_non_negative(size_bytes, "size_bytes")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
         return (
             self.setup_ms
             + self.setup_per_inverse_mbps_ms / bandwidth_mbps
@@ -59,6 +71,7 @@ class TransferModel:
 
     def latency_ms(self, size_bytes: float, bandwidth_mbps: float) -> float:
         """Total Tt for ``size_bytes`` at constant ``bandwidth_mbps``."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         if size_bytes <= 0:
             return 0.0
         return self.first_packet_delay_ms(size_bytes, bandwidth_mbps) + (
@@ -77,9 +90,9 @@ class TransferModel:
         Solves ``T - S/W = a + c/W + b·S`` for the three coefficients; this
         is the "series of experiments to fit function f(·)" of Sec. V-B.
         """
-        sizes = np.asarray(sizes_bytes, dtype=float)
-        bandwidths = np.asarray(bandwidths_mbps, dtype=float)
-        measured = np.asarray(measured_ms, dtype=float)
+        sizes = require_all_non_negative(sizes_bytes, "sizes_bytes")
+        bandwidths = require_all_positive(bandwidths_mbps, "bandwidths_mbps")
+        measured = require_all_non_negative(measured_ms, "measured_ms")
         if not (len(sizes) == len(bandwidths) == len(measured)):
             raise ValueError("mismatched measurement arrays")
         if len(sizes) < 3:
@@ -103,13 +116,17 @@ class TransferModel:
         measured_ms: Sequence[float],
     ) -> float:
         """Coefficient of determination of this model on measurements."""
-        measured = np.asarray(measured_ms, dtype=float)
+        sizes = require_all_non_negative(sizes_bytes, "sizes_bytes")
+        bandwidths = require_all_positive(bandwidths_mbps, "bandwidths_mbps")
+        measured = require_all_non_negative(measured_ms, "measured_ms")
         predicted = np.array(
-            [self.latency_ms(s, w) for s, w in zip(sizes_bytes, bandwidths_mbps)]
+            [self.latency_ms(s, w) for s, w in zip(sizes, bandwidths)]
         )
         ss_res = float(((measured - predicted) ** 2).sum())
         ss_tot = float(((measured - measured.mean()) ** 2).sum())
-        if ss_tot == 0.0:
+        # Constant measurements: R² is undefined; abs_tol=1e-12 treats
+        # float-accumulated dust as zero variance.
+        if math.isclose(ss_tot, 0.0, abs_tol=1e-12):
             return 1.0
         return 1.0 - ss_res / ss_tot
 

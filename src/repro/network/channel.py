@@ -9,6 +9,7 @@ model tree is designed to react to.
 
 from __future__ import annotations
 
+from ..contracts import require_positive
 from ..latency.transfer import TransferModel
 from .traces import BandwidthTrace
 
@@ -34,11 +35,13 @@ class Channel:
 
         t_ms = start_time_ms + setup_ms
         remaining_bits = size_bytes * 8.0
-        interval_ms = self.trace.interval_s * 1e3
+        interval_ms = require_positive(self.trace.interval_s, "trace.interval_s") * 1e3
         # Cap the loop far beyond any plausible transfer to guarantee exit.
         max_steps = 10 * len(self.trace.samples) + int(remaining_bits / 1e3) + 10
         for _ in range(max_steps):
             bandwidth_mbps = self.trace.at(t_ms / 1e3)
+            if bandwidth_mbps <= 0:
+                raise ValueError("trace bandwidth must be positive")
             bits_per_ms = bandwidth_mbps * 1e3  # Mbps == kbit/ms
             boundary_ms = (int(t_ms / interval_ms) + 1) * interval_ms
             slot_ms = max(boundary_ms - t_ms, 1e-9)

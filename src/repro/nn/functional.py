@@ -235,10 +235,10 @@ def batch_norm2d(
     if training:
         mean = x.data.mean(axis=(0, 2, 3))
         var = x.data.var(axis=(0, 2, 3))
-        running_mean *= 1.0 - momentum
-        running_mean += momentum * mean
-        running_var *= 1.0 - momentum
-        running_var += momentum * var
+        running_mean *= 1.0 - momentum  # flowcheck: ignore[tensor-alias] -- in-place running-stats update is the documented torch-style contract
+        running_mean += momentum * mean  # flowcheck: ignore[tensor-alias] -- see above
+        running_var *= 1.0 - momentum  # flowcheck: ignore[tensor-alias] -- see above
+        running_var += momentum * var  # flowcheck: ignore[tensor-alias] -- see above
     else:
         mean, var = running_mean, running_var
 
@@ -314,7 +314,7 @@ def distillation_loss(
     teacher = np.asarray(teacher_logits) / t
     teacher = teacher - teacher.max(axis=-1, keepdims=True)
     teacher_probs = np.exp(teacher)
-    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)  # flowcheck: ignore[div-guard] -- sum >= 1: exp(x - max) includes exp(0)
 
     student_log_probs = log_softmax(student_logits * (1.0 / t), axis=-1)
     soft_loss = -(Tensor(teacher_probs) * student_log_probs).sum(axis=-1).mean()

@@ -43,7 +43,7 @@ def _sample_from_logits(
     log_probs = F.log_softmax(logits, axis=-1)
     probs_t = log_probs.exp()
     entropy = -(probs_t * log_probs).sum()
-    probs = probs_t.data / probs_t.data.sum()
+    probs = probs_t.data / probs_t.data.sum()  # flowcheck: ignore[div-guard] -- softmax probs sum to ~1; renormalizes fp error for rng.choice
     index = int(rng.choice(len(probs), p=probs))
     return index, log_probs[index], entropy
 

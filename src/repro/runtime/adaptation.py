@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Sequence
 
+from ..contracts import require_positive
+
 
 class QuantileForkMatcher:
     """Rank-based fork selection over a rolling measurement window."""
@@ -50,6 +52,7 @@ class QuantileForkMatcher:
         evenly across the K forks: rank < 1/K → fork 0 (the "poorest"
         type), rank ≥ (K−1)/K → fork K−1.
         """
+        require_positive(measurement_mbps, "measurement_mbps")
         if num_types < 1:
             raise ValueError("num_types must be >= 1")
         if len(self._measurements) < self.warmup:

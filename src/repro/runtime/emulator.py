@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..contracts import require_non_negative
 from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
 
 
@@ -78,6 +79,7 @@ def run_emulation(
     ``admit=True`` (the default) statically verifies the plan with
     :func:`~repro.runtime.engine.admit_plan` before the first request.
     """
+    require_non_negative(spacing_ms, "spacing_ms")
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
     if admit:

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Protocol, Tuple
 import numpy as np
 
 from ..accuracy.base import AccuracyEvaluator
+from ..contracts import require_non_negative
 from ..latency.devices import DeviceProfile
 from ..mdp.reward import RewardConfig
 from ..model.spec import ModelSpec
@@ -56,6 +57,7 @@ class RuntimeEnvironment:
     outage_detect_ms: float = 200.0
 
     def cloud_available(self, t_ms: float) -> bool:
+        require_non_negative(t_ms, "t_ms")
         return not any(start <= t_ms < end for start, end in self.cloud_outages)
 
     def edge_compute_ms(
@@ -76,12 +78,15 @@ class RuntimeEnvironment:
         self, size_bytes: float, start_ms: float, rng: np.random.Generator
     ) -> float:
         """Trace-integrated transfer time plus field-mode protocol noise."""
+        require_non_negative(size_bytes, "size_bytes")
+        require_non_negative(start_ms, "start_ms")
         return self.channel.transfer_time_ms(size_bytes, start_ms) * (
             self.transfer_noise(rng)
         )
 
     def probe_bandwidth(self, t_ms: float, rng: np.random.Generator) -> float:
         """What the engine *believes* the bandwidth is at time ``t_ms``."""
+        require_non_negative(t_ms, "t_ms")
         true_mbps = self.trace.at(t_ms / 1e3)
         return max(0.1, self.bandwidth_probe_noise(true_mbps, t_ms, rng))
 
@@ -136,7 +141,7 @@ class FixedPlan:
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
     ) -> InferenceOutcome:
-        clock = start_ms
+        clock = require_non_negative(start_ms, "start_ms")
         edge_ms = env.edge_compute_ms(self.edge_spec, rng)
         clock += edge_ms
         transfer_ms = 0.0
@@ -188,7 +193,7 @@ class TreePlan:
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
     ) -> InferenceOutcome:
-        clock = start_ms
+        clock = require_non_negative(start_ms, "start_ms")
         node = self.tree.root
         edge_spec: Optional[ModelSpec] = None
         edge_ms_total = 0.0

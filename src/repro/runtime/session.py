@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..contracts import require_non_negative
 from ..network.predictor import BandwidthPredictor
 from ..search.tree import ModelTree
 from .adaptation import QuantileForkMatcher, adaptive_probe
@@ -80,6 +81,8 @@ class InferenceSession:
         ``at_ms`` pins the request to a trace time; by default requests run
         back-to-back from the previous completion.
         """
+        if at_ms is not None:
+            require_non_negative(at_ms, "at_ms")
         start = self.clock_ms if at_ms is None else max(at_ms, self.clock_ms)
         if self.predictor is not None or self._adaptive is not None:
             env = self._predictive_env()

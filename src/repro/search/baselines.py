@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import networkx as nx
 
+from ..contracts import require_positive
 from ..latency.compute import LatencyEstimator
 from ..latency.maccs import layer_maccs
 from ..model.spec import ModelSpec
@@ -59,6 +60,7 @@ def dynamic_dnn_surgery(
     context: SearchContext, bandwidth_mbps: float
 ) -> SurgeryResult:
     """Min-cut partition of the fixed base DNN at one bandwidth."""
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     spec = context.base
     estimator = context.estimator
     graph = nx.DiGraph()
@@ -100,6 +102,7 @@ def exhaustive_chain_partition(
     context: SearchContext, bandwidth_mbps: float
 ) -> SurgeryResult:
     """Oracle: try every cut of the chain; minimize total latency."""
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     spec = context.base
     best: Optional[Tuple[float, int]] = None
     for p in range(len(spec) + 1):
@@ -125,6 +128,7 @@ def exhaustive_branch_search(
     ("an exhaustive search is unaffordable", Sec. VII) — so it guards the RL
     engine's optimality in tests.
     """
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     spec = context.base
     registry = context.registry
     best: Optional[CandidateResult] = None

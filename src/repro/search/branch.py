@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from ..rl.controller import NO_PARTITION
 from .context import CandidateResult, SearchContext
@@ -50,6 +51,7 @@ def realize_branch_plan(
     context: SearchContext, plan: BranchPlan, bandwidth_mbps: float
 ) -> CandidateResult:
     """Evaluate a branch plan against the context (used by grafting too)."""
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     base = context.base
     p = plan.partition_index
     if p == 0:
@@ -78,6 +80,7 @@ def optimal_branch_search(
     (the paper reaches the same guarantee by training to convergence).
     ``seed_plans`` adds further warm-start candidates.
     """
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     if episodes < 1:
         raise ValueError("episodes must be >= 1")
     rng = np.random.default_rng(seed)

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from .tree import ModelTree, TreeNode
 
@@ -45,6 +46,7 @@ class ComposedModel:
 
 def match_fork(bandwidth_mbps: float, bandwidth_types: List[float]) -> int:
     """Match a live measurement to the nearest configured bandwidth type."""
+    require_positive(bandwidth_mbps, "bandwidth_mbps")
     distances = [abs(bandwidth_mbps - t) for t in bandwidth_types]
     return int(np.argmin(distances))
 

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from ..accuracy.base import AccuracyEvaluator, MemoizedEvaluator
 from ..compression.base import TechniqueRegistry
+from ..contracts import require_positive
 from ..latency.compute import LatencyBreakdown, LatencyEstimator
 from ..mdp.reward import RewardConfig
 from ..model.spec import ModelSpec
@@ -74,6 +75,7 @@ class SearchContext:
     ) -> CandidateResult:
         """Reward (Eqn. 7) of running ``edge_spec`` locally and shipping the
         rest to ``cloud_spec`` at constant ``bandwidth_mbps``."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         key = (
             edge_spec.fingerprint() if edge_spec is not None else "",
             cloud_spec.fingerprint() if cloud_spec is not None else "",

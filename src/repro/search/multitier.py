@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..contracts import require_positive
 from ..latency.devices import DeviceProfile
 from ..latency.transfer import TransferModel
 from ..model.spec import ModelSpec
@@ -110,6 +111,8 @@ class ThreeTierEstimator:
         backhaul_mbps: float,
     ) -> ThreeTierBreakdown:
         """Latency of the (p, q) double cut at the given link bandwidths."""
+        require_positive(access_mbps, "access_mbps")
+        require_positive(backhaul_mbps, "backhaul_mbps")
         length = len(spec)
         if not 0 <= edge_cut <= fog_cut <= length:
             raise ValueError(
@@ -159,6 +162,8 @@ def optimal_three_tier_partition(
     backhaul_mbps: float = 200.0,
 ) -> ThreeTierPlan:
     """Exhaustive optimal (p, q) double cut minimizing total latency."""
+    require_positive(access_mbps, "access_mbps")
+    require_positive(backhaul_mbps, "backhaul_mbps")
     length = len(spec)
     best: Optional[Tuple[float, int, int, ThreeTierBreakdown]] = None
     for p in range(length + 1):

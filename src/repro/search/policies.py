@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..compression.base import TechniqueRegistry
+from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from ..rl.controller import (
     NO_PARTITION,
@@ -73,6 +74,7 @@ class RLPolicy:
         rng: np.random.Generator,
         force_no_partition: bool = False,
     ) -> Tuple[int, ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         cut, log_prob = self.partition_controller.sample(
             spec, bandwidth_mbps, rng, force_no_partition=force_no_partition
         )
@@ -83,6 +85,7 @@ class RLPolicy:
     def sample_compression(
         self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
     ) -> Tuple[List[str], ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         names, log_probs = self.compression_controller.sample(
             spec, bandwidth_mbps, rng
         )
@@ -112,6 +115,7 @@ class RandomPolicy:
         rng: np.random.Generator,
         force_no_partition: bool = False,
     ) -> Tuple[int, ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         if force_no_partition:
             return NO_PARTITION, None
         index = int(rng.integers(0, len(spec) + 1))
@@ -120,6 +124,7 @@ class RandomPolicy:
     def sample_compression(
         self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
     ) -> Tuple[List[str], ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         names = []
         for i in range(len(spec)):
             options = [t.name for t in self.registry.applicable(spec, i)]
@@ -169,6 +174,7 @@ class EpsilonGreedyPolicy:
         rng: np.random.Generator,
         force_no_partition: bool = False,
     ) -> Tuple[int, ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         if force_no_partition:
             key = ("p", self._state_key(spec, bandwidth_mbps), NO_PARTITION)
             return NO_PARTITION, [key]
@@ -184,6 +190,7 @@ class EpsilonGreedyPolicy:
     def sample_compression(
         self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
     ) -> Tuple[List[str], ActionToken]:
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
         names: List[str] = []
         keys: List[Tuple] = []
         state = self._state_key(spec, bandwidth_mbps)

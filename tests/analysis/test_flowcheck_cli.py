@@ -1,0 +1,167 @@
+"""CLI behavior of ``python -m repro.analysis --flow``: exit codes, JSON
+schema, suppressions and the baseline workflow."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+CLEAN = """
+    def _helper(x):
+        return x + 1
+"""
+
+BROKEN = """
+    def f(bandwidth_mbps):
+        return 8.0 / bandwidth_mbps
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(textwrap.dedent(CLEAN))
+    return path
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text(textwrap.dedent(BROKEN))
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file):
+        assert main(["--flow", "--no-baseline", str(clean_file)]) == 0
+
+    def test_findings_exit_one(self, broken_file):
+        assert main(["--flow", "--no-baseline", str(broken_file)]) == 1
+
+    def test_repo_source_is_clean(self):
+        assert main(["--flow", "--no-baseline", str(REPO_SRC)]) == 0
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--flow", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("div-guard", "float-eq", "ambient-rng",
+                        "tensor-alias", "boundary-contract", "print-call"):
+            assert rule_id in out
+
+    def test_artifact_mode_without_targets_exits_two(self, capsys):
+        assert main([]) == 2
+
+
+class TestJsonOutput:
+    def test_schema_on_findings(self, broken_file, capsys):
+        code = main(["--flow", "--json", "--no-baseline", str(broken_file)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["baselined"] == 0
+        assert payload["suppressed"] == 0
+        assert payload["stale_baseline_entries"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "div-guard"
+        assert finding["path"] == str(broken_file)
+        assert finding["line"] == 3
+        assert finding["severity"] == "error"
+        assert "bandwidth_mbps" in finding["message"]
+        assert finding["hint"]
+
+    def test_schema_on_clean_tree(self, clean_file, capsys):
+        assert main(["--flow", "--json", "--no-baseline", str(clean_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestSuppressionViaCli:
+    def test_suppressed_finding_reported_in_counts(self, tmp_path, capsys):
+        path = tmp_path / "suppressed.py"
+        path.write_text(
+            "def _f(bandwidth_mbps):\n"
+            "    return 8.0 / bandwidth_mbps"
+            "  # flowcheck: ignore[div-guard] -- test\n"
+        )
+        assert main(["--flow", "--json", "--no-baseline", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["suppressed"] == 1
+
+
+class TestBaseline:
+    def test_write_then_check_round_trips(self, broken_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "--flow", "--write-baseline", "--baseline", str(baseline),
+            str(broken_file),
+        ]) == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        (entry,) = payload["entries"]
+        assert entry["rule"] == "div-guard"
+        assert entry["justification"]
+
+        # The same finding is now baselined: exit 0, nothing fresh.
+        assert main([
+            "--flow", "--baseline", str(baseline), str(broken_file)
+        ]) == 0
+
+    def test_new_finding_still_fails_with_baseline(self, broken_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(broken_file)])
+        broken_file.write_text(
+            textwrap.dedent(BROKEN)
+            + "\n\ndef g(latency_ms):\n    return 1.0 / latency_ms\n"
+        )
+        assert main([
+            "--flow", "--baseline", str(baseline), str(broken_file)
+        ]) == 1
+
+    def test_stale_entries_warned_not_fatal(self, broken_file, tmp_path,
+                                            capsys):
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(broken_file)])
+        broken_file.write_text(
+            "def f(bandwidth_mbps):\n"
+            "    if bandwidth_mbps <= 0:\n"
+            "        raise ValueError('bad')\n"
+            "    return 8.0 / bandwidth_mbps\n"
+        )
+        assert main([
+            "--flow", "--json", "--baseline", str(baseline), str(broken_file)
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stale_baseline_entries"] == 1
+
+    def test_malformed_baseline_exits_two(self, broken_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99}')
+        assert main([
+            "--flow", "--baseline", str(baseline), str(broken_file)
+        ]) == 2
+
+    def test_no_baseline_flag_ignores_file(self, broken_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(broken_file)])
+        assert main([
+            "--flow", "--no-baseline", "--baseline", str(baseline),
+            str(broken_file),
+        ]) == 1
+
+    def test_checked_in_baseline_is_valid(self):
+        checked_in = Path(__file__).resolve().parents[2] / (
+            "flowcheck-baseline.json"
+        )
+        payload = json.loads(checked_in.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"] == []

@@ -1,0 +1,385 @@
+"""Flowcheck rule goldens: each rule fires on a broken snippet and stays
+silent on idiomatic repo code."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.flowcheck import check_paths, check_source
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def findings(source, path="src/repro/latency/sample.py"):
+    return check_source(textwrap.dedent(source), path).sorted_findings()
+
+
+def rules(source, path="src/repro/latency/sample.py"):
+    return [f.rule for f in findings(source, path)]
+
+
+class TestDivGuard:
+    def test_unguarded_suspect_division_fires(self):
+        src = """
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps
+            """
+        assert "div-guard" in rules(src)
+
+    def test_if_raise_guard_silences(self):
+        src = """
+            def f(bandwidth_mbps):
+                if bandwidth_mbps <= 0:
+                    raise ValueError("bad")
+                return 8.0 / bandwidth_mbps
+            """
+        assert "div-guard" not in rules(src)
+
+    def test_guard_on_one_path_only_fires(self):
+        src = """
+            def f(bandwidth_mbps, fast):
+                if fast:
+                    if bandwidth_mbps <= 0:
+                        raise ValueError("bad")
+                return 8.0 / bandwidth_mbps
+            """
+        assert "div-guard" in rules(src)
+
+    def test_max_clamp_silences(self):
+        src = """
+            def f(latency_ms):
+                return 1.0 / max(latency_ms, 1e-9)
+            """
+        assert "div-guard" not in rules(src)
+
+    def test_require_positive_call_silences(self):
+        src = """
+            from repro.contracts import require_positive
+
+            def f(bandwidth_mbps):
+                require_positive(bandwidth_mbps, "bandwidth_mbps")
+                return 8.0 / bandwidth_mbps
+            """
+        assert "div-guard" not in rules(src)
+
+    def test_non_suspect_denominator_ignored(self):
+        src = """
+            def f(count):
+                return 8.0 / count
+            """
+        assert "div-guard" not in rules(src)
+
+    def test_comprehension_filter_narrows(self):
+        src = """
+            def f(bandwidths):
+                return [1.0 / w for w in bandwidths if w > 0]
+            """
+        assert "div-guard" not in rules(src)
+
+
+class TestFloatEq:
+    def test_float_literal_comparison_fires(self):
+        src = """
+            def f(scale):
+                return scale == 0.0
+            """
+        assert "float-eq" in rules(src)
+
+    def test_isclose_silences(self):
+        src = """
+            import math
+
+            def f(scale: float):
+                return math.isclose(scale, 0.0, abs_tol=1e-12)
+            """
+        assert "float-eq" not in rules(src)
+
+    def test_int_comparison_ignored(self):
+        src = """
+            def f(n):
+                return n == 0
+            """
+        assert "float-eq" not in rules(src)
+
+
+class TestMathDomain:
+    def test_unguarded_log_in_scope_fires(self):
+        src = """
+            import math
+
+            def f(x):
+                return math.log(x)
+            """
+        assert "math-domain" in rules(src, path="src/repro/mdp/sample.py")
+
+    def test_guarded_log_silent(self):
+        src = """
+            import math
+
+            def f(x):
+                if x <= 0:
+                    raise ValueError("bad")
+                return math.log(x)
+            """
+        assert "math-domain" not in rules(src, path="src/repro/mdp/sample.py")
+
+    def test_out_of_scope_package_ignored(self):
+        src = """
+            import math
+
+            def f(x):
+                return math.log(x)
+            """
+        assert "math-domain" not in rules(src, path="src/repro/model/sample.py")
+
+    def test_sqrt_of_square_silent(self):
+        src = """
+            import math
+
+            def f(x):
+                return math.sqrt(x ** 2)
+            """
+        assert "math-domain" not in rules(src, path="src/repro/mdp/sample.py")
+
+
+class TestRngDiscipline:
+    def test_ambient_numpy_call_fires(self):
+        src = """
+            import numpy as np
+
+            def f():
+                return np.random.normal()
+            """
+        assert "ambient-rng" in rules(src)
+
+    def test_ambient_random_module_fires(self):
+        src = """
+            import random
+
+            def f():
+                return random.random()
+            """
+        assert "ambient-rng" in rules(src)
+
+    def test_unseeded_default_rng_fires(self):
+        src = """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """
+        assert "unseeded-generator" in rules(src)
+
+    def test_seeded_default_rng_silent(self):
+        src = """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        assert rules(src) == []
+
+    def test_threaded_generator_silent(self):
+        src = """
+            import numpy as np
+
+            def f(rng: np.random.Generator):
+                return rng.normal()
+            """
+        assert rules(src) == []
+
+    def test_local_name_shadowing_not_confused(self):
+        src = """
+            def f(random):
+                return random.random()
+            """
+        assert "ambient-rng" not in rules(src)
+
+
+class TestTensorAlias:
+    def test_inplace_augassign_on_param_fires(self):
+        src = """
+            import numpy as np
+
+            def f(weights: np.ndarray):
+                weights *= 2.0
+                return weights
+            """
+        assert "tensor-alias" in rules(src)
+
+    def test_subscript_store_on_param_fires(self):
+        src = """
+            import numpy as np
+
+            def f(weights: np.ndarray):
+                weights[0] = 0.0
+                return weights
+            """
+        assert "tensor-alias" in rules(src)
+
+    def test_copy_first_silences(self):
+        src = """
+            import numpy as np
+
+            def f(weights: np.ndarray):
+                weights = weights.copy()
+                weights *= 2.0
+                return weights
+            """
+        assert "tensor-alias" not in rules(src)
+
+    def test_cache_lookup_mutation_fires(self):
+        src = """
+            def f(cache, key):
+                hit = cache[key]
+                hit += 1.0
+                return hit
+            """
+        assert "tensor-alias" in rules(src)
+
+    def test_unannotated_param_ignored(self):
+        src = """
+            def f(weights):
+                weights *= 2.0
+                return weights
+            """
+        assert "tensor-alias" not in rules(src)
+
+
+class TestBoundaryContract:
+    def test_unvalidated_unit_param_fires(self):
+        src = """
+            def estimate(size_bytes, bandwidth_mbps):
+                return size_bytes * 8.0 + bandwidth_mbps
+            """
+        assert "boundary-contract" in rules(src)
+
+    def test_require_call_satisfies(self):
+        src = """
+            from repro.contracts import require_positive
+
+            def estimate(bandwidth_mbps):
+                require_positive(bandwidth_mbps, "bandwidth_mbps")
+                return bandwidth_mbps
+            """
+        assert "boundary-contract" not in rules(src)
+
+    def test_if_raise_satisfies(self):
+        src = """
+            def estimate(bandwidth_mbps):
+                if bandwidth_mbps <= 0:
+                    raise ValueError("bad")
+                return bandwidth_mbps
+            """
+        assert "boundary-contract" not in rules(src)
+
+    def test_private_function_exempt(self):
+        src = """
+            def _estimate(bandwidth_mbps):
+                return bandwidth_mbps
+            """
+        assert "boundary-contract" not in rules(src)
+
+    def test_stub_exempt(self):
+        src = """
+            class Policy:
+                def sample(self, bandwidth_mbps):
+                    ...
+            """
+        assert "boundary-contract" not in rules(src)
+
+    def test_out_of_scope_package_exempt(self):
+        src = """
+            def estimate(bandwidth_mbps):
+                return bandwidth_mbps
+            """
+        assert "boundary-contract" not in rules(src, path="src/repro/nn/sample.py")
+
+
+class TestPrintCall:
+    def test_library_print_fires(self):
+        src = """
+            def f(x):
+                print(x)
+            """
+        assert "print-call" in rules(src)
+
+    def test_experiments_package_exempt(self):
+        src = """
+            def f(x):
+                print(x)
+            """
+        assert rules(src, path="src/repro/experiments/sample.py") == []
+
+    def test_main_entry_point_exempt(self):
+        src = """
+            def main():
+                print("hello")
+            """
+        assert "print-call" not in rules(src)
+
+    def test_dunder_main_module_exempt(self):
+        src = """
+            def f(x):
+                print(x)
+            """
+        assert rules(src, path="src/repro/latency/__main__.py") == []
+
+
+class TestLegacyRules:
+    def test_mutable_default_still_caught(self):
+        src = """
+            def f(items=[]):
+                return items
+            """
+        assert "mutable-default" in rules(src)
+
+    def test_bare_except_still_caught(self):
+        src = """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """
+        assert "bare-except" in rules(src)
+
+    def test_syntax_error_reported_not_raised(self):
+        assert rules("def f(:\n") == ["syntax"]
+
+
+class TestSuppression:
+    def test_inline_pragma_suppresses_named_rule(self):
+        src = """
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps  # flowcheck: ignore[div-guard] -- test
+            """
+        assert "div-guard" not in rules(src)
+
+    def test_pragma_counts_suppressed(self):
+        src = """
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps  # flowcheck: ignore[div-guard]
+            """
+        result = check_source(textwrap.dedent(src), "src/repro/latency/s.py")
+        assert result.suppressed == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = """
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps  # flowcheck: ignore[float-eq]
+            """
+        assert "div-guard" in rules(src)
+
+    def test_bare_pragma_suppresses_everything(self):
+        src = """
+            def _f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps  # flowcheck: ignore
+            """
+        assert rules(src) == []
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_unsuppressed_findings(self):
+        result = check_paths([REPO_SRC])
+        assert result.sorted_findings() == []
+        assert result.files_checked > 50
