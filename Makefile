@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench experiments examples lint typecheck repolint flowcheck clean
+.PHONY: install test bench experiments examples chaos lint typecheck repolint flowcheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,11 @@ bench:
 
 experiments:
 	$(PYTHONPATH_SRC) $(PY) -m repro.experiments all
+
+# Smoke-size chaos replay: a tiny fault-schedule emulation comparing the
+# naive and resilient offload engines (see src/repro/experiments/chaos.py).
+chaos:
+	$(PYTHONPATH_SRC) $(PY) -m repro.experiments chaos --requests 16 --tree-episodes 3 --branch-episodes 6
 
 examples:
 	$(PYTHONPATH_SRC) $(PY) examples/quickstart.py

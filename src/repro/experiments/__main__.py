@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import energy, fig1, fig5, fig7, fig8, regret, sweep, table1, table2, table3, table45
+from . import chaos, energy, fig1, fig5, fig7, fig8, regret, sweep, table1, table2, table3, table45
 from .common import ExperimentConfig
 
 
@@ -30,6 +30,7 @@ EXPERIMENTS = {
     "fig5": lambda config: fig5.main(),
     "fig7": lambda config: fig7.main(),
     "fig8": fig8.main,
+    "chaos": chaos.main,
     "sweep": sweep.main,
     "energy": energy.main,
     "regret": regret.main,

@@ -1,6 +1,6 @@
 """Network-context substrate: bandwidth traces, scenes, and the channel."""
 
-from .channel import Channel
+from .channel import Channel, LossyChannel, TransferAttempt
 from .predictor import (
     BandwidthPredictor,
     EWMAPredictor,
@@ -18,6 +18,8 @@ __all__ = [
     "LastValuePredictor",
     "evaluate_predictor",
     "Channel",
+    "LossyChannel",
+    "TransferAttempt",
     "ALL_SCENARIOS",
     "Scenario",
     "get_scenario",

@@ -5,13 +5,36 @@ the emulator replays a *varying* trace: a transfer started at time ``t``
 drains its byte budget against the instantaneous bandwidth, so a dip
 mid-transfer really stretches the transfer — exactly the situation the
 model tree is designed to react to.
+
+:class:`LossyChannel` extends the clean link with the failure modes a real
+deployment faces (Xu et al., *A Survey on DNN Partition over Cloud, Edge
+and End Devices*): per-transfer loss and bandwidth-collapse slowdowns,
+both driven by a fault clock and drawn deterministically from the seeded
+RNG the engine threads through.
 """
 
 from __future__ import annotations
 
-from ..contracts import require_positive
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..contracts import require_non_negative, require_positive, require_unit_interval
 from ..latency.transfer import TransferModel
 from .traces import BandwidthTrace
+
+
+@dataclass(frozen=True)
+class TransferAttempt:
+    """One try at shipping a payload: did it land, and what did it cost?
+
+    A failed attempt still consumed ``elapsed_ms`` of wall clock — the
+    sender streamed bytes until the connection died mid-flight.
+    """
+
+    ok: bool
+    elapsed_ms: float
 
 
 class Channel:
@@ -52,3 +75,62 @@ class Channel:
             remaining_bits -= capacity_bits
             t_ms = boundary_ms
         raise RuntimeError("transfer did not complete; trace bandwidth too low")
+
+    def attempt(
+        self, size_bytes: float, start_time_ms: float, rng: np.random.Generator
+    ) -> TransferAttempt:
+        """Try a transfer; a clean channel always succeeds."""
+        require_non_negative(size_bytes, "size_bytes")
+        require_non_negative(start_time_ms, "start_time_ms")
+        return TransferAttempt(
+            ok=True, elapsed_ms=self.transfer_time_ms(size_bytes, start_time_ms)
+        )
+
+
+class LossyChannel(Channel):
+    """A :class:`Channel` that can stall, slow, or drop a transfer.
+
+    ``loss_probability_at(t_ms)`` and ``slowdown_at(t_ms)`` are fault-clock
+    queries (typically bound to a
+    :class:`~repro.runtime.faults.FaultSchedule`): the first gives the
+    probability that a transfer *started* at ``t_ms`` dies mid-flight, the
+    second a >= 1 multiplier on the transfer's wall time (a bandwidth
+    collapse). Failure draws come from the caller's seeded generator, so a
+    replay with the same seed fails the same transfers at the same times.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        loss_probability_at: Optional[Callable[[float], float]] = None,
+        slowdown_at: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        super().__init__(inner.trace, inner.transfer_model)
+        self.inner = inner
+        self._loss_probability_at = loss_probability_at or (lambda t_ms: 0.0)
+        self._slowdown_at = slowdown_at or (lambda t_ms: 1.0)
+
+    def transfer_time_ms(self, size_bytes: float, start_time_ms: float) -> float:
+        """Clean transfer time stretched by any active bandwidth collapse."""
+        base_ms = self.inner.transfer_time_ms(size_bytes, start_time_ms)
+        return base_ms * max(1.0, self._slowdown_at(start_time_ms))
+
+    def attempt(
+        self, size_bytes: float, start_time_ms: float, rng: np.random.Generator
+    ) -> TransferAttempt:
+        """Try a transfer; it may die mid-flight after a partial stall.
+
+        A lost transfer consumes a uniform 10–90% of its nominal wall time
+        before the sender sees the connection drop — the stall a transfer
+        timeout exists to bound.
+        """
+        require_non_negative(size_bytes, "size_bytes")
+        require_non_negative(start_time_ms, "start_time_ms")
+        nominal_ms = self.transfer_time_ms(size_bytes, start_time_ms)
+        loss_p = require_unit_interval(
+            self._loss_probability_at(start_time_ms), "loss_probability"
+        )
+        if nominal_ms > 0.0 and loss_p > 0.0 and rng.random() < loss_p:
+            stall_ms = nominal_ms * float(rng.uniform(0.1, 0.9))
+            return TransferAttempt(ok=False, elapsed_ms=stall_ms)
+        return TransferAttempt(ok=True, elapsed_ms=nominal_ms)

@@ -1,4 +1,4 @@
-"""Online runtime: decision engine, emulation and field-test harnesses."""
+"""Online runtime: decision engine, emulation, faults and resilience."""
 
 from .emulator import EmulationResult, run_emulation
 from .engine import (
@@ -9,7 +9,23 @@ from .engine import (
     TreePlan,
 )
 from .adaptation import QuantileForkMatcher, adaptive_probe
+from .faults import (
+    BandwidthCollapse,
+    CloudBrownout,
+    CloudOutage,
+    FaultEvent,
+    FaultSchedule,
+    ProbeBlackout,
+    TransferLoss,
+)
 from .regret import RegretReport, oracle_candidates, regret_analysis
+from .resilience import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    OffloadPolicy,
+    OffloadResult,
+    resolve_offload,
+)
 from .session import InferenceSession, SessionStats
 from .field import FieldConditions, fieldify, make_compute_noise, make_probe_noise
 
@@ -28,6 +44,18 @@ __all__ = [
     "InferencePlan",
     "RuntimeEnvironment",
     "TreePlan",
+    "FaultEvent",
+    "FaultSchedule",
+    "CloudOutage",
+    "CloudBrownout",
+    "BandwidthCollapse",
+    "TransferLoss",
+    "ProbeBlackout",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "OffloadPolicy",
+    "OffloadResult",
+    "resolve_offload",
     "FieldConditions",
     "fieldify",
     "make_compute_noise",

@@ -8,6 +8,7 @@ reward, latency and accuracy per scene.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -107,18 +108,16 @@ def run_emulation(
                 device_free_ms = completion
             queueing_delay = start - float(arrival)
             if queueing_delay > 0:
-                outcome = InferenceOutcome(
+                # dataclasses.replace keeps every other outcome field
+                # (fell_back, retries, ...) — rebuilding by hand silently
+                # dropped fields added after the original list was written.
+                outcome = dataclasses.replace(
+                    outcome,
                     start_ms=float(arrival),
                     latency_ms=outcome.latency_ms + queueing_delay,
-                    accuracy=outcome.accuracy,
                     reward=env.reward.reward(
                         outcome.accuracy, outcome.latency_ms + queueing_delay
                     ),
-                    offloaded=outcome.offloaded,
-                    edge_ms=outcome.edge_ms,
-                    transfer_ms=outcome.transfer_ms,
-                    cloud_ms=outcome.cloud_ms,
-                    fork_choices=outcome.fork_choices,
                 )
         result.outcomes.append(outcome)
     return result

@@ -19,7 +19,7 @@ effect the paper's introduction motivates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -28,10 +28,14 @@ from ..contracts import require_non_negative
 from ..latency.devices import DeviceProfile
 from ..mdp.reward import RewardConfig
 from ..model.spec import ModelSpec
-from ..network.channel import Channel
+from ..network.channel import Channel, TransferAttempt
 from ..network.traces import BandwidthTrace
 from ..search.compose import match_fork
 from ..search.tree import ModelTree, TreeNode
+from .resilience import CircuitBreaker, OffloadPolicy, resolve_offload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .faults import FaultSchedule
 
 
 @dataclass
@@ -53,12 +57,22 @@ class RuntimeEnvironment:
     #: An offload attempted inside a window fails; the engine pays
     #: ``outage_detect_ms`` to notice and falls back to finishing the
     #: inference on the device (the device keeps the full base weights).
+    #: Windows are half-open (``start <= t < end``); a zero-length or
+    #: inverted window never matches.
     cloud_outages: Tuple[Tuple[float, float], ...] = ()
     outage_detect_ms: float = 200.0
+    #: Optional declarative fault schedule (outages, brownouts, transfer
+    #: loss, probe blackouts). Install one with ``FaultSchedule.install``.
+    faults: Optional["FaultSchedule"] = None
 
     def cloud_available(self, t_ms: float) -> bool:
+        """Half-open window semantics: down for ``start <= t_ms < end``."""
         require_non_negative(t_ms, "t_ms")
-        return not any(start <= t_ms < end for start, end in self.cloud_outages)
+        if any(
+            start <= t_ms < end for start, end in self.cloud_outages if end > start
+        ):
+            return False
+        return self.faults is None or not self.faults.outage_at(t_ms)
 
     def edge_compute_ms(
         self, spec: Optional[ModelSpec], rng: np.random.Generator
@@ -68,11 +82,19 @@ class RuntimeEnvironment:
         return self.edge.model_latency_ms(spec) * self.compute_noise(rng)
 
     def cloud_compute_ms(
-        self, spec: Optional[ModelSpec], rng: np.random.Generator
+        self,
+        spec: Optional[ModelSpec],
+        rng: np.random.Generator,
+        at_ms: Optional[float] = None,
     ) -> float:
+        """Cloud compute time; a brownout active at ``at_ms`` stretches it."""
         if spec is None or not len(spec):
             return 0.0
-        return self.cloud.model_latency_ms(spec) * self.compute_noise(rng)
+        base_ms = self.cloud.model_latency_ms(spec) * self.compute_noise(rng)
+        if at_ms is not None and self.faults is not None:
+            require_non_negative(at_ms, "at_ms")
+            base_ms *= self.faults.brownout_multiplier_at(at_ms)
+        return base_ms
 
     def transfer_time_ms(
         self, size_bytes: float, start_ms: float, rng: np.random.Generator
@@ -84,10 +106,32 @@ class RuntimeEnvironment:
             self.transfer_noise(rng)
         )
 
+    def attempt_transfer(
+        self, size_bytes: float, start_ms: float, rng: np.random.Generator
+    ) -> TransferAttempt:
+        """One transfer attempt — may fail mid-flight on a lossy channel."""
+        require_non_negative(size_bytes, "size_bytes")
+        require_non_negative(start_ms, "start_ms")
+        attempt = self.channel.attempt(size_bytes, start_ms, rng)
+        return TransferAttempt(
+            ok=attempt.ok,
+            elapsed_ms=attempt.elapsed_ms * self.transfer_noise(rng),
+        )
+
     def probe_bandwidth(self, t_ms: float, rng: np.random.Generator) -> float:
-        """What the engine *believes* the bandwidth is at time ``t_ms``."""
+        """What the engine *believes* the bandwidth is at time ``t_ms``.
+
+        During a probe blackout the measurement side-channel is down and
+        the probe returns the 0.1 Mbps floor — the engine assumes the
+        worst. A bandwidth collapse scales what the probe sees, so fork
+        decisions react to it like any other dip.
+        """
         require_non_negative(t_ms, "t_ms")
+        if self.faults is not None and self.faults.probe_blackout_at(t_ms):
+            return 0.1
         true_mbps = self.trace.at(t_ms / 1e3)
+        if self.faults is not None:
+            true_mbps /= max(1.0, self.faults.slowdown_at(t_ms))
         return max(0.1, self.bandwidth_probe_noise(true_mbps, t_ms, rng))
 
 
@@ -104,7 +148,10 @@ class InferenceOutcome:
     transfer_ms: float
     cloud_ms: float
     fork_choices: Tuple[int, ...] = ()
-    fell_back: bool = False  # cloud outage forced an on-device fallback
+    fell_back: bool = False  # a failed offload forced an on-device fallback
+    retries: int = 0  # offload re-attempts beyond the first try
+    deadline_missed: bool = False  # completion overran the policy deadline
+    degraded: bool = False  # breaker was open: request pinned edge-only
 
 
 class InferencePlan(Protocol):
@@ -131,12 +178,60 @@ def admit_plan(plan: "InferencePlan", base: Optional[ModelSpec] = None) -> None:
         raise_on_error(verify_tree(plan.tree), context="tree plan")
 
 
+def _payload_bytes(
+    edge_spec: Optional[ModelSpec], cloud_spec: ModelSpec
+) -> float:
+    """Bytes crossing the link: the edge output, or the raw cloud input."""
+    if edge_spec is not None and len(edge_spec):
+        return edge_spec.output_shape.num_bytes
+    return cloud_spec.input_shape.num_bytes
+
+
+def _finish(
+    start_ms: float,
+    clock: float,
+    env: RuntimeEnvironment,
+    edge_spec: Optional[ModelSpec],
+    cloud_spec: Optional[ModelSpec],
+    edge_ms: float,
+    offload,
+    forks: Tuple[int, ...] = (),
+) -> InferenceOutcome:
+    """Compose the outcome both plan types report after their offload."""
+    composed = _concat(edge_spec, cloud_spec)
+    accuracy = env.accuracy.evaluate(composed)
+    latency = clock - start_ms
+    return InferenceOutcome(
+        start_ms=start_ms,
+        latency_ms=latency,
+        accuracy=accuracy,
+        reward=env.reward.reward(accuracy, latency),
+        offloaded=offload.offloaded,
+        edge_ms=edge_ms + offload.fallback_edge_ms,
+        transfer_ms=offload.transfer_ms,
+        cloud_ms=offload.cloud_ms,
+        fork_choices=forks,
+        fell_back=offload.fell_back,
+        retries=offload.retries,
+        deadline_missed=offload.deadline_missed,
+        degraded=offload.degraded,
+    )
+
+
 @dataclass(frozen=True)
 class FixedPlan:
-    """A once-for-all (edge, cloud) split — surgery and optimal branch."""
+    """A once-for-all (edge, cloud) split — surgery and optimal branch.
+
+    ``policy``/``breaker`` switch the offload path from the naive
+    one-shot fallback to the resilient state machine of
+    :mod:`repro.runtime.resilience`; the breaker is deliberately excluded
+    from equality (it is mutable session state, not part of the split).
+    """
 
     edge_spec: Optional[ModelSpec]
     cloud_spec: Optional[ModelSpec]
+    policy: Optional[OffloadPolicy] = None
+    breaker: Optional[CircuitBreaker] = field(default=None, compare=False)
 
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
@@ -144,51 +239,39 @@ class FixedPlan:
         clock = require_non_negative(start_ms, "start_ms")
         edge_ms = env.edge_compute_ms(self.edge_spec, rng)
         clock += edge_ms
-        transfer_ms = 0.0
-        cloud_ms = 0.0
-        fell_back = False
-        offloaded = self.cloud_spec is not None and len(self.cloud_spec) > 0
-        if offloaded:
-            size = (
-                self.edge_spec.output_shape.num_bytes
-                if self.edge_spec is not None and len(self.edge_spec)
-                else self.cloud_spec.input_shape.num_bytes
-            )
-            if env.cloud_available(clock):
-                transfer_ms = env.transfer_time_ms(size, clock, rng)
-                clock += transfer_ms
-                cloud_ms = env.cloud_compute_ms(self.cloud_spec, rng)
-                clock += cloud_ms
-            else:
-                # Failure injection: the offload times out; finish locally.
-                fell_back = True
-                offloaded = False
-                clock += env.outage_detect_ms
-                fallback_ms = env.edge_compute_ms(self.cloud_spec, rng)
-                edge_ms += fallback_ms
-                clock += fallback_ms
-
-        composed = _concat(self.edge_spec, self.cloud_spec)
-        accuracy = env.accuracy.evaluate(composed)
-        latency = clock - start_ms
-        return InferenceOutcome(
-            start_ms=start_ms,
-            latency_ms=latency,
-            accuracy=accuracy,
-            reward=env.reward.reward(accuracy, latency),
-            offloaded=offloaded,
-            edge_ms=edge_ms,
-            transfer_ms=transfer_ms,
-            cloud_ms=cloud_ms,
-            fell_back=fell_back,
+        wants_offload = self.cloud_spec is not None and len(self.cloud_spec) > 0
+        offload = resolve_offload(
+            env,
+            rng,
+            clock,
+            self.cloud_spec if wants_offload else None,
+            _payload_bytes(self.edge_spec, self.cloud_spec) if wants_offload else 0.0,
+            policy=self.policy,
+            breaker=self.breaker,
+        )
+        return _finish(
+            start_ms,
+            offload.clock_ms,
+            env,
+            self.edge_spec,
+            self.cloud_spec,
+            edge_ms,
+            offload,
         )
 
 
 @dataclass(frozen=True)
 class TreePlan:
-    """Walk the model tree per measured bandwidth (Alg. 2), block by block."""
+    """Walk the model tree per measured bandwidth (Alg. 2), block by block.
+
+    Shares :func:`~repro.runtime.resilience.resolve_offload` with
+    :class:`FixedPlan`, so the same retry/breaker/deadline semantics apply
+    once the walk commits to a partitioned terminal.
+    """
 
     tree: ModelTree
+    policy: Optional[OffloadPolicy] = None
+    breaker: Optional[CircuitBreaker] = field(default=None, compare=False)
 
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
@@ -217,43 +300,25 @@ class TreePlan:
             forks.append(fork)
             node = node.children[fork]
 
-        transfer_ms = 0.0
-        cloud_ms = 0.0
-        fell_back = False
-        offloaded = node.cloud_spec is not None and len(node.cloud_spec) > 0
-        if offloaded:
-            size = (
-                edge_spec.output_shape.num_bytes
-                if edge_spec is not None and len(edge_spec)
-                else node.cloud_spec.input_shape.num_bytes
-            )
-            if env.cloud_available(clock):
-                transfer_ms = env.transfer_time_ms(size, clock, rng)
-                clock += transfer_ms
-                cloud_ms = env.cloud_compute_ms(node.cloud_spec, rng)
-                clock += cloud_ms
-            else:
-                fell_back = True
-                offloaded = False
-                clock += env.outage_detect_ms
-                fallback_ms = env.edge_compute_ms(node.cloud_spec, rng)
-                edge_ms_total += fallback_ms
-                clock += fallback_ms
-
-        composed = _concat(edge_spec, node.cloud_spec)
-        accuracy = env.accuracy.evaluate(composed)
-        latency = clock - start_ms
-        return InferenceOutcome(
-            start_ms=start_ms,
-            latency_ms=latency,
-            accuracy=accuracy,
-            reward=env.reward.reward(accuracy, latency),
-            offloaded=offloaded,
-            edge_ms=edge_ms_total,
-            transfer_ms=transfer_ms,
-            cloud_ms=cloud_ms,
-            fork_choices=tuple(forks),
-            fell_back=fell_back,
+        wants_offload = node.cloud_spec is not None and len(node.cloud_spec) > 0
+        offload = resolve_offload(
+            env,
+            rng,
+            clock,
+            node.cloud_spec if wants_offload else None,
+            _payload_bytes(edge_spec, node.cloud_spec) if wants_offload else 0.0,
+            policy=self.policy,
+            breaker=self.breaker,
+        )
+        return _finish(
+            start_ms,
+            offload.clock_ms,
+            env,
+            edge_spec,
+            node.cloud_spec,
+            edge_ms_total,
+            offload,
+            forks=tuple(forks),
         )
 
 

@@ -1,0 +1,176 @@
+"""Declarative fault injection for the online runtime.
+
+The paper's premise is a "dynamically changing network environment"
+(Sec. I, Fig. 1), but clean traces only exercise the *gradual* half of
+that story. This module injects the abrupt half — the failure modes the
+edge-cloud cooperation literature (Xu et al. survey; Zhang et al.,
+*Edge-Cloud Cooperation for DNN Inference via RL and SL*) answers with
+retries and graceful degradation:
+
+- :class:`CloudOutage` — the cloud is unreachable for a window;
+- :class:`CloudBrownout` — the cloud answers, but slowly (a latency
+  multiplier on cloud compute: queueing, thermal throttling, a noisy
+  neighbour);
+- :class:`BandwidthCollapse` — the link stays up but transfers crawl;
+- :class:`TransferLoss` — each transfer started in the window dies
+  mid-flight with some probability;
+- :class:`ProbeBlackout` — bandwidth measurement stops working (the
+  probe side-channel is down), so fork decisions fly blind.
+
+A :class:`FaultSchedule` composes any number of events and installs
+itself onto a :class:`~repro.runtime.engine.RuntimeEnvironment` with
+:meth:`FaultSchedule.install`, wrapping the transfer channel in a
+:class:`~repro.network.channel.LossyChannel`. All stochastic behaviour
+draws from the seeded generator the engine already threads through, so a
+chaos replay is reproducible bit-for-bit.
+
+All windows share the runtime's half-open semantics: an event is active
+for ``start_ms <= t < end_ms``, and a zero-length window is a no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from ..contracts import require_non_negative, require_unit_interval
+from ..network.channel import LossyChannel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import RuntimeEnvironment
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault active over the half-open window ``[start_ms, end_ms)``."""
+
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.start_ms, "start_ms")
+        require_non_negative(self.end_ms, "end_ms")
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"fault window ends before it starts: "
+                f"[{self.start_ms}, {self.end_ms})"
+            )
+
+    def active(self, t_ms: float) -> bool:
+        """Half-open containment; zero-length windows are never active."""
+        require_non_negative(t_ms, "t_ms")
+        return self.start_ms <= t_ms < self.end_ms
+
+
+@dataclass(frozen=True)
+class CloudOutage(FaultEvent):
+    """The cloud is unreachable: offloads fail until the window closes."""
+
+
+@dataclass(frozen=True)
+class CloudBrownout(FaultEvent):
+    """The cloud still answers, but ``latency_multiplier`` times slower."""
+
+    latency_multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"latency_multiplier must be >= 1, got {self.latency_multiplier!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BandwidthCollapse(FaultEvent):
+    """Transfers started in the window take ``slowdown`` times longer."""
+
+    slowdown: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown!r}")
+
+
+@dataclass(frozen=True)
+class TransferLoss(FaultEvent):
+    """Each transfer started in the window fails with ``loss_probability``."""
+
+    loss_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_unit_interval(self.loss_probability, "loss_probability")
+
+
+@dataclass(frozen=True)
+class ProbeBlackout(FaultEvent):
+    """Bandwidth probes return nothing useful: the engine flies blind."""
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable composition of fault events over the emulation clock.
+
+    Overlapping events compose the way independent faults would: latency
+    multipliers and slowdowns multiply, loss probabilities combine as
+    independent failure chances (``1 - prod(1 - p)``).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"fault schedule entries must be FaultEvents, got {event!r}"
+                )
+
+    def _active(self, kind: type, t_ms: float):
+        return (e for e in self.events if isinstance(e, kind) and e.active(t_ms))
+
+    def outage_at(self, t_ms: float) -> bool:
+        require_non_negative(t_ms, "t_ms")
+        return any(True for _ in self._active(CloudOutage, t_ms))
+
+    def brownout_multiplier_at(self, t_ms: float) -> float:
+        require_non_negative(t_ms, "t_ms")
+        multiplier = 1.0
+        for event in self._active(CloudBrownout, t_ms):
+            multiplier *= event.latency_multiplier
+        return multiplier
+
+    def slowdown_at(self, t_ms: float) -> float:
+        require_non_negative(t_ms, "t_ms")
+        slowdown = 1.0
+        for event in self._active(BandwidthCollapse, t_ms):
+            slowdown *= event.slowdown
+        return slowdown
+
+    def loss_probability_at(self, t_ms: float) -> float:
+        require_non_negative(t_ms, "t_ms")
+        survival = 1.0
+        for event in self._active(TransferLoss, t_ms):
+            survival *= 1.0 - event.loss_probability
+        return 1.0 - survival
+
+    def probe_blackout_at(self, t_ms: float) -> bool:
+        require_non_negative(t_ms, "t_ms")
+        return any(True for _ in self._active(ProbeBlackout, t_ms))
+
+    def install(self, env: "RuntimeEnvironment") -> "RuntimeEnvironment":
+        """A copy of ``env`` with this schedule's faults wired in.
+
+        The transfer channel is wrapped in a :class:`LossyChannel` bound to
+        this schedule's loss/slowdown clocks; every other environment field
+        — including any pre-existing ``cloud_outages`` windows — survives
+        the copy via :func:`dataclasses.replace`.
+        """
+        lossy = LossyChannel(
+            env.channel,
+            loss_probability_at=self.loss_probability_at,
+            slowdown_at=self.slowdown_at,
+        )
+        return dataclasses.replace(env, channel=lossy, faults=self)

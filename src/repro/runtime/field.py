@@ -17,6 +17,7 @@ harness injects exactly those two error sources into the emulator:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -78,15 +79,17 @@ def make_probe_noise(
 def fieldify(
     env: RuntimeEnvironment, conditions: FieldConditions | None = None
 ) -> RuntimeEnvironment:
-    """Return a copy of ``env`` with field-test error sources installed."""
+    """Return a copy of ``env`` with field-test error sources installed.
+
+    Only the three noise hooks are overridden; everything else —
+    including ``cloud_outages``/``outage_detect_ms`` and any installed
+    fault schedule — is carried over by :func:`dataclasses.replace`, so
+    new ``RuntimeEnvironment`` fields can never be silently dropped here
+    again (a field-by-field copy once lost the outage windows).
+    """
     conditions = conditions or FieldConditions()
-    return RuntimeEnvironment(
-        edge=env.edge,
-        cloud=env.cloud,
-        trace=env.trace,
-        channel=env.channel,
-        accuracy=env.accuracy,
-        reward=env.reward,
+    return dataclasses.replace(
+        env,
         compute_noise=make_compute_noise(conditions),
         transfer_noise=make_transfer_noise(conditions),
         bandwidth_probe_noise=make_probe_noise(env.trace, conditions),

@@ -16,8 +16,9 @@ running statistics a monitoring endpoint would export.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from ..search.tree import ModelTree
 from .adaptation import QuantileForkMatcher, adaptive_probe
 from .emulator import EmulationResult
 from .engine import InferenceOutcome, RuntimeEnvironment, TreePlan
+from .resilience import CircuitBreaker, OffloadPolicy
 
 
 @dataclass
@@ -40,6 +42,12 @@ class SessionStats:
     mean_reward: float
     offload_rate: float
     fallback_rate: float
+    #: Resilience telemetry (all zero/empty for a session without a policy).
+    retry_total: int = 0
+    deadline_miss_rate: float = 0.0
+    degraded_rate: float = 0.0
+    breaker_state: Optional[str] = None
+    breaker_transitions: Dict[str, int] = field(default_factory=dict)
 
 
 class InferenceSession:
@@ -53,6 +61,8 @@ class InferenceSession:
         fork_matcher: Optional[QuantileForkMatcher] = None,
         seed: int = 0,
         verify: bool = True,
+        policy: Optional[OffloadPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if verify:
             # Admission-time static check: a malformed tree is rejected
@@ -73,7 +83,13 @@ class InferenceSession:
         self.rng = np.random.default_rng(seed)
         self.clock_ms = 0.0
         self.outcomes: List[InferenceOutcome] = []
-        self._plan = TreePlan(tree)
+        # A policy without an explicit breaker still gets one: the breaker
+        # is the session-scoped half of the resilience state machine.
+        self.policy = policy
+        self.breaker = breaker if breaker is not None else (
+            CircuitBreaker() if policy is not None else None
+        )
+        self._plan = TreePlan(tree, policy=self.policy, breaker=self.breaker)
 
     def infer(self, at_ms: Optional[float] = None) -> InferenceOutcome:
         """Run one inference; returns its outcome and advances the clock.
@@ -97,8 +113,6 @@ class InferenceSession:
         """The same environment, with probes routed through the predictor."""
         predictor = self.predictor
         base_probe = self.env.bandwidth_probe_noise
-        trace = self.env.trace
-
         adaptive = self._adaptive
 
         def predictive_probe(
@@ -112,18 +126,10 @@ class InferenceSession:
                 measured = adaptive(measured)
             return measured
 
-        return RuntimeEnvironment(
-            edge=self.env.edge,
-            cloud=self.env.cloud,
-            trace=trace,
-            channel=self.env.channel,
-            accuracy=self.env.accuracy,
-            reward=self.env.reward,
-            compute_noise=self.env.compute_noise,
-            transfer_noise=self.env.transfer_noise,
-            bandwidth_probe_noise=predictive_probe,
-            cloud_outages=self.env.cloud_outages,
-            outage_detect_ms=self.env.outage_detect_ms,
+        # dataclasses.replace carries every other field (outage windows,
+        # fault schedules, future additions) — only the probe is swapped.
+        return dataclasses.replace(
+            self.env, bandwidth_probe_noise=predictive_probe
         )
 
     def stats(self) -> SessionStats:
@@ -141,9 +147,30 @@ class InferenceSession:
             fallback_rate=float(
                 np.mean([o.fell_back for o in self.outcomes])
             ),
+            retry_total=int(sum(o.retries for o in self.outcomes)),
+            deadline_miss_rate=float(
+                np.mean([o.deadline_missed for o in self.outcomes])
+            ),
+            degraded_rate=float(
+                np.mean([o.degraded for o in self.outcomes])
+            ),
+            breaker_state=self.breaker.state if self.breaker is not None else None,
+            breaker_transitions=(
+                self.breaker.transition_counts()
+                if self.breaker is not None
+                else {}
+            ),
         )
 
     def reset(self) -> None:
-        """Forget history and rewind the clock (the trace is unchanged)."""
+        """Forget history and rewind the clock (the trace is unchanged).
+
+        Breaker state is history too — a reset session starts closed.
+        """
         self.clock_ms = 0.0
         self.outcomes.clear()
+        if self.breaker is not None:
+            self.breaker = CircuitBreaker(self.breaker.config)
+            self._plan = TreePlan(
+                self.tree, policy=self.policy, breaker=self.breaker
+            )

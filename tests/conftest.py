@@ -70,6 +70,31 @@ def estimator() -> LatencyEstimator:
     return LatencyEstimator(XIAOMI_MI_6X, CLOUD_SERVER, CELLULAR_TRANSFER)
 
 
+def make_split_tree(base: ModelSpec, split: int = 4, bandwidth_types=(5.0, 20.0)):
+    """A one-node model tree that always offloads at ``split``.
+
+    Deterministic by construction (no probing, no fork choices), so tests
+    exercising the offload/fallback path don't depend on a searched tree
+    happening to pick a partitioned branch.
+    """
+    from repro.search.tree import ModelTree, TreeNode
+
+    root = TreeNode(
+        block_index=0,
+        fork_index=None,
+        bandwidth_mbps=float(bandwidth_types[0]),
+        edge_spec=base.slice(0, split),
+        cloud_spec=base.slice(split, len(base)),
+        partitioned=True,
+    )
+    return ModelTree(
+        root=root,
+        bandwidth_types=list(bandwidth_types),
+        base=base,
+        num_blocks=1,
+    )
+
+
 def make_context(base: ModelSpec, base_accuracy: float = 0.92) -> SearchContext:
     return SearchContext(
         base,

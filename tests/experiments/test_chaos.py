@@ -1,0 +1,63 @@
+"""Chaos experiment: resilient must beat naive, deterministically."""
+
+import pytest
+
+from repro.experiments.chaos import (
+    default_fault_schedule,
+    default_offload_policy,
+    run_chaos,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.runtime.faults import CloudOutage, TransferLoss
+
+
+def small_config():
+    return ExperimentConfig(
+        tree_episodes=3,
+        branch_episodes=6,
+        emulation_requests=16,
+        trace_duration_s=120.0,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(small_config())
+
+
+class TestDefaultSchedule:
+    def test_contains_the_mixed_faults(self):
+        schedule = default_fault_schedule(100_000.0)
+        kinds = {type(e) for e in schedule.events}
+        assert CloudOutage in kinds
+        assert TransferLoss in kinds
+        assert schedule.loss_probability_at(50_000.0) == pytest.approx(0.10)
+
+    def test_policy_is_valid(self):
+        policy = default_offload_policy()
+        assert policy.max_retries >= 1
+        assert policy.deadline_ms is not None
+
+
+class TestChaosAcceptance:
+    def test_resilient_strictly_beats_naive(self, report):
+        """The acceptance bar: better mean reward AND better p95 latency."""
+        assert report.resilient.mean_reward > report.naive.mean_reward
+        assert report.resilient.p95_latency_ms < report.naive.p95_latency_ms
+
+    def test_faults_actually_bite(self, report):
+        assert report.naive.fallback_rate > 0
+        assert report.resilient.retry_total > 0
+
+    def test_breaker_exercised(self, report):
+        assert report.breaker_transitions.get("closed->open", 0) >= 1
+
+    def test_degraded_mode_exercised(self, report):
+        assert report.resilient.degraded_rate > 0
+        assert report.naive.degraded_rate == 0  # naive has no breaker
+
+    def test_deterministic_across_invocations(self, report):
+        """Same seed, same schedule — bit-identical report."""
+        again = run_chaos(small_config())
+        assert again == report

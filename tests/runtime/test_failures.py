@@ -12,8 +12,9 @@ from repro.network.traces import constant_trace
 from repro.nn.zoo import vgg11
 from repro.runtime.emulator import run_emulation
 from repro.runtime.engine import FixedPlan, RuntimeEnvironment, TreePlan
+from repro.runtime.session import InferenceSession
 from repro.search.tree import TreeSearchConfig, model_tree_search
-from tests.conftest import make_context
+from tests.conftest import make_context, make_split_tree
 
 
 def make_env(accuracy=None, outages=(), detect_ms=200.0):
@@ -58,6 +59,39 @@ class TestCloudAvailability:
         assert not env.cloud_available(5.0)
         assert env.cloud_available(30.0)
         assert not env.cloud_available(55.0)
+
+
+class TestOutageBoundarySemantics:
+    """Regression pins for the half-open ``start <= t < end`` contract."""
+
+    def test_start_inclusive_end_exclusive(self):
+        env = make_env(outages=[(100.0, 200.0)])
+        assert not env.cloud_available(100.0)  # start is in the window
+        assert env.cloud_available(200.0)  # end is not
+
+    def test_zero_length_window_is_noop(self):
+        env = make_env(outages=[(100.0, 100.0)])
+        assert env.cloud_available(100.0)
+        assert env.cloud_available(99.9)
+
+    def test_inverted_window_is_noop(self):
+        # A reversed window can never satisfy start <= t < end; make sure
+        # no implementation shortcut accidentally treats it as "always".
+        env = make_env(outages=[(200.0, 100.0)])
+        assert env.cloud_available(150.0)
+        assert env.cloud_available(200.0)
+
+    def test_offload_landing_exactly_at_end_succeeds(self, base, rng):
+        env = make_env(outages=[(0.0, 500.0)])
+        outcome = FixedPlan(None, base).execute(500.0, env, rng)
+        assert outcome.offloaded
+        assert not outcome.fell_back
+
+    def test_offload_landing_exactly_at_start_fails(self, base, rng):
+        env = make_env(outages=[(500.0, 1_000.0)])
+        outcome = FixedPlan(None, base).execute(500.0, env, rng)
+        assert outcome.fell_back
+        assert not outcome.offloaded
 
 
 class TestFixedPlanFallback:
@@ -119,3 +153,67 @@ class TestTreePlanFallback:
         )
         fallbacks = sum(1 for o in result.outcomes if o.fell_back)
         assert 0 < fallbacks < 10  # the outage covers part of the session
+
+    def test_tree_fallback_latency_composition(self, rng):
+        """The tree's fallback pays detect + full edge run of the cloud half."""
+        base = vgg11()
+        tree = make_split_tree(base, split=4)
+        env = make_env(outages=[(0.0, 1e6)], detect_ms=150.0)
+        outcome = TreePlan(tree).execute(0.0, env, rng)
+        assert outcome.fell_back
+        assert not outcome.offloaded
+        edge_half_ms = XIAOMI_MI_6X.model_latency_ms(base.slice(0, 4))
+        cloud_half_on_edge_ms = XIAOMI_MI_6X.model_latency_ms(
+            base.slice(4, len(base))
+        )
+        assert outcome.latency_ms == pytest.approx(
+            edge_half_ms + 150.0 + cloud_half_on_edge_ms
+        )
+        assert outcome.edge_ms == pytest.approx(
+            edge_half_ms + cloud_half_on_edge_ms
+        )
+        assert outcome.transfer_ms == 0.0
+        assert outcome.cloud_ms == 0.0
+
+    def test_fixed_plan_fallback_with_edge_half(self, rng):
+        """Same composition through FixedPlan, with a nonzero edge half."""
+        base = vgg11()
+        plan = FixedPlan(base.slice(0, 4), base.slice(4, len(base)))
+        env = make_env(outages=[(0.0, 1e6)], detect_ms=150.0)
+        outcome = plan.execute(0.0, env, rng)
+        assert outcome.fell_back
+        assert not outcome.offloaded
+        expected = (
+            XIAOMI_MI_6X.model_latency_ms(base.slice(0, 4))
+            + 150.0
+            + XIAOMI_MI_6X.model_latency_ms(base.slice(4, len(base)))
+        )
+        assert outcome.latency_ms == pytest.approx(expected)
+
+    def test_session_fallback_rate_reflects_outages(self):
+        tree = make_split_tree(vgg11())
+        env = make_env(outages=[(0.0, 5_000.0)])
+        session = InferenceSession(tree, env, seed=0, verify=False)
+        for i in range(10):
+            session.infer(at_ms=float(i) * 2_000.0)
+        stats = session.stats()
+        expected = float(
+            np.mean([o.fell_back for o in session.outcomes])
+        )
+        assert stats.fallback_rate == pytest.approx(expected)
+        assert 0.0 < stats.fallback_rate < 1.0
+
+    def test_queued_emulation_preserves_fallback_flag(self, base):
+        """The queue-delay rebuild must not drop outcome fields."""
+        env = make_env(outages=[(0.0, 60_000.0)])
+        result = run_emulation(
+            FixedPlan(None, base),
+            env,
+            num_requests=5,
+            seed=0,
+            spacing_ms=10.0,
+            queued=True,
+        )
+        # Requests queue behind the slow fallbacks, so the rebuilt
+        # (queue-delayed) outcomes must still carry fell_back=True.
+        assert all(o.fell_back for o in result.outcomes)
