@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench experiments examples chaos lint typecheck repolint flowcheck clean
+.PHONY: install test bench bench-json experiments examples chaos lint typecheck repolint flowcheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,11 @@ test:
 
 bench:
 	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable benchmark results (pytest-benchmark JSON incl. the memo
+# speedup / hit-rate extra_info) for CI artifacts and regression tracking.
+bench-json:
+	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/ --benchmark-only --benchmark-json=BENCH_search.json
 
 experiments:
 	$(PYTHONPATH_SRC) $(PY) -m repro.experiments all

@@ -23,6 +23,7 @@ from ..network.channel import Channel
 from ..network.scenarios import Scenario
 from ..network.traces import BandwidthTrace
 from ..nn.zoo import get_model
+from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
 from ..runtime.engine import FixedPlan, RuntimeEnvironment, TreePlan
 from ..runtime.field import FieldConditions, fieldify
@@ -135,7 +136,9 @@ def run_scenario(
         )
 
     # --- offline: the three methods -----------------------------------
-    surgery_result = dynamic_dnn_surgery(context, median_bandwidth)
+    perf = get_registry()
+    with perf.span("scenario.surgery"):
+        surgery_result = dynamic_dnn_surgery(context, median_bandwidth)
     surgery_plan = BranchPlan(
         surgery_result.partition_index,
         tuple(["ID"] * surgery_result.partition_index),
@@ -153,13 +156,14 @@ def run_scenario(
     # the best expected reward (the search space strictly contains every
     # pure partition, so the branch can never lose to surgery).
     branch_policy = RLPolicy(context.registry, seed=config.seed + 1)
-    branch_result = optimal_branch_search(
-        context,
-        median_bandwidth,
-        branch_policy,
-        episodes=config.branch_episodes,
-        seed=config.seed + 2,
-    )
+    with perf.span("scenario.branch"):
+        branch_result = optimal_branch_search(
+            context,
+            median_bandwidth,
+            branch_policy,
+            episodes=config.branch_episodes,
+            seed=config.seed + 2,
+        )
     branch_candidates = [branch_result.plan, surgery_plan] + [
         BranchPlan(p, tuple(["ID"] * p)) for p in range(len(context.base) + 1)
     ]
@@ -171,17 +175,18 @@ def run_scenario(
         plan=FixedPlan(branch_realized.edge_spec, branch_realized.cloud_spec),
     )
 
-    tree_result = model_tree_search(
-        context,
-        types,
-        config=TreeSearchConfig(
-            num_blocks=config.num_blocks,
-            episodes=config.tree_episodes,
-            branch_episodes=config.branch_episodes,
-            extra_plans=(branch_plan,),
-            seed=config.seed + 3,
-        ),
-    )
+    with perf.span("scenario.tree"):
+        tree_result = model_tree_search(
+            context,
+            types,
+            config=TreeSearchConfig(
+                num_blocks=config.num_blocks,
+                episodes=config.tree_episodes,
+                branch_episodes=config.branch_episodes,
+                extra_plans=(branch_plan,),
+                seed=config.seed + 3,
+            ),
+        )
     tree = MethodOutcome(
         name="tree",
         offline_reward=tree_result.expected_reward,
@@ -191,22 +196,23 @@ def run_scenario(
     # --- online: emulation and field replays ---------------------------
     if run_emu or run_field:
         env = build_environment(scenario, context, trace)
-        for method in (surgery, branch, tree):
-            if run_emu:
-                method.emulation = run_emulation(
-                    method.plan,
-                    env,
-                    num_requests=config.emulation_requests,
-                    seed=config.seed + 11,
-                )
-            if run_field:
-                field_env = fieldify(env, FieldConditions())
-                method.field = run_emulation(
-                    method.plan,
-                    field_env,
-                    num_requests=config.emulation_requests,
-                    seed=config.seed + 13,
-                )
+        with perf.span("scenario.replay"):
+            for method in (surgery, branch, tree):
+                if run_emu:
+                    method.emulation = run_emulation(
+                        method.plan,
+                        env,
+                        num_requests=config.emulation_requests,
+                        seed=config.seed + 11,
+                    )
+                if run_field:
+                    field_env = fieldify(env, FieldConditions())
+                    method.field = run_emulation(
+                        method.plan,
+                        field_env,
+                        num_requests=config.emulation_requests,
+                        seed=config.seed + 13,
+                    )
 
     return ScenarioOutcome(
         scenario=scenario,

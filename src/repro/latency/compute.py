@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..contracts import require_positive
 from ..model.spec import ModelSpec
+from ..perf import get_registry
 from .devices import DeviceProfile
 from .transfer import TransferModel
 
@@ -91,16 +92,17 @@ class LatencyEstimator:
         """Latency for explicit edge/cloud halves (the edge half may be
         compressed, so the simple partition-index form does not apply)."""
         require_positive(bandwidth_mbps, "bandwidth_mbps")
-        edge_ms = self.edge.model_latency_ms(edge_spec) if edge_spec and len(edge_spec) else 0.0
-        cloud_ms = (
-            self.cloud.model_latency_ms(cloud_spec) if cloud_spec and len(cloud_spec) else 0.0
-        )
-        if cloud_spec is None or not len(cloud_spec):
-            transfer_ms = 0.0
-        else:
-            if edge_spec and len(edge_spec):
-                size_bytes = edge_spec.output_shape.num_bytes
+        with get_registry().span("latency.estimate_composed"):
+            edge_ms = self.edge.model_latency_ms(edge_spec) if edge_spec and len(edge_spec) else 0.0
+            cloud_ms = (
+                self.cloud.model_latency_ms(cloud_spec) if cloud_spec and len(cloud_spec) else 0.0
+            )
+            if cloud_spec is None or not len(cloud_spec):
+                transfer_ms = 0.0
             else:
-                size_bytes = cloud_spec.input_shape.num_bytes
-            transfer_ms = self.transfer.latency_ms(size_bytes, bandwidth_mbps)
-        return LatencyBreakdown(edge_ms, transfer_ms, cloud_ms)
+                if edge_spec and len(edge_spec):
+                    size_bytes = edge_spec.output_shape.num_bytes
+                else:
+                    size_bytes = cloud_spec.input_shape.num_bytes
+                transfer_ms = self.transfer.latency_ms(size_bytes, bandwidth_mbps)
+            return LatencyBreakdown(edge_ms, transfer_ms, cloud_ms)

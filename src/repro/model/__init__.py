@@ -19,6 +19,7 @@ from .spec import (
     LayerType,
     ModelSpec,
     TensorShape,
+    compute_fingerprint,
     infer_output_shape,
     layer_parameter_count,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "LayerType",
     "ModelSpec",
     "TensorShape",
+    "compute_fingerprint",
     "infer_output_shape",
     "layer_parameter_count",
 ]

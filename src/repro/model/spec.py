@@ -240,6 +240,24 @@ def layer_parameter_count(layer: LayerSpec, in_channels: int) -> int:
     return 0
 
 
+def compute_fingerprint(spec: "ModelSpec") -> str:
+    """Serialize-and-hash a spec's structure (input shape + layers).
+
+    This is the raw, *uncached* computation — O(layers) JSON serialization
+    plus a SHA-256 — exposed separately so benchmarks can compare it against
+    the cached :meth:`ModelSpec.fingerprint` path. Library code should call
+    the method, never this function.
+    """
+    payload = json.dumps(
+        {
+            "input": dataclasses.asdict(spec.input_shape),
+            "layers": [layer.to_dict() for layer in spec.layers],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 class ModelSpec:
     """An ordered sequence of :class:`LayerSpec` — the full MDP state string.
 
@@ -257,6 +275,7 @@ class ModelSpec:
         self.layers: Tuple[LayerSpec, ...] = tuple(layers)
         self.input_shape = input_shape
         self.name = name
+        self._fingerprint: Optional[str] = None  # computed lazily, then cached
         self._shapes: List[TensorShape] = [input_shape]
         for layer in self.layers:
             self._shapes.append(infer_output_shape(layer, self._shapes[-1]))
@@ -322,15 +341,16 @@ class ModelSpec:
         return [layer.to_string() for layer in self.layers]
 
     def fingerprint(self) -> str:
-        """Stable hash for the memoization pool (Sec. VII-A 'memory pool')."""
-        payload = json.dumps(
-            {
-                "input": dataclasses.asdict(self.input_shape),
-                "layers": [layer.to_dict() for layer in self.layers],
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        """Stable hash for the memoization pool (Sec. VII-A 'memory pool').
+
+        Computed once and cached: a spec is immutable (every surgery method
+        returns a *new* spec), and the search hot path fingerprints the same
+        objects thousands of times per episode. The name is deliberately
+        excluded, so renamed copies of the same structure share a key.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = compute_fingerprint(self)
+        return self._fingerprint
 
     # -- surgery ------------------------------------------------------------
     def replace_layer(self, index: int, new_layers: Sequence[LayerSpec]) -> "ModelSpec":

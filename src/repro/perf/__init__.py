@@ -1,0 +1,19 @@
+"""Performance layer: span timers, counters, and the bounded memo pool.
+
+See :mod:`repro.perf.registry` for instrumentation and
+:mod:`repro.perf.memo` for the LRU memoization pool behind
+:class:`~repro.search.context.SearchContext`.
+"""
+
+from .memo import DEFAULT_MAXSIZE, MemoPool, MemoStats
+from .registry import PerfRegistry, SpanStat, get_registry, set_registry
+
+__all__ = [
+    "DEFAULT_MAXSIZE",
+    "MemoPool",
+    "MemoStats",
+    "PerfRegistry",
+    "SpanStat",
+    "get_registry",
+    "set_registry",
+]

@@ -1,0 +1,131 @@
+"""Bounded LRU memoization pool with hit/miss/eviction telemetry.
+
+The paper's Sec. VII-A "memory pool storing the hash code of searched
+models" was previously a bare dict inside
+:class:`~repro.search.context.SearchContext`: unbounded, uncounted, and
+keyed on a bandwidth rounded to 1e-3 Mbps (so two candidates whose
+bandwidths differ by less than 0.5e-3 silently shared one result).
+:class:`MemoPool` replaces it — and is generic enough for any
+(hashable key → result) cache in the search stack:
+
+- **exact keys** — the pool stores whatever hashable key the caller built;
+  it never rounds or coarsens, so distinct candidates can only collide if
+  the caller's key function collides;
+- **bounded** — an optional ``maxsize`` with least-recently-*used* eviction
+  (a hit refreshes the entry), so week-long searches cannot grow without
+  limit;
+- **counted** — ``hits`` / ``misses`` / ``evictions`` counters and a
+  :class:`MemoStats` snapshot for the perf registry and benchmarks.
+
+The pool stays free of any other :mod:`repro` dependency; callers wire its
+counters into a :class:`~repro.perf.registry.PerfRegistry` where needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+#: Default bound for the search memo pool: roomy enough that realistic
+#: episode budgets never evict, small enough to bound memory on huge sweeps.
+DEFAULT_MAXSIZE = 65536
+
+_MISS = object()  # sentinel: ``None`` is a legal cached value
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """Point-in-time telemetry of one :class:`MemoPool`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: Optional[int]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MemoPool:
+    """LRU-bounded, counted memoization pool over exact hashable keys."""
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_MAXSIZE, name: str = "memo") -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be None (unbounded) or >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core -------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Cached value for ``key`` (refreshing its recency) or ``default``."""
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the least recently used."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        self._data[key] = value
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    # -- introspection ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does *not* touch counters or recency."""
+        return key in self._data
+
+    def keys(self):
+        """Keys in least-recently-used → most-recently-used order."""
+        return list(self._data.keys())
+
+    @property
+    def stats(self) -> MemoStats:
+        return MemoStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

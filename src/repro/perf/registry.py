@@ -1,0 +1,147 @@
+"""Lightweight span timers and counters for the search hot path.
+
+The ROADMAP's "fast as the hardware allows" goal needs numbers before it
+needs optimizations: a :class:`PerfRegistry` accumulates named counters and
+span timings (count / total / max / mean milliseconds) with dictionary-write
+overhead, so it can stay enabled inside loops that run thousands of times
+per search episode. A process-wide default registry is wired into
+:meth:`repro.search.context.SearchContext.evaluate`,
+:meth:`repro.latency.compute.LatencyEstimator.estimate_composed`, the tree
+search's forward-generation/backward-estimation episodes and the emulator
+request loop; ``snapshot()`` / ``dump()`` export everything as JSON (the
+``make bench-json`` target persists it next to the pytest-benchmark
+results).
+
+This module deliberately imports nothing from the rest of :mod:`repro`, so
+any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class SpanStat:
+    """Accumulated timings of one named span."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_ms / self.count
+
+    def record(self, elapsed_ms: float) -> None:
+        self.count += 1
+        self.total_ms += elapsed_ms
+        if elapsed_ms > self.max_ms:
+            self.max_ms = elapsed_ms
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+class PerfRegistry:
+    """Named counters plus span timers, dumpable as JSON.
+
+    ``enabled=False`` turns :meth:`span` into a no-op context manager and
+    :meth:`count` into a cheap early return, so instrumented code never
+    needs its own gating.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._spans: Dict[str, SpanStat] = {}
+
+    # -- counters ---------------------------------------------------------
+    def count(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name`` by ``by``."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # -- spans ------------------------------------------------------------
+    def record_span(self, name: str, elapsed_ms: float) -> None:
+        """Fold one externally-timed duration into span ``name``."""
+        if not self.enabled:
+            return
+        stat = self._spans.get(name)
+        if stat is None:
+            stat = self._spans[name] = SpanStat()
+        stat.record(elapsed_ms)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and fold it into span ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_span(name, (time.perf_counter() - start) * 1e3)
+
+    def span_stat(self, name: str) -> SpanStat:
+        """Accumulated stats of span ``name`` (zeros if never recorded)."""
+        return self._spans.get(name, SpanStat())
+
+    # -- export -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything recorded so far, as plain JSON-serializable dicts."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "spans": {
+                name: stat.to_dict()
+                for name, stat in sorted(self._spans.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def dump(self, path: PathLike) -> None:
+        """Write the snapshot as a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._spans.clear()
+
+
+#: Process-wide default registry used by the instrumented hot paths.
+_DEFAULT_REGISTRY = PerfRegistry()
+
+
+def get_registry() -> PerfRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: PerfRegistry) -> PerfRegistry:
+    """Swap the default registry (tests / isolated runs); returns the old."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous

@@ -21,7 +21,16 @@ from ..nn.tensor import Tensor
 
 
 class EMABaseline:
-    """Exponential moving average of observed returns."""
+    """Exponential moving average of observed returns.
+
+    Warm-up behavior (deliberate): the first observed reward *initializes*
+    the moving average, but the baseline returned for that first episode is
+    ``0.0``. With no history there is nothing to subtract — an earlier
+    revision returned the reward itself, which made the first episode's
+    advantage exactly zero and silently discarded its gradient. From the
+    second episode on, the returned baseline is the EMA of all *previous*
+    rewards (the update folds the new reward in only after reporting).
+    """
 
     def __init__(self, decay: float = 0.8) -> None:
         if not 0.0 <= decay < 1.0:
@@ -30,13 +39,13 @@ class EMABaseline:
         self.value: Optional[float] = None
 
     def update(self, reward: float) -> float:
-        """Fold in a new return; returns the baseline *before* the update."""
-        previous = self.value if self.value is not None else reward
-        self.value = (
-            reward
-            if self.value is None
-            else self.decay * self.value + (1.0 - self.decay) * reward
-        )
+        """Fold in a new return; returns the baseline *before* the update
+        (``0.0`` on the very first call — see the class docstring)."""
+        if self.value is None:
+            self.value = reward
+            return 0.0
+        previous = self.value
+        self.value = self.decay * self.value + (1.0 - self.decay) * reward
         return previous
 
     def advantage(self, reward: float) -> float:
@@ -78,6 +87,12 @@ class ReinforceTrainer:
         γ = 1). ``entropies`` (if given and ``entropy_coeff > 0``) add the
         standard exploration bonus, discouraging premature collapse of the
         action distribution.
+
+        Scaling contract (deliberate): ``reward_scale`` multiplies the
+        *advantage* only — it sizes the gradient step. Both ``self.history``
+        and the EMA baseline track the **raw** reward, so reward telemetry
+        and the variance-reduction state are independent of the scale knob
+        (rescaling would otherwise change what the baseline converges to).
         """
         self.history.append(reward)
         advantage = self.baseline.advantage(reward) * self.reward_scale
@@ -100,13 +115,23 @@ class ReinforceTrainer:
         return advantage
 
     def update_many(
-        self, episodes: Sequence[Tuple[Sequence[Tensor], float]]
+        self,
+        episodes: Sequence[Tuple],
     ) -> None:
-        """Batch of (log_probs, reward) episodes, applied one step each.
+        """Batch of episodes, applied one :meth:`update` step each.
 
-        Used by the tree search, where every node contributes an
-        action/reward pair after the backward-estimation stage (Alg. 3
-        lines 32–34).
+        Each episode is ``(log_probs, reward)`` or
+        ``(log_probs, reward, entropies)`` — the 3-tuple form carries the
+        entropy bonus through, so replaying episodes in a batch is exactly
+        equivalent to calling :meth:`update` once per episode (an earlier
+        revision dropped the entropies on replay). Used by the tree search,
+        where every node contributes an action/reward pair after the
+        backward-estimation stage (Alg. 3 lines 32–34).
         """
-        for log_probs, reward in episodes:
-            self.update(log_probs, reward)
+        for episode in episodes:
+            if len(episode) == 2:
+                log_probs, reward = episode
+                entropies: Optional[Sequence[Tensor]] = None
+            else:
+                log_probs, reward, entropies = episode
+            self.update(log_probs, reward, entropies=entropies)

@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..contracts import require_non_negative
+from ..perf import get_registry
 from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
 
 
@@ -94,10 +95,13 @@ def run_emulation(
     else:
         arrival_times = list(np.linspace(0.0, duration_ms * 0.9, num_requests))
 
+    perf = get_registry()
     device_free_ms = 0.0
     for arrival in arrival_times:
+        perf.count("emulator.requests")
         start = max(float(arrival), device_free_ms) if queued else float(arrival)
-        outcome = plan.execute(start, env, rng)
+        with perf.span("emulator.request"):
+            outcome = plan.execute(start, env, rng)
         if queued:
             completion = start + outcome.latency_ms
             if pipelined:

@@ -61,6 +61,7 @@ def dynamic_dnn_surgery(
 ) -> SurgeryResult:
     """Min-cut partition of the fixed base DNN at one bandwidth."""
     require_positive(bandwidth_mbps, "bandwidth_mbps")
+    context.perf.count("surgery.runs")
     spec = context.base
     estimator = context.estimator
     graph = nx.DiGraph()

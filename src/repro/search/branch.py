@@ -103,23 +103,25 @@ def optimal_branch_search(
             best_plan = plan
 
     for _ in range(episodes):
-        cut, partition_token = policy.sample_partition(base, bandwidth_mbps, rng)
-        partition_index = len(base) if cut == NO_PARTITION else cut
+        context.perf.count("branch.episodes")
+        with context.perf.span("branch.episode"):
+            cut, partition_token = policy.sample_partition(base, bandwidth_mbps, rng)
+            partition_index = len(base) if cut == NO_PARTITION else cut
 
-        tokens = [partition_token]
-        if partition_index > 0:
-            edge_raw = base.slice(0, partition_index)
-            names, compression_token = policy.sample_compression(
-                edge_raw, bandwidth_mbps, rng
-            )
-            tokens.append(compression_token)
-        else:
-            names = []
+            tokens = [partition_token]
+            if partition_index > 0:
+                edge_raw = base.slice(0, partition_index)
+                names, compression_token = policy.sample_compression(
+                    edge_raw, bandwidth_mbps, rng
+                )
+                tokens.append(compression_token)
+            else:
+                names = []
 
-        plan = BranchPlan(partition_index, tuple(names))
-        result = realize_branch_plan(context, plan, bandwidth_mbps)
+            plan = BranchPlan(partition_index, tuple(names))
+            result = realize_branch_plan(context, plan, bandwidth_mbps)
 
-        policy.update([t for t in tokens if t is not None], result.reward)
+            policy.update([t for t in tokens if t is not None], result.reward)
         history.append(result.reward)
         if best is None or result.reward > best.reward:
             best = result

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..contracts import require_positive
 from ..model.spec import ModelSpec
+from ..perf import get_registry
 from .tree import ModelTree, TreeNode
 
 #: Called before each block with the block index; returns measured Mbps.
@@ -43,6 +44,18 @@ class ComposedModel:
             return self.edge_spec
         return self.edge_spec.concatenate(self.cloud_spec, name="composed")
 
+    def fingerprint(self) -> str:
+        """Stable identity of the composition — ``edge:cloud`` fingerprints.
+
+        Built from the parts' *cached* fingerprints (never the concatenated
+        spec), so identifying a walk's outcome — e.g. deduplicating across
+        requests or keying a downstream cache — costs two dict reads
+        instead of a fresh serialization of the full model.
+        """
+        edge = self.edge_spec.fingerprint() if self.edge_spec is not None else ""
+        cloud = self.cloud_spec.fingerprint() if self.cloud_spec is not None else ""
+        return f"{edge}:{cloud}"
+
 
 def match_fork(bandwidth_mbps: float, bandwidth_types: List[float]) -> int:
     """Match a live measurement to the nearest configured bandwidth type."""
@@ -53,6 +66,7 @@ def match_fork(bandwidth_mbps: float, bandwidth_types: List[float]) -> int:
 
 def compose_from_tree(tree: ModelTree, probe: BandwidthProbe) -> ComposedModel:
     """Algorithm 2: grow a model from the tree, fork by measured bandwidth."""
+    get_registry().count("compose.walks")
     node = tree.root
     path: List[TreeNode] = [node]
     measured: List[float] = []

@@ -7,16 +7,26 @@ evaluator, and the reward normalization (Eqn. 7) — behind one
 (edge, cloud, bandwidth) triples (Sec. VII-A: "a memory pool storing the
 hash code of searched models to avoid redundant computations").
 
+The pool is a bounded LRU :class:`~repro.perf.MemoPool` keyed on the two
+cached spec fingerprints plus the **exact** bandwidth float. Earlier
+revisions rounded the bandwidth to 1e-3 Mbps, so two candidates whose
+bandwidths differed by less than 0.5e-3 collided and the second caller
+silently received the first caller's result — wrong latency, reward, and
+stored ``bandwidth_mbps``. Hit/miss counters and an evaluation span feed
+the process-wide :class:`~repro.perf.PerfRegistry`.
+
 ``debug=True`` statically verifies every candidate with
 :mod:`repro.analysis` before it is evaluated, raising
 :class:`~repro.analysis.VerificationError` on a malformed split — useful
-when developing new techniques or search policies.
+when developing new techniques or search policies. Verification runs on
+cache *misses* only: a pooled result was already verified when it was
+first computed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..accuracy.base import AccuracyEvaluator, MemoizedEvaluator
 from ..compression.base import TechniqueRegistry
@@ -24,6 +34,7 @@ from ..contracts import require_positive
 from ..latency.compute import LatencyBreakdown, LatencyEstimator
 from ..mdp.reward import RewardConfig
 from ..model.spec import ModelSpec
+from ..perf import DEFAULT_MAXSIZE, MemoPool, MemoStats, PerfRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,8 @@ class SearchContext:
         accuracy: AccuracyEvaluator,
         reward: RewardConfig,
         debug: bool = False,
+        memo_maxsize: Optional[int] = DEFAULT_MAXSIZE,
+        perf: Optional[PerfRegistry] = None,
     ) -> None:
         self.base = base
         self.registry = registry
@@ -64,7 +77,8 @@ class SearchContext:
         )
         self.reward_config = reward
         self.debug = debug
-        self._pool: Dict[Tuple[str, str, float], CandidateResult] = {}
+        self.perf = perf if perf is not None else get_registry()
+        self._pool: MemoPool = MemoPool(maxsize=memo_maxsize, name="search.memo")
         self.evaluations = 0
 
     def evaluate(
@@ -79,45 +93,59 @@ class SearchContext:
         key = (
             edge_spec.fingerprint() if edge_spec is not None else "",
             cloud_spec.fingerprint() if cloud_spec is not None else "",
-            round(bandwidth_mbps, 3),
+            float(bandwidth_mbps),  # exact: never rounded or coarsened
         )
-        if key in self._pool:
-            return self._pool[key]
-        if self.debug:
-            # Lazy import: analysis is optional on the evaluation hot path.
-            from ..analysis import raise_on_error, verify_candidate
+        cached = self._pool.get(key)
+        if cached is not None:
+            self.perf.count("search.evaluate.hits")
+            return cached
+        self.perf.count("search.evaluate.misses")
+        with self.perf.span("search.evaluate"):
+            if self.debug:
+                # Lazy import: analysis is optional on the evaluation hot path.
+                from ..analysis import raise_on_error, verify_candidate
 
-            raise_on_error(
-                verify_candidate(edge_spec, cloud_spec, base=self.base),
-                context="search candidate",
+                raise_on_error(
+                    verify_candidate(edge_spec, cloud_spec, base=self.base),
+                    context="search candidate",
+                )
+            self.evaluations += 1
+
+            if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
+                composed = edge_spec.concatenate(cloud_spec, name="composed")
+            elif edge_spec is not None and len(edge_spec):
+                composed = edge_spec
+            elif cloud_spec is not None and len(cloud_spec):
+                composed = cloud_spec
+            else:
+                raise ValueError("candidate has neither edge nor cloud model")
+
+            accuracy = self.accuracy.evaluate(composed)
+            breakdown = self.estimator.estimate_composed(
+                edge_spec, cloud_spec, bandwidth_mbps
             )
-        self.evaluations += 1
-
-        if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
-            composed = edge_spec.concatenate(cloud_spec, name="composed")
-        elif edge_spec is not None and len(edge_spec):
-            composed = edge_spec
-        elif cloud_spec is not None and len(cloud_spec):
-            composed = cloud_spec
-        else:
-            raise ValueError("candidate has neither edge nor cloud model")
-
-        accuracy = self.accuracy.evaluate(composed)
-        breakdown = self.estimator.estimate_composed(
-            edge_spec, cloud_spec, bandwidth_mbps
-        )
-        reward = self.reward_config.reward(accuracy, breakdown.total_ms)
-        result = CandidateResult(
-            edge_spec=edge_spec,
-            cloud_spec=cloud_spec,
-            bandwidth_mbps=bandwidth_mbps,
-            accuracy=accuracy,
-            latency=breakdown,
-            reward=reward,
-        )
-        self._pool[key] = result
+            reward = self.reward_config.reward(accuracy, breakdown.total_ms)
+            result = CandidateResult(
+                edge_spec=edge_spec,
+                cloud_spec=cloud_spec,
+                bandwidth_mbps=bandwidth_mbps,
+                accuracy=accuracy,
+                latency=breakdown,
+                reward=reward,
+            )
+            self._pool.put(key, result)
         return result
 
     @property
+    def memo(self) -> MemoPool:
+        """The memoization pool (bounded LRU with counters)."""
+        return self._pool
+
+    def memo_stats(self) -> MemoStats:
+        """Hit/miss/eviction telemetry of the memo pool."""
+        return self._pool.stats
+
+    @property
     def pool_size(self) -> int:
+        """Number of pooled results (kept for backward compatibility)."""
         return len(self._pool)

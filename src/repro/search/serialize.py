@@ -77,8 +77,26 @@ def tree_to_dict(tree: ModelTree) -> Dict:
         "bandwidth_types": list(tree.bandwidth_types),
         "num_blocks": tree.num_blocks,
         "base": tree.base.to_dict(),
+        # The cached structural fingerprint doubles as an integrity stamp:
+        # a hand-edited or corrupted base spec no longer matches on load.
+        "base_fingerprint": tree.base.fingerprint(),
         "root": _node_to_dict(tree.root),
     }
+
+
+def _check_fingerprint(
+    spec: Optional[ModelSpec], stamp: Optional[object], what: str
+) -> None:
+    """Reject an artifact whose stamped fingerprint no longer matches."""
+    if stamp is None or spec is None:
+        return  # older artifacts carry no stamp — stay loadable
+    actual = spec.fingerprint()
+    if actual != stamp:
+        raise ValueError(
+            f"{what} fingerprint mismatch: artifact stamped {stamp!r} but "
+            f"the stored spec hashes to {actual!r} (artifact edited or "
+            "corrupted after saving)"
+        )
 
 
 def tree_from_dict(data: Dict) -> ModelTree:
@@ -92,10 +110,12 @@ def tree_from_dict(data: Dict) -> ModelTree:
         raise ValueError(f"unsupported tree format: {data.get('format')!r}")
     _, diagnostics = verify_artifact(data, kind="model_tree")
     raise_on_error(diagnostics, context="model tree")
+    base = ModelSpec.from_dict(data["base"])
+    _check_fingerprint(base, data.get("base_fingerprint"), "base model")
     return ModelTree(
         root=_node_from_dict(data["root"]),
         bandwidth_types=[float(t) for t in data["bandwidth_types"]],
-        base=ModelSpec.from_dict(data["base"]),
+        base=base,
         num_blocks=int(data["num_blocks"]),
     )
 
@@ -120,6 +140,14 @@ def plan_to_dict(plan: "FixedPlan", base: Optional[ModelSpec] = None) -> Dict:
         "edge_spec": plan.edge_spec.to_dict() if plan.edge_spec is not None else None,
         "cloud_spec": plan.cloud_spec.to_dict() if plan.cloud_spec is not None else None,
         "base": base.to_dict() if base is not None else None,
+        "fingerprints": {
+            "edge": (
+                plan.edge_spec.fingerprint() if plan.edge_spec is not None else None
+            ),
+            "cloud": (
+                plan.cloud_spec.fingerprint() if plan.cloud_spec is not None else None
+            ),
+        },
     }
 
 
@@ -131,18 +159,20 @@ def plan_from_dict(data: Dict) -> "FixedPlan":
         raise ValueError(f"unsupported plan format: {data.get('format')!r}")
     _, diagnostics = verify_artifact(data, kind="fixed_plan")
     raise_on_error(diagnostics, context="fixed plan")
-    return FixedPlan(
-        edge_spec=(
-            ModelSpec.from_dict(data["edge_spec"])
-            if data.get("edge_spec") is not None
-            else None
-        ),
-        cloud_spec=(
-            ModelSpec.from_dict(data["cloud_spec"])
-            if data.get("cloud_spec") is not None
-            else None
-        ),
+    edge_spec = (
+        ModelSpec.from_dict(data["edge_spec"])
+        if data.get("edge_spec") is not None
+        else None
     )
+    cloud_spec = (
+        ModelSpec.from_dict(data["cloud_spec"])
+        if data.get("cloud_spec") is not None
+        else None
+    )
+    stamps = data.get("fingerprints") or {}
+    _check_fingerprint(edge_spec, stamps.get("edge"), "edge spec")
+    _check_fingerprint(cloud_spec, stamps.get("cloud"), "cloud spec")
+    return FixedPlan(edge_spec=edge_spec, cloud_spec=cloud_spec)
 
 
 def save_plan(

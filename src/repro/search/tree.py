@@ -592,21 +592,24 @@ def model_tree_search(
     root_bandwidth = float(np.mean(types))
 
     for episode in range(config.episodes):
-        root = _generate_node(
-            context,
-            blocks,
-            policy,
-            block_index=0,
-            fork_index=None,
-            bandwidth_mbps=root_bandwidth,
-            prefix=[],
-            rng=rng,
-            episode=episode,
-            schedule=schedule,
-            bandwidth_types=types,
-        )
-        _backward_estimate(root)
-        _update_policy(policy, root)
+        context.perf.count("tree.episodes")
+        with context.perf.span("tree.forward"):
+            root = _generate_node(
+                context,
+                blocks,
+                policy,
+                block_index=0,
+                fork_index=None,
+                bandwidth_mbps=root_bandwidth,
+                prefix=[],
+                rng=rng,
+                episode=episode,
+                schedule=schedule,
+                bandwidth_types=types,
+            )
+        with context.perf.span("tree.backward"):
+            _backward_estimate(root)
+            _update_policy(policy, root)
 
         tree = ModelTree(
             root=root, bandwidth_types=types, base=context.base,
@@ -624,7 +627,10 @@ def model_tree_search(
         candidate_plans = [r.plan for r in branch_results.values()] + list(
             config.extra_plans
         )
-        final = build_grafted_tree(context, types, candidate_plans, config.num_blocks)
+        with context.perf.span("tree.graft"):
+            final = build_grafted_tree(
+                context, types, candidate_plans, config.num_blocks
+            )
         _, final_reward = final.best_branch()
         # Fold in the RL-discovered branch when it beats the graft.
         if best_sampled is not None and best_sampled_reward > final_reward:

@@ -1,0 +1,120 @@
+"""Unit tests for the bounded LRU memo pool."""
+
+import pytest
+
+from repro.perf import DEFAULT_MAXSIZE, MemoPool
+
+
+class TestBasics:
+    def test_miss_returns_default(self):
+        pool = MemoPool()
+        assert pool.get("k") is None
+        assert pool.get("k", default=-1) == -1
+
+    def test_put_then_get(self):
+        pool = MemoPool()
+        pool.put("k", 42)
+        assert pool.get("k") == 42
+        assert len(pool) == 1
+        assert "k" in pool
+
+    def test_none_is_a_legal_value(self):
+        pool = MemoPool()
+        pool.put("k", None)
+        # The sentinel distinguishes a cached None from a miss.
+        assert pool.get("k", default="fallback") is None
+        assert pool.stats.hits == 1
+
+    def test_put_refreshes_value(self):
+        pool = MemoPool()
+        pool.put("k", 1)
+        pool.put("k", 2)
+        assert pool.get("k") == 2
+        assert len(pool) == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            MemoPool(maxsize=0)
+        with pytest.raises(ValueError):
+            MemoPool(maxsize=-3)
+
+    def test_default_maxsize(self):
+        assert MemoPool().maxsize == DEFAULT_MAXSIZE
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        pool = MemoPool(maxsize=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.put("c", 3)  # evicts "a", the oldest
+        assert "a" not in pool
+        assert pool.keys() == ["b", "c"]
+        assert pool.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        pool = MemoPool(maxsize=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        assert pool.get("a") == 1  # "a" is now most recent
+        pool.put("c", 3)  # evicts "b"
+        assert "a" in pool
+        assert "b" not in pool
+
+    def test_put_refresh_does_not_evict(self):
+        pool = MemoPool(maxsize=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.put("a", 10)  # refresh, not insert
+        assert len(pool) == 2
+        assert pool.stats.evictions == 0
+
+    def test_unbounded_pool_never_evicts(self):
+        pool = MemoPool(maxsize=None)
+        for i in range(1000):
+            pool.put(i, i)
+        assert len(pool) == 1000
+        assert pool.stats.evictions == 0
+
+
+class TestStats:
+    def test_hit_miss_counters(self):
+        pool = MemoPool()
+        pool.get("k")  # miss
+        pool.put("k", 1)
+        pool.get("k")  # hit
+        pool.get("k")  # hit
+        stats = pool.stats
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_guards_zero_lookups(self):
+        assert MemoPool().stats.hit_rate == 0.0
+
+    def test_contains_does_not_count(self):
+        pool = MemoPool()
+        pool.put("k", 1)
+        assert "k" in pool
+        assert "other" not in pool
+        assert pool.stats.lookups == 0
+
+    def test_stats_to_dict(self):
+        pool = MemoPool(maxsize=8, name="n")
+        pool.put("k", 1)
+        pool.get("k")
+        data = pool.stats.to_dict()
+        assert data["hits"] == 1
+        assert data["size"] == 1
+        assert data["maxsize"] == 8
+        assert data["hit_rate"] == pytest.approx(1.0)
+
+    def test_clear_resets_counters_and_entries(self):
+        pool = MemoPool()
+        pool.put("k", 1)
+        pool.get("k")
+        pool.get("missing")
+        pool.clear()
+        assert len(pool) == 0
+        stats = pool.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)

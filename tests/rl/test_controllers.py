@@ -139,9 +139,22 @@ class TestCompressionController:
 
 
 class TestEMABaseline:
-    def test_first_update_returns_reward(self):
+    def test_first_episode_advantage_is_full_reward(self):
+        """Warm-up: with no history the baseline is 0, so the first
+        episode's gradient is NOT discarded (regression: it used to return
+        the reward itself, zeroing the first advantage)."""
         baseline = EMABaseline(0.9)
-        assert baseline.advantage(10.0) == 0.0
+        assert baseline.advantage(10.0) == pytest.approx(10.0)
+        assert baseline.value == pytest.approx(10.0)
+
+    def test_second_episode_advantage_vs_first_reward(self):
+        """The second episode subtracts the EMA of previous rewards, which
+        after one observation is exactly the first reward."""
+        baseline = EMABaseline(0.8)
+        baseline.advantage(10.0)
+        assert baseline.advantage(16.0) == pytest.approx(16.0 - 10.0)
+        # After the second update the EMA has folded the new reward in.
+        assert baseline.value == pytest.approx(0.8 * 10.0 + 0.2 * 16.0)
 
     def test_tracks_mean(self):
         baseline = EMABaseline(0.5)
@@ -198,6 +211,51 @@ class TestReinforce:
             episodes.append(([log_prob], 5.0))
         trainer.update_many(episodes)
         assert len(trainer.history) == 3
+
+    def test_update_many_equivalent_to_repeated_update(self, small_spec, registry):
+        """Batch replay must produce the exact parameter trajectory of
+        calling update() once per episode — including the entropy bonus
+        (a 3-tuple episode), which replay used to drop."""
+
+        def run(batched: bool):
+            controller = PartitionController(hidden_size=8, seed=0)
+            trainer = ReinforceTrainer(
+                controller, lr=0.05, reward_scale=0.1, entropy_coeff=0.5
+            )
+            rng = np.random.default_rng(7)
+            episodes = []
+            for reward in (30.0, 10.0, 50.0):
+                _, log_prob = controller.sample(small_spec, 10.0, rng)
+                entropy = controller.last_entropy
+                episodes.append(([log_prob], reward, [entropy]))
+            if batched:
+                trainer.update_many(episodes)
+            else:
+                for log_probs, reward, entropies in episodes:
+                    trainer.update(log_probs, reward, entropies=entropies)
+            return trainer, {
+                name: parameter.data.copy()
+                for name, parameter in controller.named_parameters()
+            }
+
+        trainer_a, params_a = run(batched=True)
+        trainer_b, params_b = run(batched=False)
+        assert trainer_a.history == trainer_b.history == [30.0, 10.0, 50.0]
+        for name in params_a:
+            np.testing.assert_allclose(params_a[name], params_b[name])
+
+    def test_history_stores_raw_rewards_despite_scale(self, small_spec, registry):
+        """reward_scale sizes the gradient step only; history and the EMA
+        baseline both track the raw reward."""
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller, reward_scale=0.01)
+        rng = np.random.default_rng(3)
+        _, log_prob = controller.sample(small_spec, 10.0, rng)
+        advantage = trainer.update([log_prob], 200.0)
+        assert trainer.history == [200.0]
+        assert trainer.baseline.value == pytest.approx(200.0)
+        # First-episode advantage = reward - 0, then scaled.
+        assert advantage == pytest.approx(200.0 * 0.01)
 
 
 class TestFairChance:

@@ -56,6 +56,71 @@ class TestSearchContext:
         assert len(accuracies) == 1
 
 
+class TestMemoPoolSemantics:
+    def test_near_equal_bandwidths_do_not_collide(self, small_context):
+        """Regression: the pool used to key on ``round(bw, 3)``, so 5.0 and
+        5.0002 Mbps shared one entry and the second call returned the first
+        call's result (wrong latency and stored bandwidth)."""
+        base = small_context.base
+        a = small_context.evaluate(base.slice(0, 3), base.slice(3, len(base)), 5.0)
+        b = small_context.evaluate(base.slice(0, 3), base.slice(3, len(base)), 5.0002)
+        assert small_context.evaluations == 2
+        assert a.bandwidth_mbps == 5.0
+        assert b.bandwidth_mbps == 5.0002
+        assert a.latency_ms != b.latency_ms
+
+    def test_memo_maxsize_bounds_the_pool(self, small_spec):
+        context = make_context(small_spec)
+        bounded = type(context)(
+            context.base,
+            context.registry,
+            context.estimator,
+            context.accuracy,
+            context.reward_config,
+            memo_maxsize=2,
+        )
+        base = bounded.base
+        for bandwidth in (5.0, 10.0, 20.0, 40.0):
+            bounded.evaluate(base, None, bandwidth)
+        assert bounded.pool_size == 2
+        assert bounded.memo_stats().evictions == 2
+        assert bounded.evaluations == 4
+
+    def test_pool_size_property_still_counts_entries(self, small_context):
+        base = small_context.base
+        assert small_context.pool_size == 0
+        small_context.evaluate(base, None, 10.0)
+        assert small_context.pool_size == 1
+
+    def test_memo_stats_track_hits_and_misses(self, small_context):
+        base = small_context.base
+        small_context.evaluate(base, None, 10.0)
+        small_context.evaluate(base, None, 10.0)
+        small_context.evaluate(base, None, 20.0)
+        stats = small_context.memo_stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_debug_verifies_on_misses_only(self, small_spec, monkeypatch):
+        import repro.analysis
+
+        calls = []
+        real = repro.analysis.verify_candidate
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(repro.analysis, "verify_candidate", counting)
+        context = make_context(small_spec)
+        context.debug = True
+        base = context.base
+        context.evaluate(base, None, 10.0)  # miss: verified
+        context.evaluate(base, None, 10.0)  # hit: pooled result, no re-verify
+        context.evaluate(base, None, 20.0)  # miss: verified
+        assert len(calls) == 2
+
+
 class TestRealizeBranchPlan:
     def test_no_partition_plan(self, small_context):
         plan = BranchPlan(len(small_context.base), tuple(["ID"] * len(small_context.base)))

@@ -66,6 +66,44 @@ class TestTreeSerialization:
             tree_from_dict({"format": "something_else"})
 
 
+class TestFingerprintStamps:
+    def test_tree_dict_carries_base_stamp(self, trained):
+        _, result = trained
+        data = tree_to_dict(result.tree)
+        assert data["base_fingerprint"] == result.tree.base.fingerprint()
+
+    def test_tampered_base_is_rejected(self, trained):
+        _, result = trained
+        data = tree_to_dict(result.tree)
+        data["base"]["name"] = "renamed"  # name is outside the fingerprint
+        tree_from_dict(data)  # renaming alone stays loadable
+        data["base_fingerprint"] = "0" * 16
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            tree_from_dict(data)
+
+    def test_stampless_artifact_still_loads(self, trained):
+        """Artifacts written before the stamp existed must keep loading."""
+        _, result = trained
+        data = tree_to_dict(result.tree)
+        del data["base_fingerprint"]
+        rebuilt = tree_from_dict(data)
+        assert rebuilt.node_count() == result.tree.node_count()
+
+    def test_plan_roundtrip_and_tamper(self, trained):
+        from repro.runtime.engine import FixedPlan
+        from repro.search.serialize import plan_from_dict, plan_to_dict
+
+        context, _ = trained
+        base = context.base
+        plan = FixedPlan(base.slice(0, 4), base.slice(4, len(base)))
+        data = plan_to_dict(plan, base=base)
+        rebuilt = plan_from_dict(data)
+        assert rebuilt.edge_spec.fingerprint() == plan.edge_spec.fingerprint()
+        data["fingerprints"]["edge"] = "f" * 16
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            plan_from_dict(data)
+
+
 class TestPolicyCheckpoints:
     def test_roundtrip_restores_parameters(self, trained, tmp_path):
         context, _ = trained
