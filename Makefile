@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench bench-json experiments examples chaos lint typecheck repolint flowcheck clean
+.PHONY: install test bench bench-json experiments examples chaos obs-report lint typecheck repolint flowcheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,13 @@ experiments:
 # naive and resilient offload engines (see src/repro/experiments/chaos.py).
 chaos:
 	$(PYTHONPATH_SRC) $(PY) -m repro.experiments chaos --requests 16 --tree-episodes 3 --branch-episodes 6
+
+# Record a small traced scenario run and summarize it: writes
+# TRACE_scenario.jsonl and prints the per-phase / fork / RL / resilience
+# report (see docs/ARCHITECTURE.md §7).
+obs-report:
+	$(PYTHONPATH_SRC) $(PY) -m repro emulate --episodes 3 --branch-episodes 6 --requests 16 --trace TRACE_scenario.jsonl
+	$(PYTHONPATH_SRC) $(PY) -m repro.obs report TRACE_scenario.jsonl --strict
 
 examples:
 	$(PYTHONPATH_SRC) $(PY) examples/quickstart.py

@@ -10,6 +10,8 @@ Usage::
     python -m repro emulate --model vgg11 --device phone \
         --environment "4G (weak) indoor" --field
     python -m repro verify tree.json               # static artifact check
+    python -m repro search --trace trace.jsonl ... # record a trace too
+    python -m repro obs report trace.jsonl         # summarize a trace
 
 Table/figure regeneration lives under ``python -m repro.experiments``;
 the full static-verifier CLI is ``python -m repro.analysis``.
@@ -18,6 +20,7 @@ the full static-verifier CLI is ``python -m repro.analysis``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -28,6 +31,7 @@ from .experiments.common import (
     format_table,
     run_scenario,
 )
+from .obs.trace import recording
 from .network.scenarios import ALL_SCENARIOS, get_scenario
 from .nn.zoo import BASE_MODELS, get_model
 from .runtime.emulator import run_emulation
@@ -60,22 +64,31 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tracing(args: argparse.Namespace):
+    """``recording(path)`` when ``--trace`` was given, else a no-op."""
+    path = getattr(args, "trace", None)
+    if path:
+        return recording(path)
+    return contextlib.nullcontext()
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.model, args.device, args.environment)
     context = build_context(scenario)
     trace = scenario.trace()
     types = trace.bandwidth_types(args.types)
     print(f"scene {scenario}: bandwidth types {[round(t, 1) for t in types]} Mbps")
-    result = model_tree_search(
-        context,
-        types,
-        config=TreeSearchConfig(
-            num_blocks=args.blocks,
-            episodes=args.episodes,
-            branch_episodes=args.branch_episodes,
-            seed=args.seed,
-        ),
-    )
+    with _tracing(args):
+        result = model_tree_search(
+            context,
+            types,
+            config=TreeSearchConfig(
+                num_blocks=args.blocks,
+                episodes=args.episodes,
+                branch_episodes=args.branch_episodes,
+                seed=args.seed,
+            ),
+        )
     print(
         f"model tree: {result.tree.node_count()} nodes, "
         f"best branch reward {result.best_reward:.2f}, "
@@ -84,6 +97,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.out:
         save_tree(result.tree, args.out)
         print(f"saved to {args.out}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -107,26 +122,27 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         emulation_requests=args.requests,
         seed=args.seed,
     )
-    outcome = run_scenario(scenario, config, run_emu=False, run_field=False)
-    env = build_environment(scenario, outcome.context, outcome.trace)
-    if args.field:
-        env = fieldify(env)
-    rows = []
-    for method in outcome.methods:
-        replay = run_emulation(
-            method.plan, env, num_requests=args.requests, seed=args.seed + 11,
-            queued=args.queued, pipelined=args.pipelined,
-        )
-        rows.append(
-            [
-                method.name,
-                f"{replay.mean_reward:.1f}",
-                f"{replay.mean_latency_ms:.1f}",
-                f"{replay.p95_latency_ms:.1f}",
-                f"{replay.mean_accuracy * 100:.2f}",
-                f"{replay.offload_rate * 100:.0f}%",
-            ]
-        )
+    with _tracing(args):
+        outcome = run_scenario(scenario, config, run_emu=False, run_field=False)
+        env = build_environment(scenario, outcome.context, outcome.trace)
+        if args.field:
+            env = fieldify(env)
+        rows = []
+        for method in outcome.methods:
+            replay = run_emulation(
+                method.plan, env, num_requests=args.requests, seed=args.seed + 11,
+                queued=args.queued, pipelined=args.pipelined,
+            )
+            rows.append(
+                [
+                    method.name,
+                    f"{replay.mean_reward:.1f}",
+                    f"{replay.mean_latency_ms:.1f}",
+                    f"{replay.p95_latency_ms:.1f}",
+                    f"{replay.mean_accuracy * 100:.2f}",
+                    f"{replay.offload_rate * 100:.0f}%",
+                ]
+            )
     mode = "field" if args.field else "emulation"
     print(f"{scenario} ({mode}{', queued' if args.queued else ''})")
     print(
@@ -135,6 +151,8 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -145,6 +163,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.strict:
         argv.append("--strict")
     return analysis_main(argv)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.__main__ import main as obs_main
+
+    return obs_main(args.obs_args, prog="python -m repro obs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--branch-episodes", type=int, default=40)
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--out", help="write the trained tree as JSON")
+    search.add_argument("--trace", help="record an observability trace (JSONL)")
     search.set_defaults(func=_cmd_search)
 
     compose = sub.add_parser("compose", help="compose a DNN from a saved tree")
@@ -192,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipelined", action="store_true",
         help="overlap cloud tails with the next request (with --queued)",
     )
+    emulate.add_argument("--trace", help="record an observability trace (JSONL)")
     emulate.set_defaults(func=_cmd_emulate)
 
     verify = sub.add_parser(
@@ -201,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
     verify.set_defaults(func=_cmd_verify)
+
+    obs = sub.add_parser(
+        "obs", help="summarize / export observability traces (repro.obs)"
+    )
+    obs.add_argument(
+        "obs_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.obs",
+    )
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

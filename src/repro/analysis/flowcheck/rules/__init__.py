@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .aliasing import TensorAliasRule
+from .clock import MonotonicClockRule
 from .contracts import BoundaryContractRule
 from .legacy import LegacyRepolintRule
 from .numeric import DivGuardRule, FloatEqRule, MathDomainRule
@@ -33,6 +34,7 @@ MODULE_RULES = [
     TensorAliasRule(),
     BoundaryContractRule(),
     PrintCallRule(),
+    MonotonicClockRule(),
     LegacyRepolintRule(),
 ]
 

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..network.scenarios import Scenario, get_scenario
+from ..obs.trace import get_recorder
+from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
 from ..runtime.engine import TreePlan
 from ..runtime.faults import (
@@ -95,11 +97,17 @@ class EngineReport:
     retry_total: int
     deadline_miss_rate: float
     degraded_rate: float
+    #: Absolute event counts — the rates above hide how often the
+    #: resilience machinery actually fired on a small request budget.
+    fallback_total: int = 0
+    degraded_total: int = 0
 
     @classmethod
     def from_result(cls, name: str, result: EmulationResult) -> "EngineReport":
         outcomes = result.outcomes
         n = max(1, len(outcomes))
+        fallback_total = sum(1 for o in outcomes if o.fell_back)
+        degraded_total = sum(1 for o in outcomes if o.degraded)
         return cls(
             name=name,
             mean_reward=result.mean_reward,
@@ -107,10 +115,12 @@ class EngineReport:
             p95_latency_ms=result.p95_latency_ms,
             mean_accuracy=result.mean_accuracy,
             offload_rate=result.offload_rate,
-            fallback_rate=sum(1 for o in outcomes if o.fell_back) / n,
+            fallback_rate=fallback_total / n,
             retry_total=sum(o.retries for o in outcomes),
             deadline_miss_rate=sum(1 for o in outcomes if o.deadline_missed) / n,
-            degraded_rate=sum(1 for o in outcomes if o.degraded) / n,
+            degraded_rate=degraded_total / n,
+            fallback_total=fallback_total,
+            degraded_total=degraded_total,
         )
 
 
@@ -139,47 +149,59 @@ def run_chaos(
     schedule: Optional[FaultSchedule] = None,
     policy: Optional[OffloadPolicy] = None,
 ) -> ChaosReport:
-    """Search a model tree, then replay it under faults with both engines."""
+    """Search a model tree, then replay it under faults with both engines.
+
+    Like :func:`~repro.experiments.common.run_scenario`, the default
+    :class:`~repro.perf.PerfRegistry` is scenario-scoped (reset on entry)
+    and the whole run records one trace when tracing is enabled.
+    """
     config = config or ExperimentConfig()
     scenario = scenario or get_scenario("vgg11", "phone", "4G indoor static")
-    context = build_context(scenario)
-    trace = scenario.trace(duration_s=config.trace_duration_s)
-    types = trace.bandwidth_types(config.num_bandwidth_types)
+    recorder = get_recorder()
+    with get_registry().scoped(), recorder.trace(
+        "run_chaos", scenario=str(scenario), seed=config.seed
+    ):
+        context = build_context(scenario)
+        trace = scenario.trace(duration_s=config.trace_duration_s)
+        types = trace.bandwidth_types(config.num_bandwidth_types)
 
-    tree_result = model_tree_search(
-        context,
-        types,
-        config=TreeSearchConfig(
-            num_blocks=config.num_blocks,
-            episodes=config.tree_episodes,
-            branch_episodes=config.branch_episodes,
-            seed=config.seed + 3,
-        ),
-    )
-    tree = tree_result.tree
+        with recorder.span("scenario.tree"):
+            tree_result = model_tree_search(
+                context,
+                types,
+                config=TreeSearchConfig(
+                    num_blocks=config.num_blocks,
+                    episodes=config.tree_episodes,
+                    branch_episodes=config.branch_episodes,
+                    seed=config.seed + 3,
+                ),
+            )
+        tree = tree_result.tree
 
-    env = build_environment(scenario, context, trace)
-    duration_ms = trace.duration_s * 1e3
-    schedule = schedule or default_fault_schedule(duration_ms)
-    faulted = schedule.install(env)
+        env = build_environment(scenario, context, trace)
+        duration_ms = trace.duration_s * 1e3
+        schedule = schedule or default_fault_schedule(duration_ms)
+        faulted = schedule.install(env)
 
-    naive_result = run_emulation(
-        TreePlan(tree),
-        faulted,
-        num_requests=config.emulation_requests,
-        seed=config.seed + 11,
-    )
+        with recorder.span("chaos.replay.naive"):
+            naive_result = run_emulation(
+                TreePlan(tree),
+                faulted,
+                num_requests=config.emulation_requests,
+                seed=config.seed + 11,
+            )
 
-    breaker = default_breaker()
-    resilient_plan = TreePlan(
-        tree, policy=policy or default_offload_policy(), breaker=breaker
-    )
-    resilient_result = run_emulation(
-        resilient_plan,
-        faulted,
-        num_requests=config.emulation_requests,
-        seed=config.seed + 11,
-    )
+        breaker = default_breaker()
+        resilient_plan = TreePlan(
+            tree, policy=policy or default_offload_policy(), breaker=breaker
+        )
+        with recorder.span("chaos.replay.resilient"):
+            resilient_result = run_emulation(
+                resilient_plan,
+                faulted,
+                num_requests=config.emulation_requests,
+                seed=config.seed + 11,
+            )
 
     return ChaosReport(
         scenario=str(scenario),
@@ -206,10 +228,10 @@ def main(config: Optional[ExperimentConfig] = None) -> ChaosReport:
                 f"{engine.mean_latency_ms:.1f}",
                 f"{engine.p95_latency_ms:.1f}",
                 f"{engine.offload_rate:.2f}",
-                f"{engine.fallback_rate:.2f}",
+                f"{engine.fallback_rate:.2f} ({engine.fallback_total})",
                 engine.retry_total,
                 f"{engine.deadline_miss_rate:.2f}",
-                f"{engine.degraded_rate:.2f}",
+                f"{engine.degraded_rate:.2f} ({engine.degraded_total})",
             ]
         )
     print(
@@ -235,5 +257,9 @@ def main(config: Optional[ExperimentConfig] = None) -> ChaosReport:
     transitions = ", ".join(
         f"{edge} x{count}" for edge, count in sorted(report.breaker_transitions.items())
     )
-    print(f"breaker: state={report.breaker_state} [{transitions or 'no transitions'}]")
+    total_transitions = sum(report.breaker_transitions.values())
+    print(
+        f"breaker: state={report.breaker_state} "
+        f"transitions={total_transitions} [{transitions or 'no transitions'}]"
+    )
     return report

@@ -23,6 +23,7 @@ from ..network.channel import Channel
 from ..network.scenarios import Scenario
 from ..network.traces import BandwidthTrace
 from ..nn.zoo import get_model
+from ..obs.trace import get_recorder
 from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
 from ..runtime.engine import FixedPlan, RuntimeEnvironment, TreePlan
@@ -118,8 +119,34 @@ def run_scenario(
     run_field: bool = True,
     run_emu: bool = True,
 ) -> ScenarioOutcome:
-    """Search offline and replay online for one scene (one table row)."""
+    """Search offline and replay online for one scene (one table row).
+
+    The process-wide :class:`~repro.perf.PerfRegistry` is scenario-scoped:
+    it is reset on entry (``scoped()``), so multi-scenario runs never mix
+    counters/spans/histograms across scenes. One observability trace
+    (root span ``run_scenario``) covers the whole scene when tracing is
+    enabled via :func:`repro.obs.recording`.
+    """
     config = config or ExperimentConfig()
+    with get_registry().scoped(), get_recorder().trace(
+        "run_scenario",
+        scenario=str(scenario),
+        model=scenario.model_name,
+        device=scenario.device_name,
+        environment=scenario.environment,
+        seed=config.seed,
+    ) as root:
+        outcome = _run_scenario_scoped(scenario, config, run_field, run_emu)
+        root.add(bandwidth_types=[round(t, 3) for t in outcome.bandwidth_types])
+    return outcome
+
+
+def _run_scenario_scoped(
+    scenario: Scenario,
+    config: ExperimentConfig,
+    run_field: bool,
+    run_emu: bool,
+) -> ScenarioOutcome:
     context = build_context(scenario)
     trace = scenario.trace(duration_s=config.trace_duration_s)
     types = trace.bandwidth_types(config.num_bandwidth_types)
@@ -137,7 +164,8 @@ def run_scenario(
 
     # --- offline: the three methods -----------------------------------
     perf = get_registry()
-    with perf.span("scenario.surgery"):
+    recorder = get_recorder()
+    with perf.span("scenario.surgery"), recorder.span("scenario.surgery"):
         surgery_result = dynamic_dnn_surgery(context, median_bandwidth)
     surgery_plan = BranchPlan(
         surgery_result.partition_index,
@@ -156,7 +184,9 @@ def run_scenario(
     # the best expected reward (the search space strictly contains every
     # pure partition, so the branch can never lose to surgery).
     branch_policy = RLPolicy(context.registry, seed=config.seed + 1)
-    with perf.span("scenario.branch"):
+    with perf.span("scenario.branch"), recorder.span(
+        "scenario.branch", bandwidth_mbps=median_bandwidth
+    ):
         branch_result = optimal_branch_search(
             context,
             median_bandwidth,
@@ -175,7 +205,7 @@ def run_scenario(
         plan=FixedPlan(branch_realized.edge_spec, branch_realized.cloud_spec),
     )
 
-    with perf.span("scenario.tree"):
+    with perf.span("scenario.tree"), recorder.span("scenario.tree"):
         tree_result = model_tree_search(
             context,
             types,
@@ -196,23 +226,25 @@ def run_scenario(
     # --- online: emulation and field replays ---------------------------
     if run_emu or run_field:
         env = build_environment(scenario, context, trace)
-        with perf.span("scenario.replay"):
+        with perf.span("scenario.replay"), recorder.span("scenario.replay"):
             for method in (surgery, branch, tree):
                 if run_emu:
-                    method.emulation = run_emulation(
-                        method.plan,
-                        env,
-                        num_requests=config.emulation_requests,
-                        seed=config.seed + 11,
-                    )
+                    with recorder.span("scenario.replay.emulation", method=method.name):
+                        method.emulation = run_emulation(
+                            method.plan,
+                            env,
+                            num_requests=config.emulation_requests,
+                            seed=config.seed + 11,
+                        )
                 if run_field:
                     field_env = fieldify(env, FieldConditions())
-                    method.field = run_emulation(
-                        method.plan,
-                        field_env,
-                        num_requests=config.emulation_requests,
-                        seed=config.seed + 13,
-                    )
+                    with recorder.span("scenario.replay.field", method=method.name):
+                        method.field = run_emulation(
+                            method.plan,
+                            field_env,
+                            num_requests=config.emulation_requests,
+                            seed=config.seed + 13,
+                        )
 
     return ScenarioOutcome(
         scenario=scenario,

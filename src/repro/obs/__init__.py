@@ -1,0 +1,57 @@
+"""Observability layer: structured traces, latency histograms, exporters.
+
+Layered on top of :mod:`repro.perf`: the :class:`TraceRecorder` captures a
+span tree (one trace per scenario run / inference session, child spans per
+search episode and emulator request) plus point events (controller
+updates, retries, breaker transitions); :mod:`repro.obs.exporters` turns a
+:class:`~repro.perf.PerfRegistry` into JSON or Prometheus text; and
+``python -m repro.obs report trace.jsonl`` (also ``repro obs report``)
+summarizes a recorded trace into phase timings, per-fork request counts,
+RL learning curves and a resilience timeline.
+
+Tracing is **off by default** — the process-wide recorder is disabled and
+instrumented hot paths pay a single attribute check. Enable it around a
+run with::
+
+    from repro.obs import recording
+
+    with recording("trace.jsonl"):
+        run_scenario(scenario)
+"""
+
+from .exporters import export_metrics, prometheus_text
+from .report import (
+    RLCurve,
+    SpanAgg,
+    TraceSummary,
+    load_trace,
+    parse_jsonl,
+    render_report,
+    summarize_records,
+    summarize_trace,
+)
+from .trace import (
+    TraceRecorder,
+    TraceSpan,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+
+__all__ = [
+    "RLCurve",
+    "SpanAgg",
+    "TraceRecorder",
+    "TraceSpan",
+    "TraceSummary",
+    "export_metrics",
+    "get_recorder",
+    "load_trace",
+    "parse_jsonl",
+    "prometheus_text",
+    "recording",
+    "render_report",
+    "set_recorder",
+    "summarize_records",
+    "summarize_trace",
+]

@@ -1,0 +1,64 @@
+"""Observability CLI.
+
+Usage::
+
+    python -m repro.obs report trace.jsonl           # human summary
+    python -m repro.obs report trace.jsonl --json    # machine-readable
+    python -m repro.obs report trace.jsonl --strict  # fail on unparsed
+
+Also reachable as ``python -m repro obs report trace.jsonl``. Exit code 0
+on a clean trace; ``--strict`` exits 1 when any line failed to parse (the
+acceptance bar for a healthy trace is zero unparsed lines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .report import render_report, summarize_trace
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    summary = summarize_trace(args.trace)
+    if args.json:
+        print(json.dumps(summary.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(summary))
+    if args.strict and summary.unparsed:
+        print(
+            f"error: {summary.unparsed} unparsed line(s) in {args.trace}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def build_parser(prog: str = "python -m repro.obs") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Summarize structured JSONL traces recorded by repro.obs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="summarize a JSONL trace file")
+    report.add_argument("trace", help="path to the trace .jsonl file")
+    report.add_argument(
+        "--json", action="store_true", help="emit a JSON summary instead of text"
+    )
+    report.add_argument(
+        "--strict", action="store_true", help="exit non-zero on unparsed lines"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, prog: str = "python -m repro.obs") -> int:
+    parser = build_parser(prog=prog)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Metric exporters: JSON snapshots and Prometheus text exposition.
+
+The trace JSONL (see :mod:`repro.obs.trace`) answers *what happened to one
+request*; these exporters answer *what a scrape endpoint would serve* —
+the aggregate counters, span timers and latency histograms accumulated in
+a :class:`~repro.perf.PerfRegistry`, rendered either as the registry's
+JSON snapshot or as Prometheus' text-based exposition format (v0.0.4):
+
+- counters  -> ``# TYPE <name> counter`` samples;
+- spans     -> summary-style ``_count`` / ``_sum`` samples (milliseconds)
+  plus a ``_max`` gauge;
+- histograms -> classic cumulative ``_bucket{le="..."}`` series with
+  ``_sum`` / ``_count``, plus ``p50``/``p90``/``p99`` gauges for humans
+  reading the exposition directly.
+
+No HTTP server is shipped — the repo's workloads are batch replays, so
+the Makefile/CI story is "write the files next to ``BENCH_search.json``";
+a serving deployment would mount :func:`prometheus_text` behind its
+framework's metrics route.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..perf import PerfRegistry
+
+PathLike = Union[str, Path]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted span/counter name into a Prometheus metric name."""
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf"
+    return repr(round(float(value), 6))
+
+
+def prometheus_text(registry: PerfRegistry, prefix: str = "repro") -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+
+    for name, value in snapshot["counters"].items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for name, stat in snapshot["spans"].items():
+        metric = _metric_name(name, prefix) + "_ms"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {stat['count']}")
+        lines.append(f"{metric}_sum {_format_value(stat['total_ms'])}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_format_value(stat['max_ms'])}")
+
+    for name in snapshot["histograms"]:
+        hist = registry.histogram(name)
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in hist.bucket_counts():
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+        for label, value in (
+            ("p50", hist.p50),
+            ("p90", hist.p90),
+            ("p99", hist.p99),
+        ):
+            gauge = f"{metric}_{label}"
+            lines.append(f"# TYPE {gauge} gauge")
+            lines.append(f"{gauge} {_format_value(value)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_metrics(
+    registry: PerfRegistry,
+    json_path: Optional[PathLike] = None,
+    prom_path: Optional[PathLike] = None,
+) -> Dict[str, str]:
+    """Write the registry's JSON snapshot and/or Prometheus exposition.
+
+    Returns ``{format: rendered text}`` for whichever formats were
+    requested (both renderings are returned even when only one path was
+    given, so callers can print the other).
+    """
+    rendered = {
+        "json": registry.to_json(),
+        "prometheus": prometheus_text(registry),
+    }
+    if json_path is not None:
+        Path(json_path).write_text(rendered["json"] + "\n")
+    if prom_path is not None:
+        Path(prom_path).write_text(rendered["prometheus"])
+    return rendered

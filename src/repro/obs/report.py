@@ -1,0 +1,339 @@
+"""Offline trace analysis: turn a JSONL trace into a human-readable report.
+
+``python -m repro.obs report trace.jsonl`` (or ``repro obs report``)
+summarizes one recorded trace into the four views the search/runtime
+debugging loop needs:
+
+- **per-phase timings** — every span name aggregated (count / total /
+  mean / max), so `scenario.tree` vs `tree.forward` vs `emulator.request`
+  cost is one table;
+- **per-fork request counts** — which tree path each emulated request
+  actually took (and how its latency distributed), straight from the
+  request spans' ``fork_path`` fields;
+- **RL learning curves** — reward / baseline / advantage / entropy per
+  controller update, with first-vs-last-quartile deltas so convergence
+  (or collapse) is visible without plotting;
+- **resilience timeline** — retries, breaker transitions, degraded-mode
+  entries in time order, each tied to the request span it happened under.
+
+Parsing is strict about shape but forgiving about content: a line that is
+not valid JSON (or not a known record kind) is *counted* as unparsed and
+reported, never silently dropped — the acceptance bar for a healthy trace
+is zero unparsed lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..perf import HistogramStat
+
+PathLike = Union[str, Path]
+
+#: Span names whose fields describe one runtime inference request.
+REQUEST_SPANS = frozenset({"emulator.request", "session.infer"})
+
+#: Point-event names that belong on the resilience timeline.
+RESILIENCE_EVENTS = frozenset(
+    {
+        "offload.retry",
+        "offload.fallback",
+        "offload.degraded",
+        "breaker.transition",
+    }
+)
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def spark(values: List[float], width: int = 40) -> str:
+    """Tiny ASCII sparkline (resampled to ``width`` points)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_GLYPHS[0] * len(values)
+    scale = (len(_SPARK_GLYPHS) - 1) / (hi - lo)
+    return "".join(_SPARK_GLYPHS[int((v - lo) * scale)] for v in values)
+
+
+@dataclass
+class SpanAgg:
+    """Aggregated timings of one span name across the trace."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def fold(self, dur_ms: float) -> None:
+        self.count += 1
+        self.total_ms += dur_ms
+        if dur_ms > self.max_ms:
+            self.max_ms = dur_ms
+
+
+@dataclass
+class RLCurve:
+    """One controller's update telemetry across the trace, in order."""
+
+    rewards: List[float] = field(default_factory=list)
+    baselines: List[float] = field(default_factory=list)
+    advantages: List[float] = field(default_factory=list)
+    entropies: List[float] = field(default_factory=list)
+
+    @property
+    def updates(self) -> int:
+        return len(self.rewards)
+
+    def quartile_means(self) -> Tuple[float, float]:
+        """(mean of first quartile, mean of last quartile) of rewards."""
+        n = len(self.rewards)
+        if n == 0:
+            return 0.0, 0.0
+        q = max(1, n // 4)
+        first = sum(self.rewards[:q]) / q
+        last = sum(self.rewards[-q:]) / q
+        return first, last
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``obs report`` extracts from one JSONL trace."""
+
+    path: str
+    records: int = 0
+    spans: int = 0
+    events: int = 0
+    unparsed: int = 0
+    traces: List[str] = field(default_factory=list)
+    phases: Dict[str, SpanAgg] = field(default_factory=dict)
+    fork_counts: Dict[str, int] = field(default_factory=dict)
+    request_latency: HistogramStat = field(default_factory=HistogramStat)
+    rl: Dict[str, RLCurve] = field(default_factory=dict)
+    resilience: List[Dict[str, Any]] = field(default_factory=list)
+    #: span-id -> record, for nesting checks and drill-down tooling.
+    span_index: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def requests(self) -> int:
+        return sum(self.fork_counts.values())
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Machine-readable summary (the ``obs report --json`` output)."""
+        return {
+            "path": self.path,
+            "records": self.records,
+            "spans": self.spans,
+            "events": self.events,
+            "unparsed": self.unparsed,
+            "traces": list(self.traces),
+            "phases": {
+                name: {
+                    "count": agg.count,
+                    "total_ms": agg.total_ms,
+                    "mean_ms": agg.mean_ms,
+                    "max_ms": agg.max_ms,
+                }
+                for name, agg in sorted(self.phases.items())
+            },
+            "fork_counts": dict(sorted(self.fork_counts.items())),
+            "request_latency": self.request_latency.to_dict(),
+            "rl": {
+                name: {
+                    "updates": curve.updates,
+                    "rewards": curve.rewards,
+                    "baselines": curve.baselines,
+                    "advantages": curve.advantages,
+                    "entropies": curve.entropies,
+                }
+                for name, curve in sorted(self.rl.items())
+            },
+            "resilience": list(self.resilience),
+        }
+
+
+def parse_jsonl(
+    text: str, path: str = "<string>"
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse JSONL text into records; returns (records, unparsed_count)."""
+    records: List[Dict[str, Any]] = []
+    unparsed = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            unparsed += 1
+            continue
+        if (
+            not isinstance(record, dict)
+            or record.get("kind") not in ("span", "event")
+            or not isinstance(record.get("name"), str)
+        ):
+            unparsed += 1
+            continue
+        records.append(record)
+    return records, unparsed
+
+
+def load_trace(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+    """Read and parse one JSONL trace file."""
+    return parse_jsonl(Path(path).read_text(), str(path))
+
+
+def _fork_key(fork_path: Any) -> str:
+    if isinstance(fork_path, list) and fork_path:
+        return ">".join(str(int(f)) for f in fork_path)
+    return "(no fork)"
+
+
+def summarize_records(
+    records: List[Dict[str, Any]], unparsed: int = 0, path: str = "<trace>"
+) -> TraceSummary:
+    """Aggregate parsed records into a :class:`TraceSummary`."""
+    summary = TraceSummary(path=path, records=len(records), unparsed=unparsed)
+    trace_ids: List[str] = []
+    for record in records:
+        trace_id = record.get("trace")
+        if isinstance(trace_id, str) and trace_id not in trace_ids:
+            trace_ids.append(trace_id)
+        fields = record.get("fields") or {}
+        name = record["name"]
+        if record["kind"] == "span":
+            summary.spans += 1
+            summary.span_index[record["span"]] = record
+            agg = summary.phases.get(name)
+            if agg is None:
+                agg = summary.phases[name] = SpanAgg()
+            agg.fold(float(record.get("dur_ms", 0.0)))
+            if name in REQUEST_SPANS:
+                key = _fork_key(fields.get("fork_path"))
+                summary.fork_counts[key] = summary.fork_counts.get(key, 0) + 1
+                latency = fields.get("latency_ms")
+                if latency is not None:
+                    summary.request_latency.record(float(latency))
+        else:
+            summary.events += 1
+            if name == "rl.update":
+                controller = str(fields.get("controller", "controller"))
+                curve = summary.rl.get(controller)
+                if curve is None:
+                    curve = summary.rl[controller] = RLCurve()
+                curve.rewards.append(float(fields.get("reward", 0.0)))
+                curve.baselines.append(float(fields.get("baseline", 0.0)))
+                curve.advantages.append(float(fields.get("advantage", 0.0)))
+                entropy = fields.get("entropy")
+                if entropy is not None:
+                    curve.entropies.append(float(entropy))
+            elif name in RESILIENCE_EVENTS:
+                summary.resilience.append(record)
+    summary.traces = trace_ids
+    summary.resilience.sort(key=lambda r: float(r.get("t_ms", 0.0)))
+    return summary
+
+
+def summarize_trace(path: PathLike) -> TraceSummary:
+    """Load + summarize one trace file."""
+    records, unparsed = load_trace(path)
+    return summarize_records(records, unparsed, path=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def _format_rows(headers: List[str], rows: List[List[str]]) -> str:
+    cells = [headers] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for i, row in enumerate(cells):
+        out.append("  ".join(c.ljust(widths[j]) for j, c in enumerate(row)))
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def render_report(summary: TraceSummary) -> str:
+    """The full text report ``obs report`` prints."""
+    lines: List[str] = []
+    lines.append(f"trace report — {summary.path}")
+    lines.append(
+        f"{summary.records} records ({summary.spans} spans, "
+        f"{summary.events} events) across {len(summary.traces)} trace(s); "
+        f"{summary.unparsed} unparsed line(s)"
+    )
+
+    if summary.phases:
+        lines.append("")
+        lines.append("== phase timings (wall clock inside the recorder) ==")
+        rows = [
+            [
+                name,
+                str(agg.count),
+                f"{agg.total_ms:.2f}",
+                f"{agg.mean_ms:.3f}",
+                f"{agg.max_ms:.3f}",
+            ]
+            for name, agg in sorted(
+                summary.phases.items(), key=lambda kv: -kv[1].total_ms
+            )
+        ]
+        lines.append(
+            _format_rows(["span", "count", "total ms", "mean ms", "max ms"], rows)
+        )
+
+    if summary.fork_counts:
+        lines.append("")
+        lines.append("== requests by fork path ==")
+        total = summary.requests()
+        rows = [
+            [key, str(count), f"{100.0 * count / total:.0f}%"]
+            for key, count in sorted(
+                summary.fork_counts.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines.append(_format_rows(["fork path", "requests", "share"], rows))
+        hist = summary.request_latency
+        if hist.count:
+            lines.append(
+                f"request latency (simulated): p50 {hist.p50:.1f} ms, "
+                f"p90 {hist.p90:.1f} ms, p99 {hist.p99:.1f} ms "
+                f"(n={hist.count}, mean {hist.mean:.1f} ms)"
+            )
+
+    if summary.rl:
+        lines.append("")
+        lines.append("== RL training telemetry ==")
+        for controller, curve in sorted(summary.rl.items()):
+            first, last = curve.quartile_means()
+            lines.append(
+                f"{controller}: {curve.updates} updates, reward "
+                f"{first:.3f} -> {last:.3f} (first/last quartile mean)"
+            )
+            lines.append(f"  reward    {spark(curve.rewards)}")
+            lines.append(f"  advantage {spark(curve.advantages)}")
+            if curve.entropies:
+                lines.append(f"  entropy   {spark(curve.entropies)}")
+
+    if summary.resilience:
+        lines.append("")
+        lines.append("== resilience timeline ==")
+        for record in summary.resilience:
+            fields = record.get("fields") or {}
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            owner = record.get("span") or "-"
+            lines.append(
+                f"  {float(record.get('t_ms', 0.0)):10.3f} ms  "
+                f"{record['name']:<20} span={owner}  {detail}"
+            )
+
+    return "\n".join(lines)

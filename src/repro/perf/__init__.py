@@ -6,10 +6,19 @@ See :mod:`repro.perf.registry` for instrumentation and
 """
 
 from .memo import DEFAULT_MAXSIZE, MemoPool, MemoStats
-from .registry import PerfRegistry, SpanStat, get_registry, set_registry
+from .registry import (
+    DEFAULT_BUCKET_BOUNDS,
+    HistogramStat,
+    PerfRegistry,
+    SpanStat,
+    get_registry,
+    set_registry,
+)
 
 __all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
     "DEFAULT_MAXSIZE",
+    "HistogramStat",
     "MemoPool",
     "MemoStats",
     "PerfRegistry",

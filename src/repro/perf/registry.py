@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import json
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
 PathLike = Union[str, Path]
 
@@ -57,6 +58,122 @@ class SpanStat:
         }
 
 
+def _log_spaced_bounds(
+    start_ms: float = 0.01, factor: float = 2.0, count: int = 26
+) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds: 0.01 ms up to ~335 s."""
+    return tuple(start_ms * factor**i for i in range(count))
+
+
+#: Shared bucket layout so histograms from different runs line up.
+DEFAULT_BUCKET_BOUNDS = _log_spaced_bounds()
+
+
+class HistogramStat:
+    """Fixed-bucket latency histogram with approximate percentiles.
+
+    Buckets are log-spaced upper bounds (shared across the process via
+    :data:`DEFAULT_BUCKET_BOUNDS`, so snapshots from different scenarios
+    merge bucket-by-bucket); values above the last bound land in the
+    overflow bucket. Sum/count/min/max are exact; percentiles are linearly
+    interpolated inside the bucket the rank falls in — the error is
+    bounded by the bucket width, which the ROADMAP's percentile tracking
+    tolerates and a reservoir would not beat without unbounded memory.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, list(bounds)[1:])
+        ):
+            raise ValueError("bounds must be a strictly increasing sequence")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (0 <= q <= 1) of recorded values."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * fraction
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair uses ``inf`` and equals the total count.
+        """
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+
 class PerfRegistry:
     """Named counters plus span timers, dumpable as JSON.
 
@@ -69,6 +186,7 @@ class PerfRegistry:
         self.enabled = enabled
         self._counters: Dict[str, int] = {}
         self._spans: Dict[str, SpanStat] = {}
+        self._histograms: Dict[str, HistogramStat] = {}
 
     # -- counters ---------------------------------------------------------
     def count(self, name: str, by: int = 1) -> None:
@@ -107,6 +225,20 @@ class PerfRegistry:
         """Accumulated stats of span ``name`` (zeros if never recorded)."""
         return self._spans.get(name, SpanStat())
 
+    # -- histograms --------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name`` (latency percentiles)."""
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = HistogramStat()
+        hist.record(value)
+
+    def histogram(self, name: str) -> HistogramStat:
+        """Histogram ``name`` (an empty one if never observed)."""
+        return self._histograms.get(name, HistogramStat())
+
     # -- export -----------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Everything recorded so far, as plain JSON-serializable dicts."""
@@ -115,6 +247,10 @@ class PerfRegistry:
             "spans": {
                 name: stat.to_dict()
                 for name, stat in sorted(self._spans.items())
+            },
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self._histograms.items())
             },
         }
 
@@ -128,6 +264,19 @@ class PerfRegistry:
     def reset(self) -> None:
         self._counters.clear()
         self._spans.clear()
+        self._histograms.clear()
+
+    @contextmanager
+    def scoped(self) -> Iterator["PerfRegistry"]:
+        """Scenario-scoped measurement: reset on entry, yield this registry.
+
+        ``run_scenario`` (and the chaos experiment) enter this at the top so
+        counters/spans/histograms never mix across scenarios in one process.
+        The registry is deliberately *not* reset again on exit — the caller
+        reads the scenario's numbers after the block.
+        """
+        self.reset()
+        yield self
 
 
 #: Process-wide default registry used by the instrumented hot paths.

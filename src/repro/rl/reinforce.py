@@ -18,6 +18,7 @@ import numpy as np
 from ..nn.layers import Module
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
+from ..obs.trace import get_recorder
 
 
 class EMABaseline:
@@ -64,6 +65,7 @@ class ReinforceTrainer:
         reward_scale: float = 1.0,
         max_grad_norm: float = 5.0,
         entropy_coeff: float = 0.0,
+        name: str = "controller",
     ) -> None:
         self.controller = controller
         self.optimizer = Adam(controller.parameters(), lr=lr)
@@ -71,6 +73,9 @@ class ReinforceTrainer:
         self.reward_scale = reward_scale
         self.max_grad_norm = max_grad_norm
         self.entropy_coeff = entropy_coeff
+        #: Label carried on ``rl.update`` trace events, so the report can
+        #: plot the partition and compression controllers separately.
+        self.name = name
         self.history: List[float] = []
 
     def update(
@@ -95,7 +100,24 @@ class ReinforceTrainer:
         (rescaling would otherwise change what the baseline converges to).
         """
         self.history.append(reward)
-        advantage = self.baseline.advantage(reward) * self.reward_scale
+        baseline_value = self.baseline.update(reward)
+        advantage = (reward - baseline_value) * self.reward_scale
+        recorder = get_recorder()
+        if recorder.enabled:
+            mean_entropy = (
+                float(np.mean([np.mean(e.data) for e in entropies]))
+                if entropies
+                else None
+            )
+            recorder.event(
+                "rl.update",
+                controller=self.name,
+                reward=float(reward),
+                baseline=float(baseline_value),
+                advantage=float(advantage),
+                entropy=mean_entropy,
+                actions=len(log_probs),
+            )
         if not log_probs and not (entropies and self.entropy_coeff):
             return advantage
         loss = None

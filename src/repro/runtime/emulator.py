@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..contracts import require_non_negative
+from ..obs.trace import get_recorder
 from ..perf import get_registry
 from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
 
@@ -96,12 +97,24 @@ def run_emulation(
         arrival_times = list(np.linspace(0.0, duration_ms * 0.9, num_requests))
 
     perf = get_registry()
+    recorder = get_recorder()
     device_free_ms = 0.0
-    for arrival in arrival_times:
+    for index, arrival in enumerate(arrival_times):
         perf.count("emulator.requests")
         start = max(float(arrival), device_free_ms) if queued else float(arrival)
-        with perf.span("emulator.request"):
+        with perf.span("emulator.request"), recorder.span(
+            "emulator.request", index=index, start_sim_ms=start
+        ) as obs_span:
             outcome = plan.execute(start, env, rng)
+            obs_span.add(
+                latency_ms=outcome.latency_ms,
+                fork_path=list(outcome.fork_choices),
+                offloaded=outcome.offloaded,
+                fell_back=outcome.fell_back,
+                retries=outcome.retries,
+                degraded=outcome.degraded,
+                reward=outcome.reward,
+            )
         if queued:
             completion = start + outcome.latency_ms
             if pipelined:
@@ -123,5 +136,8 @@ def run_emulation(
                         outcome.accuracy, outcome.latency_ms + queueing_delay
                     ),
                 )
+        # End-to-end (post-queueing) simulated latency, so the exported
+        # percentiles match what the application would observe.
+        perf.observe("emulator.request.latency_ms", outcome.latency_ms)
         result.outcomes.append(outcome)
     return result

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..contracts import require_non_negative, require_positive
+from ..obs.trace import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..model.spec import ModelSpec
@@ -85,6 +86,12 @@ class CircuitBreaker:
 
     def _transition(self, new_state: str, t_ms: float) -> None:
         self.transitions.append((self.state, new_state, t_ms))
+        get_recorder().event(
+            "breaker.transition",
+            from_state=self.state,
+            to_state=new_state,
+            t_sim_ms=float(t_ms),
+        )
         self.state = new_state
 
     def allow(self, t_ms: float) -> bool:
@@ -266,6 +273,9 @@ def _naive_offload(
         clock += attempt.elapsed_ms + env.outage_detect_ms
     else:
         clock += env.outage_detect_ms
+    get_recorder().event(
+        "offload.fallback", retries=0, t_sim_ms=float(clock)
+    )
     clock, fallback_ms = _fallback(env, rng, clock, cloud_spec)
     return OffloadResult(
         clock_ms=clock,
@@ -294,9 +304,13 @@ def _resilient_offload(
         else policy.probe_timeout_ms
     )
 
+    recorder = get_recorder()
     if breaker is not None and not breaker.allow(clock):
         # Degraded mode: the breaker already knows the cloud is down, so
         # the request goes straight to the device without paying a probe.
+        recorder.event(
+            "offload.degraded", t_sim_ms=float(clock), breaker_state=breaker.state
+        )
         clock, fallback_ms = _fallback(env, rng, clock, cloud_spec)
         return OffloadResult(
             clock_ms=clock,
@@ -313,6 +327,9 @@ def _resilient_offload(
     for attempt_index in range(policy.max_retries + 1):
         if attempt_index > 0:
             retries += 1
+            recorder.event(
+                "offload.retry", attempt=attempt_index, t_sim_ms=float(clock)
+            )
         if env.cloud_available(clock):
             attempt = env.attempt_transfer(payload_bytes, clock, rng)
             landed = attempt.ok and attempt.elapsed_ms <= policy.transfer_timeout_ms
@@ -348,6 +365,9 @@ def _resilient_offload(
             break  # no budget left for another attempt
         clock += backoff
 
+    recorder.event(
+        "offload.fallback", retries=retries, t_sim_ms=float(clock)
+    )
     clock, fallback_ms = _fallback(env, rng, clock, cloud_spec)
     return OffloadResult(
         clock_ms=clock,

@@ -24,6 +24,8 @@ import numpy as np
 
 from ..contracts import require_non_negative
 from ..network.predictor import BandwidthPredictor
+from ..obs.trace import get_recorder
+from ..perf import HistogramStat, get_registry
 from ..search.tree import ModelTree
 from .adaptation import QuantileForkMatcher, adaptive_probe
 from .emulator import EmulationResult
@@ -33,7 +35,14 @@ from .resilience import CircuitBreaker, OffloadPolicy
 
 @dataclass
 class SessionStats:
-    """Aggregates exported by :meth:`InferenceSession.stats`."""
+    """Aggregates exported by :meth:`InferenceSession.stats`.
+
+    The latency percentiles (p50/p95/p99) are read from the session's
+    :class:`~repro.perf.HistogramStat` — fixed log-spaced buckets, so a
+    monitoring endpoint can export them without keeping every outcome —
+    while ``p95_latency_ms`` keeps its exact-percentile semantics for
+    backward compatibility with existing reports.
+    """
 
     requests: int
     mean_latency_ms: float
@@ -42,6 +51,10 @@ class SessionStats:
     mean_reward: float
     offload_rate: float
     fallback_rate: float
+    #: Histogram-backed end-to-end latency percentiles.
+    p50_latency_hist_ms: float = 0.0
+    p95_latency_hist_ms: float = 0.0
+    p99_latency_hist_ms: float = 0.0
     #: Resilience telemetry (all zero/empty for a session without a policy).
     retry_total: int = 0
     deadline_miss_rate: float = 0.0
@@ -83,6 +96,8 @@ class InferenceSession:
         self.rng = np.random.default_rng(seed)
         self.clock_ms = 0.0
         self.outcomes: List[InferenceOutcome] = []
+        #: End-to-end simulated latency distribution across requests.
+        self.latency_hist = HistogramStat()
         # A policy without an explicit breaker still gets one: the breaker
         # is the session-scoped half of the resilience state machine.
         self.policy = policy
@@ -104,7 +119,20 @@ class InferenceSession:
             env = self._predictive_env()
         else:
             env = self.env
-        outcome = self._plan.execute(start, env, self.rng)
+        with get_recorder().span(
+            "session.infer", index=len(self.outcomes), start_sim_ms=start
+        ) as obs_span:
+            outcome = self._plan.execute(start, env, self.rng)
+            obs_span.add(
+                latency_ms=outcome.latency_ms,
+                fork_path=list(outcome.fork_choices),
+                offloaded=outcome.offloaded,
+                fell_back=outcome.fell_back,
+                retries=outcome.retries,
+                degraded=outcome.degraded,
+            )
+        self.latency_hist.record(outcome.latency_ms)
+        get_registry().observe("session.infer.latency_ms", outcome.latency_ms)
         self.clock_ms = start + outcome.latency_ms
         self.outcomes.append(outcome)
         return outcome
@@ -141,6 +169,9 @@ class InferenceSession:
             requests=len(self.outcomes),
             mean_latency_ms=result.mean_latency_ms,
             p95_latency_ms=result.p95_latency_ms,
+            p50_latency_hist_ms=self.latency_hist.p50,
+            p95_latency_hist_ms=self.latency_hist.p95,
+            p99_latency_hist_ms=self.latency_hist.p99,
             mean_accuracy=result.mean_accuracy,
             mean_reward=result.mean_reward,
             offload_rate=result.offload_rate,
@@ -169,6 +200,7 @@ class InferenceSession:
         """
         self.clock_ms = 0.0
         self.outcomes.clear()
+        self.latency_hist = HistogramStat()
         if self.breaker is not None:
             self.breaker = CircuitBreaker(self.breaker.config)
             self._plan = TreePlan(

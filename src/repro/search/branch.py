@@ -19,6 +19,7 @@ import numpy as np
 
 from ..contracts import require_positive
 from ..model.spec import ModelSpec
+from ..obs.trace import get_recorder
 from ..rl.controller import NO_PARTITION
 from .context import CandidateResult, SearchContext
 from .plan import apply_compression_plan
@@ -102,9 +103,12 @@ def optimal_branch_search(
             best = candidate
             best_plan = plan
 
-    for _ in range(episodes):
+    recorder = get_recorder()
+    for episode in range(episodes):
         context.perf.count("branch.episodes")
-        with context.perf.span("branch.episode"):
+        with context.perf.span("branch.episode"), recorder.span(
+            "branch.episode", episode=episode, bandwidth_mbps=bandwidth_mbps
+        ) as obs_span:
             cut, partition_token = policy.sample_partition(base, bandwidth_mbps, rng)
             partition_index = len(base) if cut == NO_PARTITION else cut
 
@@ -122,6 +126,11 @@ def optimal_branch_search(
             result = realize_branch_plan(context, plan, bandwidth_mbps)
 
             policy.update([t for t in tokens if t is not None], result.reward)
+            obs_span.add(
+                reward=result.reward,
+                partition_index=partition_index,
+                compression=list(names),
+            )
         history.append(result.reward)
         if best is None or result.reward > best.reward:
             best = result

@@ -60,11 +60,11 @@ class RLPolicy:
         )
         self.partition_trainer = ReinforceTrainer(
             self.partition_controller, lr=lr, reward_scale=reward_scale,
-            entropy_coeff=entropy_coeff,
+            entropy_coeff=entropy_coeff, name="partition",
         )
         self.compression_trainer = ReinforceTrainer(
             self.compression_controller, lr=lr, reward_scale=reward_scale,
-            entropy_coeff=entropy_coeff,
+            entropy_coeff=entropy_coeff, name="compression",
         )
 
     def sample_partition(

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..model.blocks import BlockSpec, slice_into_blocks
 from ..model.spec import ModelSpec
+from ..obs.trace import get_recorder
 from ..rl.controller import NO_PARTITION
 from ..rl.exploration import FairChanceSchedule
 from .branch import (
@@ -591,31 +592,37 @@ def model_tree_search(
     best_history: List[float] = []
     root_bandwidth = float(np.mean(types))
 
+    recorder = get_recorder()
     for episode in range(config.episodes):
         context.perf.count("tree.episodes")
-        with context.perf.span("tree.forward"):
-            root = _generate_node(
-                context,
-                blocks,
-                policy,
-                block_index=0,
-                fork_index=None,
-                bandwidth_mbps=root_bandwidth,
-                prefix=[],
-                rng=rng,
-                episode=episode,
-                schedule=schedule,
-                bandwidth_types=types,
-            )
-        with context.perf.span("tree.backward"):
-            _backward_estimate(root)
-            _update_policy(policy, root)
+        with recorder.span("tree.episode", episode=episode) as obs_span:
+            with context.perf.span("tree.forward"), recorder.span("tree.forward"):
+                root = _generate_node(
+                    context,
+                    blocks,
+                    policy,
+                    block_index=0,
+                    fork_index=None,
+                    bandwidth_mbps=root_bandwidth,
+                    prefix=[],
+                    rng=rng,
+                    episode=episode,
+                    schedule=schedule,
+                    bandwidth_types=types,
+                )
+            with context.perf.span("tree.backward"), recorder.span("tree.backward"):
+                _backward_estimate(root)
+                _update_policy(policy, root)
 
-        tree = ModelTree(
-            root=root, bandwidth_types=types, base=context.base,
-            num_blocks=config.num_blocks,
-        )
-        _, branch_reward = tree.best_branch()
+            tree = ModelTree(
+                root=root, bandwidth_types=types, base=context.base,
+                num_blocks=config.num_blocks,
+            )
+            _, branch_reward = tree.best_branch()
+            obs_span.add(
+                best_branch_reward=float(branch_reward),
+                nodes=tree.node_count(),
+            )
         history.append(branch_reward)
         if branch_reward > best_sampled_reward:
             best_sampled_reward = branch_reward
@@ -627,7 +634,9 @@ def model_tree_search(
         candidate_plans = [r.plan for r in branch_results.values()] + list(
             config.extra_plans
         )
-        with context.perf.span("tree.graft"):
+        with context.perf.span("tree.graft"), recorder.span(
+            "tree.graft", candidates=len(candidate_plans)
+        ):
             final = build_grafted_tree(
                 context, types, candidate_plans, config.num_blocks
             )

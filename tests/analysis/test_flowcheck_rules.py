@@ -325,6 +325,71 @@ class TestPrintCall:
         assert rules(src, path="src/repro/latency/__main__.py") == []
 
 
+class TestMonotonicClock:
+    def test_wall_clock_duration_fires(self):
+        src = """
+            import time
+
+            def f():
+                start = time.time()
+                work()
+                return time.time() - start
+            """
+        assert rules(src).count("monotonic-clock") == 2
+
+    def test_from_import_alias_fires(self):
+        src = """
+            from time import time
+
+            def f():
+                return time()
+            """
+        assert "monotonic-clock" in rules(src)
+
+    def test_perf_counter_silent(self):
+        src = """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """
+        assert "monotonic-clock" not in rules(src)
+
+    def test_perf_package_exempt(self):
+        src = """
+            import time
+
+            def f():
+                return time.time()
+            """
+        assert rules(src, path="src/repro/perf/sample.py") == []
+
+    def test_obs_package_exempt(self):
+        src = """
+            import time
+
+            def f():
+                return time.time()
+            """
+        assert rules(src, path="src/repro/obs/sample.py") == []
+
+    def test_unrelated_time_method_silent(self):
+        src = """
+            def f(event):
+                return event.time()
+            """
+        assert "monotonic-clock" not in rules(src)
+
+    def test_pragma_suppresses(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()  # flowcheck: ignore[monotonic-clock] -- timestamp-of-record
+            """
+        assert "monotonic-clock" not in rules(src)
+
+
 class TestLegacyRules:
     def test_mutable_default_still_caught(self):
         src = """

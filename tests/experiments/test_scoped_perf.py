@@ -1,0 +1,61 @@
+"""Pin: run_scenario scopes the default PerfRegistry to the scenario.
+
+Before the ``scoped()`` wiring, every ``run_scenario`` call accumulated
+into the same process-global registry, so a multi-scenario sweep reported
+the *sum* of all scenes in every snapshot. The scope resets on entry and
+leaves the counts readable afterwards (post-run reporting).
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_scenario
+from repro.network.scenarios import get_scenario
+from repro.obs.trace import recording
+from repro.perf import get_registry
+
+
+def tiny_config():
+    return ExperimentConfig(tree_episodes=2, branch_episodes=3, seed=0)
+
+
+@pytest.fixture
+def scenario():
+    return get_scenario("vgg11", "phone", "4G indoor static")
+
+
+class TestScenarioScopedRegistry:
+    def test_preexisting_counts_cleared_on_entry(self, scenario):
+        registry = get_registry()
+        registry.count("stale.counter", by=99)
+        run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        assert registry.counter("stale.counter") == 0
+
+    def test_back_to_back_runs_do_not_accumulate(self, scenario):
+        registry = get_registry()
+        run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        first = registry.span_stat("scenario.tree").count
+        run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        assert registry.span_stat("scenario.tree").count == first == 1
+
+    def test_counts_survive_for_post_run_reporting(self, scenario):
+        registry = get_registry()
+        run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        assert registry.counter("tree.episodes") > 0
+        assert registry.span_stat("scenario.tree").count == 1
+
+
+class TestScenarioTrace:
+    def test_run_scenario_is_one_trace(self, scenario, tmp_path):
+        path = tmp_path / "scenario.jsonl"
+        with recording(path):
+            run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        from repro.obs.report import summarize_trace
+
+        summary = summarize_trace(path)
+        assert summary.unparsed == 0
+        assert len(summary.traces) == 1  # everything under one root span
+        root = summary.phases.get("run_scenario")
+        assert root is not None and root.count == 1
+        # The offline phases all appear under the same trace.
+        for phase in ("scenario.surgery", "scenario.branch", "scenario.tree"):
+            assert phase in summary.phases

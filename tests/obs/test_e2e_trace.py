@@ -1,0 +1,147 @@
+"""End-to-end acceptance: a faulted emulator run leaves a parseable trace.
+
+The tentpole's bar: run the resilient engine under injected faults with
+tracing enabled, then show (a) every line of the JSONL parses, (b) the
+retry / breaker / degraded events nest under the request span that owned
+them, and (c) ``obs report`` summarizes the file without losing anything.
+"""
+
+import json
+
+import pytest
+
+from repro.accuracy import FixedAccuracy
+from repro.latency import CLOUD_SERVER, XIAOMI_MI_6X
+from repro.latency.transfer import WIFI_TRANSFER
+from repro.mdp import PAPER_REWARD
+from repro.network.channel import Channel
+from repro.network.traces import constant_trace
+from repro.nn.zoo import vgg11
+from repro.obs.__main__ import main as obs_main
+from repro.obs.report import REQUEST_SPANS, load_trace, summarize_trace
+from repro.obs.trace import recording
+from repro.runtime.emulator import run_emulation
+from repro.runtime.engine import RuntimeEnvironment, TreePlan
+from repro.runtime.faults import FaultSchedule, TransferLoss
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    OffloadPolicy,
+)
+from tests.conftest import make_split_tree
+
+
+def make_faulted_env():
+    trace = constant_trace(10.0, duration_s=120.0)
+    return RuntimeEnvironment(
+        edge=XIAOMI_MI_6X,
+        cloud=CLOUD_SERVER,
+        trace=trace,
+        channel=Channel(trace, WIFI_TRANSFER),
+        accuracy=FixedAccuracy(0.9201),
+        reward=PAPER_REWARD,
+        # A 40-80 s outage (probes included) plus session-long loss, so
+        # the run exercises retries, fallbacks, the breaker and degraded
+        # mode — every resilience event kind the recorder knows.
+        cloud_outages=((40_000.0, 80_000.0),),
+        faults=FaultSchedule((TransferLoss(0.0, 120_000.0, 0.25),)),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "faulted.jsonl"
+    plan = TreePlan(
+        make_split_tree(vgg11()),
+        policy=OffloadPolicy(max_retries=2, deadline_ms=2_000.0),
+        breaker=CircuitBreaker(
+            CircuitBreakerConfig(failure_threshold=2, cooldown_ms=10_000.0)
+        ),
+    )
+    with recording(path):
+        run_emulation(plan, make_faulted_env(), num_requests=30, seed=7)
+    return path
+
+
+class TestTraceWellFormed:
+    def test_every_line_parses(self, trace_file):
+        summary = summarize_trace(trace_file)
+        assert summary.unparsed == 0
+        assert summary.records > 0
+
+    def test_one_request_span_per_request(self, trace_file):
+        summary = summarize_trace(trace_file)
+        assert summary.phases["emulator.request"].count == 30
+        assert summary.requests() == 30
+
+    def test_request_latency_histogram_populated(self, trace_file):
+        summary = summarize_trace(trace_file)
+        hist = summary.request_latency
+        assert hist.count == 30
+        assert 0.0 < hist.p50 <= hist.p99
+
+
+class TestResilienceNesting:
+    def test_faults_actually_fired(self, trace_file):
+        summary = summarize_trace(trace_file)
+        names = {r["name"] for r in summary.resilience}
+        assert "offload.retry" in names
+        assert "offload.fallback" in names
+        assert "breaker.transition" in names
+        assert "offload.degraded" in names
+
+    def test_events_nest_under_owning_request_span(self, trace_file):
+        summary = summarize_trace(trace_file)
+        assert summary.resilience, "no resilience events recorded"
+        for event in summary.resilience:
+            owner = summary.span_index.get(event["span"])
+            assert owner is not None, f"{event['name']} has no owning span"
+            assert owner["name"] in REQUEST_SPANS
+            assert owner["trace"] == event["trace"]
+
+    def test_degraded_requests_match_span_fields(self, trace_file):
+        summary = summarize_trace(trace_file)
+        degraded_spans = {
+            e["span"] for e in summary.resilience if e["name"] == "offload.degraded"
+        }
+        for span_id in degraded_spans:
+            assert summary.span_index[span_id]["fields"]["degraded"] is True
+
+
+class TestReportRoundTrip:
+    def test_strict_report_exits_zero(self, trace_file, capsys):
+        assert obs_main(["report", str(trace_file), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience timeline" in out
+        assert "requests by fork path" in out
+
+    def test_json_report_carries_all_records(self, trace_file, capsys):
+        assert obs_main(["report", str(trace_file), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        summary = summarize_trace(trace_file)
+        assert parsed["records"] == summary.records
+        assert parsed["unparsed"] == 0
+        assert len(parsed["resilience"]) == len(summary.resilience)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_shape(self, trace_file, tmp_path):
+        other = tmp_path / "again.jsonl"
+        plan = TreePlan(
+            make_split_tree(vgg11()),
+            policy=OffloadPolicy(max_retries=2, deadline_ms=2_000.0),
+            breaker=CircuitBreaker(
+                CircuitBreakerConfig(failure_threshold=2, cooldown_ms=10_000.0)
+            ),
+        )
+        with recording(other):
+            run_emulation(plan, make_faulted_env(), num_requests=30, seed=7)
+
+        def shape(path):
+            records, _ = load_trace(path)
+            return [
+                (r["kind"], r["name"], r["trace"], r["span"], r.get("parent"))
+                for r in records
+            ]
+
+        assert shape(trace_file) == shape(other)

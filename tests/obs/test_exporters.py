@@ -1,0 +1,70 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots."""
+
+import json
+
+from repro.obs.exporters import export_metrics, prometheus_text
+from repro.perf import PerfRegistry
+
+
+def make_registry():
+    reg = PerfRegistry()
+    reg.count("emulator.requests", by=3)
+    reg.record_span("scenario.tree", 12.5)
+    reg.observe("emulator.request.latency_ms", 80.0)
+    reg.observe("emulator.request.latency_ms", 240.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_exposition(self):
+        text = prometheus_text(make_registry())
+        assert "# TYPE repro_emulator_requests counter" in text
+        assert "repro_emulator_requests 3" in text
+
+    def test_span_summary_exposition(self):
+        text = prometheus_text(make_registry())
+        assert "repro_scenario_tree_ms_count 1" in text
+        assert "repro_scenario_tree_ms_sum 12.5" in text
+        assert "repro_scenario_tree_ms_max 12.5" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = prometheus_text(make_registry())
+        assert "# TYPE repro_emulator_request_latency_ms histogram" in text
+        assert 'repro_emulator_request_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_emulator_request_latency_ms_count 2" in text
+
+    def test_percentile_gauges_present(self):
+        text = prometheus_text(make_registry())
+        for label in ("p50", "p90", "p99"):
+            assert f"repro_emulator_request_latency_ms_{label} " in text
+
+    def test_names_sanitized(self):
+        reg = PerfRegistry()
+        reg.count("weird name-with.bits")
+        text = prometheus_text(reg)
+        assert "repro_weird_name_with_bits 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(PerfRegistry()) == ""
+
+    def test_custom_prefix(self):
+        reg = PerfRegistry()
+        reg.count("c")
+        assert "edge_c 1" in prometheus_text(reg, prefix="edge")
+
+
+class TestExportMetrics:
+    def test_writes_both_files(self, tmp_path):
+        reg = make_registry()
+        json_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        rendered = export_metrics(reg, json_path=json_path, prom_path=prom_path)
+        snapshot = json.loads(json_path.read_text())
+        assert snapshot["counters"]["emulator.requests"] == 3
+        assert snapshot["histograms"]["emulator.request.latency_ms"]["count"] == 2
+        assert prom_path.read_text() == rendered["prometheus"]
+
+    def test_returns_renderings_without_paths(self):
+        rendered = export_metrics(make_registry())
+        assert "counters" in json.loads(rendered["json"])
+        assert "repro_emulator_requests 3" in rendered["prometheus"]

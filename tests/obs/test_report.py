@@ -1,0 +1,191 @@
+"""Trace parsing/summary/rendering for ``obs report``."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    parse_jsonl,
+    render_report,
+    spark,
+    summarize_records,
+    summarize_trace,
+)
+from repro.obs.trace import TraceRecorder
+
+
+def make_records():
+    """A small hand-built trace exercising every report section."""
+    return [
+        {
+            "kind": "span",
+            "name": "emulator.request",
+            "trace": "t1",
+            "span": "s2",
+            "parent": "s1",
+            "t_ms": 1.0,
+            "dur_ms": 0.5,
+            "fields": {"fork_path": [1, 0], "latency_ms": 120.0},
+        },
+        {
+            "kind": "event",
+            "name": "offload.retry",
+            "trace": "t1",
+            "span": "s2",
+            "t_ms": 1.2,
+            "fields": {"attempt": 1},
+        },
+        {
+            "kind": "event",
+            "name": "rl.update",
+            "trace": "t1",
+            "span": "s1",
+            "t_ms": 2.0,
+            "fields": {
+                "controller": "partition",
+                "reward": 350.0,
+                "baseline": 340.0,
+                "advantage": 10.0,
+                "entropy": 0.8,
+            },
+        },
+        {
+            "kind": "span",
+            "name": "scenario.tree",
+            "trace": "t1",
+            "span": "s1",
+            "parent": None,
+            "t_ms": 0.0,
+            "dur_ms": 5.0,
+            "fields": {},
+        },
+    ]
+
+
+class TestParse:
+    def test_parses_valid_lines(self):
+        text = "\n".join(json.dumps(r) for r in make_records())
+        records, unparsed = parse_jsonl(text)
+        assert len(records) == 4
+        assert unparsed == 0
+
+    def test_counts_garbage_lines(self):
+        text = "not json at all\n" + json.dumps(make_records()[0])
+        records, unparsed = parse_jsonl(text)
+        assert len(records) == 1
+        assert unparsed == 1
+
+    def test_counts_wrong_shape_lines(self):
+        bad = [
+            json.dumps({"kind": "mystery", "name": "x"}),
+            json.dumps({"kind": "span"}),  # no name
+            json.dumps([1, 2, 3]),  # not an object
+        ]
+        records, unparsed = parse_jsonl("\n".join(bad))
+        assert records == []
+        assert unparsed == 3
+
+    def test_blank_lines_ignored(self):
+        records, unparsed = parse_jsonl("\n\n  \n")
+        assert records == []
+        assert unparsed == 0
+
+
+class TestSummarize:
+    def test_phase_aggregation(self):
+        summary = summarize_records(make_records())
+        assert summary.phases["emulator.request"].count == 1
+        assert summary.phases["scenario.tree"].total_ms == pytest.approx(5.0)
+
+    def test_fork_counts_and_latency(self):
+        summary = summarize_records(make_records())
+        assert summary.fork_counts == {"1>0": 1}
+        assert summary.requests() == 1
+        assert summary.request_latency.count == 1
+        assert summary.request_latency.max == pytest.approx(120.0)
+
+    def test_rl_curves_keyed_by_controller(self):
+        summary = summarize_records(make_records())
+        curve = summary.rl["partition"]
+        assert curve.rewards == [350.0]
+        assert curve.advantages == [10.0]
+        assert curve.entropies == [0.8]
+
+    def test_resilience_timeline_sorted(self):
+        records = make_records()
+        records.append(
+            {
+                "kind": "event",
+                "name": "breaker.transition",
+                "trace": "t1",
+                "span": "s2",
+                "t_ms": 0.5,
+                "fields": {"from_state": "closed", "to_state": "open"},
+            }
+        )
+        summary = summarize_records(records)
+        names = [r["name"] for r in summary.resilience]
+        assert names == ["breaker.transition", "offload.retry"]
+
+    def test_span_index_supports_nesting_checks(self):
+        summary = summarize_records(make_records())
+        retry = summary.resilience[0]
+        owner = summary.span_index[retry["span"]]
+        assert owner["name"] == "emulator.request"
+
+    def test_to_json_dict_is_json_serializable(self):
+        summary = summarize_records(make_records())
+        text = json.dumps(summary.to_json_dict())
+        parsed = json.loads(text)
+        assert parsed["spans"] == 2
+        assert parsed["events"] == 2
+        assert parsed["fork_counts"] == {"1>0": 1}
+
+
+class TestRender:
+    def test_report_mentions_every_section(self):
+        report = render_report(summarize_records(make_records()))
+        assert "phase timings" in report
+        assert "requests by fork path" in report
+        assert "RL training telemetry" in report
+        assert "resilience timeline" in report
+        assert "0 unparsed line(s)" in report
+
+    def test_empty_trace_renders_header_only(self):
+        report = render_report(summarize_records([]))
+        assert "0 records" in report
+        assert "phase timings" not in report
+
+    def test_unparsed_count_surfaces(self):
+        summary = summarize_records(make_records(), unparsed=3)
+        assert "3 unparsed line(s)" in render_report(summary)
+
+
+class TestSpark:
+    def test_empty(self):
+        assert spark([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert spark([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        line = spark([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_long_series_resampled_to_width(self):
+        assert len(spark(list(range(1000)), width=40)) == 40
+
+
+class TestRoundTrip:
+    def test_recorder_output_summarizes(self, tmp_path):
+        rec = TraceRecorder()
+        with rec.span("emulator.request", index=0) as handle:
+            rec.event("offload.retry", attempt=1)
+            handle.add(latency_ms=50.0, fork_path=[0])
+        path = tmp_path / "trace.jsonl"
+        rec.dump_jsonl(path)
+        summary = summarize_trace(path)
+        assert summary.unparsed == 0
+        assert summary.fork_counts == {"0": 1}
+        assert summary.resilience[0]["name"] == "offload.retry"

@@ -1,0 +1,192 @@
+"""TraceRecorder mechanics: ids, nesting, events, export, the default."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import (
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+
+
+def fake_clock(step_ms=1.0):
+    """Deterministic clock: each call advances by ``step_ms``."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step_ms / 1e3
+        return state["t"]
+
+    return clock
+
+
+class TestDisabled:
+    def test_default_recorder_is_disabled(self):
+        assert get_recorder().enabled is False
+
+    def test_disabled_records_nothing(self):
+        rec = TraceRecorder(enabled=False)
+        with rec.span("outer") as handle:
+            handle.add(x=1)
+            rec.event("ping")
+        assert len(rec) == 0
+
+    def test_disabled_spans_share_one_null_handle(self):
+        rec = TraceRecorder(enabled=False)
+        with rec.span("a") as h1, rec.span("b") as h2:
+            assert h1 is h2  # shared inert handle -> no per-call allocation
+
+
+class TestSpans:
+    def test_child_parent_ids_propagate(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        inner, outer = rec.records  # children close (and emit) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["span"]
+        assert outer["parent"] is None
+        assert inner["trace"] == outer["trace"]
+
+    def test_root_spans_start_new_traces(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("first"):
+            pass
+        with rec.span("second"):
+            pass
+        first, second = rec.records
+        assert first["trace"] != second["trace"]
+
+    def test_ids_are_deterministic_counters(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+        assert [r["span"] for r in rec.records] == ["s1", "s2"]
+        assert [r["trace"] for r in rec.records] == ["t1", "t2"]
+
+    def test_durations_from_injected_clock(self):
+        rec = TraceRecorder(clock=fake_clock(step_ms=2.0))
+        with rec.span("timed"):
+            pass
+        (record,) = rec.records
+        # open reads the clock once, close once -> one 2 ms step apart.
+        assert record["dur_ms"] == pytest.approx(2.0)
+
+    def test_late_fields_via_add(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("work", phase="x") as handle:
+            handle.add(result=42)
+        (record,) = rec.records
+        assert record["fields"] == {"phase": "x", "result": 42}
+
+
+class TestEvents:
+    def test_event_attaches_to_innermost_span(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("outer"):
+            with rec.span("inner"):
+                rec.event("ping", attempt=1)
+        event = next(r for r in rec.records if r["kind"] == "event")
+        inner = next(r for r in rec.records if r["name"] == "inner")
+        assert event["span"] == inner["span"]
+        assert event["fields"] == {"attempt": 1}
+
+    def test_event_outside_any_span(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.event("lonely")
+        (event,) = rec.records
+        assert event["span"] is None
+
+
+class TestFieldCoercion:
+    def test_numpy_scalars_and_tuples_become_json(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("s") as handle:
+            handle.add(
+                reward=np.float64(1.5),
+                fork=(np.int64(1), np.int64(0)),
+                name=("ID", "P4Q8"),
+            )
+        text = rec.to_jsonl()
+        parsed = json.loads(text)
+        assert parsed["fields"]["reward"] == 1.5
+        assert parsed["fields"]["fork"] == [1, 0]
+        assert parsed["fields"]["name"] == ["ID", "P4Q8"]
+
+    def test_unknown_objects_stringify(self):
+        rec = TraceRecorder(clock=fake_clock())
+        rec.event("e", payload=object())
+        assert isinstance(json.loads(rec.to_jsonl())["fields"]["payload"], str)
+
+
+class TestExport:
+    def test_to_jsonl_one_object_per_line(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("a"):
+            rec.event("e")
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_dump_jsonl_round_trips(self, tmp_path):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        rec.dump_jsonl(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text.splitlines()[0])["name"] == "a"
+
+    def test_empty_dump_is_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        TraceRecorder(clock=fake_clock()).dump_jsonl(path)
+        assert path.read_text() == ""
+
+    def test_clear(self):
+        rec = TraceRecorder(clock=fake_clock())
+        with rec.span("a"):
+            pass
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestDefaultSwap:
+    def test_set_recorder_returns_previous(self):
+        mine = TraceRecorder(enabled=False)
+        previous = set_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+
+    def test_recording_swaps_and_restores(self, tmp_path):
+        before = get_recorder()
+        path = tmp_path / "out.jsonl"
+        with recording(path) as rec:
+            assert get_recorder() is rec
+            assert rec.enabled
+            with rec.span("root"):
+                pass
+        assert get_recorder() is before
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "root"
+
+    def test_recording_restores_on_error(self, tmp_path):
+        before = get_recorder()
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError):
+            with recording(path):
+                with get_recorder().span("doomed"):
+                    pass
+                raise RuntimeError("boom")
+        assert get_recorder() is before
+        # The crashed run still left its trace on disk.
+        assert "doomed" in path.read_text()

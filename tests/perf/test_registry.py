@@ -67,11 +67,13 @@ class TestDisabled:
         reg = PerfRegistry(enabled=False)
         reg.count("c")
         reg.record_span("s", 5.0)
+        reg.observe("h", 5.0)
         with reg.span("s"):
             pass
         assert reg.counter("c") == 0
         assert reg.span_stat("s").count == 0
-        assert reg.snapshot() == {"counters": {}, "spans": {}}
+        assert reg.histogram("h").count == 0
+        assert reg.snapshot() == {"counters": {}, "spans": {}, "histograms": {}}
 
 
 class TestExport:
@@ -103,8 +105,9 @@ class TestExport:
         reg = PerfRegistry()
         reg.count("c")
         reg.record_span("s", 1.0)
+        reg.observe("h", 1.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "spans": {}}
+        assert reg.snapshot() == {"counters": {}, "spans": {}, "histograms": {}}
 
 
 class TestDefaultRegistry:

@@ -99,3 +99,46 @@ class TestSession:
         # a smoothed belief (mechanical check: predictor saw measurements).
         assert smoothed.predictor.predict() > 0
         assert smoothed.stats().requests == 15
+
+
+class TestLatencyHistogram:
+    def test_histogram_percentiles_exported(self, tree, env):
+        session = InferenceSession(tree, env)
+        for _ in range(10):
+            session.infer()
+        stats = session.stats()
+        assert stats.p50_latency_hist_ms > 0
+        assert (
+            stats.p50_latency_hist_ms
+            <= stats.p95_latency_hist_ms
+            <= stats.p99_latency_hist_ms
+        )
+        # The exact-percentile field keeps its old semantics; the histogram
+        # estimate must land within one log-spaced bucket of it (factor 2).
+        assert stats.p95_latency_hist_ms <= stats.p95_latency_ms * 2.0
+        assert stats.p95_latency_hist_ms >= stats.p95_latency_ms / 2.0
+
+    def test_histogram_tracks_every_request(self, tree, env):
+        session = InferenceSession(tree, env)
+        for _ in range(7):
+            session.infer()
+        assert session.latency_hist.count == 7
+
+    def test_reset_clears_histogram(self, tree, env):
+        session = InferenceSession(tree, env)
+        session.infer()
+        session.reset()
+        assert session.latency_hist.count == 0
+
+    def test_infer_records_trace_span(self, tree, env):
+        from repro.obs.report import summarize_records
+        from repro.obs.trace import recording
+
+        with recording() as recorder:
+            session = InferenceSession(tree, env)
+            session.infer()
+            session.infer()
+        summary = summarize_records(recorder.records)
+        assert summary.phases["session.infer"].count == 2
+        assert summary.fork_counts  # fork_path attached to each span
+        assert summary.request_latency.count == 2
