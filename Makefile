@@ -64,8 +64,11 @@ typecheck:
 repolint:
 	$(PYTHONPATH_SRC) $(PY) -m repro.analysis.repolint src/repro
 
+# Full interprocedural gate over everything we ship: library source plus
+# the benchmark and example scripts. FLOWCHECK_REPORT writes the JSON
+# report (the CI artifact) alongside the human output.
 flowcheck:
-	$(PYTHONPATH_SRC) $(PY) -m repro.analysis --flow src/repro
+	$(PYTHONPATH_SRC) $(PY) -m repro.analysis --flow $(if $(FLOWCHECK_REPORT),--report $(FLOWCHECK_REPORT) ,)src/repro benchmarks examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

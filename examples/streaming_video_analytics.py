@@ -68,7 +68,8 @@ def main() -> None:
     print(f"{'strategy':8s} {'mean lat':>9s} {'p95 lat':>9s} {'accuracy':>9s} "
           f"{'reward':>8s} {'offload%':>9s} {'vs surgery':>11s}")
     for name, replay in results.items():
-        reduction = 1 - replay.mean_latency_ms / surgery.mean_latency_ms
+        baseline_ms = max(surgery.mean_latency_ms, 1e-9)
+        reduction = 1 - replay.mean_latency_ms / baseline_ms
         print(
             f"{name:8s} {replay.mean_latency_ms:8.1f}m {replay.p95_latency_ms:8.1f}m "
             f"{replay.mean_accuracy * 100:8.2f}% {replay.mean_reward:8.1f} "

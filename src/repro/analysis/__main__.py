@@ -8,10 +8,17 @@ Artifact mode (the original verifier)::
 
 Flow mode (the flowcheck engine)::
 
-    python -m repro.analysis --flow                   # checks src/repro
+    python -m repro.analysis --flow                   # src/repro + benchmarks
+                                                      # + examples (those that
+                                                      # exist)
     python -m repro.analysis --flow src/repro tests   # explicit paths
-    python -m repro.analysis --flow --json            # machine-readable
+    python -m repro.analysis --flow --format json     # machine-readable
+    python -m repro.analysis --flow --format sarif    # SARIF 2.1.0
+    python -m repro.analysis --flow --report out.json # JSON report to a file
+                                                      # (CI artifact), any
+                                                      # --format on stdout
     python -m repro.analysis --flow --write-baseline  # accept current findings
+    python -m repro.analysis --flow --prune-baseline  # drop stale entries
     python -m repro.analysis --flow --list-rules      # rule catalog
 
 Exit status is 0 when clean, 1 with findings (artifact errors, or new
@@ -35,11 +42,16 @@ from .flowcheck import (
     apply_baseline,
     check_paths,
     load_baseline,
+    prune_baseline,
     rule_catalog,
     save_baseline,
+    to_sarif,
 )
 
 _JSON_SCHEMA_VERSION = 1
+
+#: Directories --flow checks when no targets are given (those that exist).
+_DEFAULT_FLOW_TARGETS = ("src/repro", "benchmarks", "examples")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         "targets",
         nargs="*",
         help="JSON artifact files, or source paths with --flow "
-        "(default: src/repro)",
+        "(default: src/repro, benchmarks and examples, those that exist)",
     )
     parser.add_argument(
         "--kind", choices=KINDS, default="",
@@ -72,8 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the flowcheck engine over source paths instead of artifacts",
     )
     flow.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="",
+        dest="output_format",
+        help="stdout format for findings (default: human)",
+    )
+    flow.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit findings as JSON on stdout",
+        help="alias for --format json",
+    )
+    flow.add_argument(
+        "--report", default="", metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts), "
+        "independent of --format",
     )
     flow.add_argument(
         "--baseline", default="",
@@ -88,9 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the current findings to the baseline file and exit 0",
     )
     flow.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file without stale entries "
+        "(justifications of live entries are preserved)",
+    )
+    flow.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     return parser
+
+
+def _default_flow_targets() -> List[str]:
+    existing = [t for t in _DEFAULT_FLOW_TARGETS if Path(t).is_dir()]
+    return existing or [_DEFAULT_FLOW_TARGETS[0]]
 
 
 def _flow_main(args: argparse.Namespace) -> int:
@@ -98,7 +130,8 @@ def _flow_main(args: argparse.Namespace) -> int:
         for rule_id, summary in rule_catalog().items():
             print(f"{rule_id:20s} {summary}")
         return 0
-    targets = args.targets or ["src/repro"]
+    output_format = args.output_format or ("json" if args.as_json else "human")
+    targets = args.targets or _default_flow_targets()
     result = check_paths(targets)
     findings = result.sorted_findings()
 
@@ -120,25 +153,48 @@ def _flow_main(args: argparse.Namespace) -> int:
             return 2
     fresh, baselined, stale = apply_baseline(findings, entries)
 
-    if args.as_json:
-        payload = {
-            "version": _JSON_SCHEMA_VERSION,
-            "files_checked": result.files_checked,
-            "findings": [finding.to_json() for finding in fresh],
-            "baselined": len(baselined),
-            "suppressed": result.suppressed,
-            "stale_baseline_entries": len(stale),
-        }
+    if args.prune_baseline and stale:
+        kept, pruned = prune_baseline(baseline_path, findings)
+        print(
+            f"flowcheck: pruned {pruned} stale baseline entr"
+            f"{'y' if pruned == 1 else 'ies'} from {baseline_path} "
+            f"({kept} kept)",
+            file=sys.stderr,
+        )
+        stale = []
+
+    payload = {
+        "version": _JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_json() for finding in fresh],
+        "baselined": len(baselined),
+        "suppressed": result.suppressed,
+        "stale_baseline_entries": len(stale),
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+
+    if output_format == "json":
         print(json.dumps(payload, indent=2))
+    elif output_format == "sarif":
+        print(json.dumps(to_sarif(fresh), indent=2))
     else:
         for finding in fresh:
             print(finding.format())
         for entry in stale:
             print(
-                f"flowcheck: stale baseline entry (fixed? remove it): "
+                f"flowcheck: stale baseline entry (fixed? run "
+                f"--prune-baseline to drop it): "
                 f"[{entry['rule']}] {entry['path']}: {entry['message']}",
                 file=sys.stderr,
             )
+    if stale:
+        print(
+            f"flowcheck: baseline is stale ({len(stale)} entr"
+            f"{'y' if len(stale) == 1 else 'ies'} no longer match); "
+            f"run with --prune-baseline to clean it up",
+            file=sys.stderr,
+        )
     summary = (
         f"flowcheck: {result.files_checked} file(s), {len(fresh)} new "
         f"finding(s), {len(baselined)} baselined, {result.suppressed} "

@@ -2,8 +2,10 @@
 
 The repo-code half of :mod:`repro.analysis`, grown out of the flat
 ``repolint`` AST gate into a multi-pass engine: per-module symbol tables,
-an intraprocedural guard-tracking dataflow interpreter, and rule plugins
-that emit the shared :class:`~repro.analysis.diagnostics.Diagnostic` type.
+an intraprocedural guard-tracking dataflow interpreter, a cross-module
+project index (function summaries, unit inference, call graph,
+worker-bound reachability), and rule plugins that emit the shared
+:class:`~repro.analysis.diagnostics.Diagnostic` type.
 
 Rule catalog (stable ids):
 
@@ -18,14 +20,31 @@ Rule catalog (stable ids):
 ``tensor-alias``      in-place mutation of a parameter/cached array
 ``boundary-contract`` public latency/search/runtime function with
                       unvalidated unit parameters
-``print-call``        print() outside experiments//__main__/main()
+``print-call``        print() outside experiments//benchmarks//examples//
+                      __main__/main()
 ``mutable-default``   (legacy) mutable default argument
 ``bare-except``       (legacy) bare ``except:``
+``UNIT-MISMATCH``     arithmetic/comparison mixing incompatible units
+                      (``_ms`` + ``_s``, percent vs fraction, missing 8x
+                      between bytes and bits)
+``UNIT-CONVERT``      value whose inferred unit contradicts the suffix of
+                      the name it is bound to or returned as
+``UNIT-ARG``          call-site argument unit contradicts the parameter's
+                      declared unit (suffix or ``Annotated[float, "ms"]``)
+``SHARED-MUTABLE``    module-level state mutated on a code path reachable
+                      from a ``@worker_safe`` entry point
+``WORKER-RNG``        constant-seeded or module-level RNG used on a
+                      worker-bound path (streams would collide)
+``WALLCLOCK-SPAN``    span math on ``time.time()`` (wall clock steps under
+                      NTP; use ``perf_counter``)
 ==================== =====================================================
 
-Suppress one finding inline with ``# flowcheck: ignore[rule-id] -- why``;
-accept a known finding in ``flowcheck-baseline.json``. Run the gate with
-``python -m repro.analysis --flow src/repro`` or ``make flowcheck``.
+Suppress one finding inline with ``# flowcheck: ignore[rule-id] -- why``
+(several ids comma-separated, matched case-insensitively); accept a known
+finding in ``flowcheck-baseline.json``. Run the gate with
+``python -m repro.analysis --flow src/repro benchmarks examples`` or
+``make flowcheck``; ``--format sarif`` emits SARIF 2.1.0 for scanning
+UIs, ``--prune-baseline`` drops stale baseline entries.
 """
 
 from .baseline import (
@@ -33,11 +52,13 @@ from .baseline import (
     BaselineError,
     apply_baseline,
     load_baseline,
+    prune_baseline,
     save_baseline,
 )
 from .core import Finding, make_finding
 from .engine import CheckResult, check_paths, check_source
 from .rules import all_rule_ids, rule_catalog
+from .sarif import to_sarif
 
 __all__ = [
     "BaselineError",
@@ -50,6 +71,8 @@ __all__ = [
     "check_source",
     "load_baseline",
     "make_finding",
+    "prune_baseline",
     "rule_catalog",
     "save_baseline",
+    "to_sarif",
 ]

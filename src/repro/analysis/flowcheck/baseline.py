@@ -7,7 +7,9 @@ Matching is by :meth:`Finding.fingerprint` — rule id, file and message,
 deliberately excluding line numbers so unrelated edits don't churn it.
 
 Stale entries (baselined findings that no longer occur) are reported by
-the CLI so the file shrinks as fixes land.
+the CLI so the file shrinks as fixes land; ``--prune-baseline`` rewrites
+the file without them, keeping the justifications of the entries that
+remain.
 """
 
 from __future__ import annotations
@@ -73,3 +75,23 @@ def apply_baseline(
     seen = {f.fingerprint() for f in findings}
     stale = [e for e in entries if _entry_fingerprint(e) not in seen]
     return fresh, matched, stale
+
+
+def prune_baseline(
+    path: Path, findings: Sequence[Finding]
+) -> Tuple[int, int]:
+    """Drop baseline entries that no longer match any current finding.
+
+    Entries that still match are written back **verbatim** — their
+    justifications (and any extra keys reviewers added) survive. Returns
+    ``(kept, pruned)``. The file is rewritten only when something was
+    actually pruned, so a clean run never churns its mtime.
+    """
+    entries = load_baseline(path)
+    seen = {finding.fingerprint() for finding in findings}
+    kept = [e for e in entries if _entry_fingerprint(e) in seen]
+    pruned = len(entries) - len(kept)
+    if pruned:
+        payload = {"version": _VERSION, "entries": kept}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(kept), pruned

@@ -131,6 +131,23 @@ class ModuleInfo:
         return parts
 
     @property
+    def dotted_name(self) -> str:
+        """Importable dotted module name, best-effort from the path.
+
+        ``src/repro/latency/transfer.py`` -> ``repro.latency.transfer``;
+        an ``__init__.py`` names its package. Files outside the ``repro``
+        tree (benchmarks, examples, fixtures) get ``<parent>.<stem>`` so
+        local-call resolution still has a stable, mostly-unique prefix.
+        """
+        parts = list(Path(self.path).parts)
+        if parts and parts[-1].endswith(".py"):
+            stem = parts[-1][: -len(".py")]
+            parts = parts[:-1] if stem == "__init__" else parts[:-1] + [stem]
+        if "repro" in parts:
+            return ".".join(parts[parts.index("repro") :])
+        return ".".join(parts[-2:]) if len(parts) >= 2 else ".".join(parts)
+
+    @property
     def basename(self) -> str:
         return Path(self.path).name
 

@@ -1,10 +1,14 @@
 """The flowcheck engine — orchestrates the passes over a file set.
 
-For each ``.py`` file: parse (pass 0, with suppression pragmas), build
-symbols (pass 1), run the module rules (pass 2) and drive the dataflow
-interpreter once per function with every flow rule's hooks multiplexed
-(pass 3). Suppressed findings are dropped at report time; the caller
-applies the baseline afterwards (see :mod:`.baseline`).
+Interprocedural shape: first *every* file is parsed and symbolized
+(pass 0 pragmas, pass 1 symbol tables), then the cross-module
+:class:`~repro.analysis.flowcheck.project.ProjectIndex` is built over
+the whole file set (pass 1.5: function summaries, unit inference, call
+graph, worker-bound reachability), and only then do the per-module
+passes run — module rules (pass 2), the dataflow interpreter with every
+flow rule's hooks multiplexed (pass 3), and the project rules with the
+index in hand (pass 4). Suppressed findings are dropped at report time;
+the caller applies the baseline afterwards (see :mod:`.baseline`).
 """
 
 from __future__ import annotations
@@ -18,7 +22,8 @@ from ..diagnostics import Severity
 from ..repolint import iter_python_files
 from .core import Finding, ModuleInfo, make_finding
 from .dataflow import FlowHooks, FunctionFlow
-from .rules import FLOW_RULES, MODULE_RULES
+from .project import ProjectIndex
+from .rules import FLOW_RULES, MODULE_RULES, PROJECT_RULES
 from .suppress import collect_suppressions, is_suppressed
 
 PathLike = Union[str, Path]
@@ -82,13 +87,20 @@ def _merge_hooks(hooks: List[FlowHooks]) -> FlowHooks:
 
 
 def check_source(source: str, path: str = "<string>") -> CheckResult:
-    """Run every pass on one source string."""
+    """Run every pass on one source string (a one-module project)."""
     result = CheckResult(files_checked=1)
-    _check_into(source, path, result)
+    module = _parse_module(source, path, result)
+    if module is not None:
+        project = ProjectIndex([module])
+        _run_module(module, project, result)
+    result.findings = result.sorted_findings()
     return result
 
 
-def _check_into(source: str, path: str, result: CheckResult) -> None:
+def _parse_module(
+    source: str, path: str, result: CheckResult
+) -> Optional[ModuleInfo]:
+    """Pass 0 + 1 for one file; records a syntax Finding on failure."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -97,7 +109,7 @@ def _check_into(source: str, path: str, result: CheckResult) -> None:
                 "syntax", path, exc.lineno or 0, f"cannot parse: {exc.msg}"
             )
         )
-        return
+        return None
     module = ModuleInfo(
         path=path,
         source=source,
@@ -106,7 +118,13 @@ def _check_into(source: str, path: str, result: CheckResult) -> None:
     )
     from .symbols import build_symbols  # local import to keep module DAG flat
 
-    build_symbols(module)
+    return build_symbols(module)
+
+
+def _run_module(
+    module: ModuleInfo, project: ProjectIndex, result: CheckResult
+) -> None:
+    """Passes 2-4 on one parsed module."""
     reporter = _Reporter(module, result)
     for rule in MODULE_RULES:
         rule.check(module, reporter)
@@ -119,13 +137,26 @@ def _check_into(source: str, path: str, result: CheckResult) -> None:
         )
         if hooks.on_division or hooks.on_compare or hooks.on_call:
             FunctionFlow(module, function, hooks).run()
+    for rule in PROJECT_RULES:
+        rule.check(project, module, reporter)
 
 
 def check_paths(paths: Iterable[PathLike]) -> CheckResult:
-    """Run the engine over every ``.py`` file under ``paths``."""
+    """Run the engine over every ``.py`` file under ``paths``.
+
+    All files are parsed up front so the project index sees the whole
+    set before any rule runs — cross-module call resolution is only as
+    complete as the path set handed in.
+    """
     result = CheckResult()
+    modules: List[ModuleInfo] = []
     for file in iter_python_files(paths):
         result.files_checked += 1
-        _check_into(file.read_text(), str(file), result)
+        module = _parse_module(file.read_text(), str(file), result)
+        if module is not None:
+            modules.append(module)
+    project = ProjectIndex(modules)
+    for module in modules:
+        _run_module(module, project, result)
     result.findings = result.sorted_findings()
     return result

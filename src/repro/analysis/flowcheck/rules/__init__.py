@@ -5,7 +5,11 @@ Two plugin shapes:
 - **flow rules** implement ``flow_hooks(module, function, report)`` and get
   driven by the dataflow interpreter once per function;
 - **module rules** implement ``check(module, report)`` and walk the module
-  themselves (no path sensitivity needed).
+  themselves (no path sensitivity needed);
+- **project rules** implement ``check(project, module, report)`` and get the
+  cross-module :class:`~repro.analysis.flowcheck.project.ProjectIndex`
+  (function summaries, call graph, worker-bound reachability) alongside
+  the module being reported on.
 
 ``report(rule_id, node_or_line, message, hint=..., severity=...)`` is
 provided by the engine and handles location bookkeeping, suppression and
@@ -19,11 +23,13 @@ from typing import Dict, List
 
 from .aliasing import TensorAliasRule
 from .clock import MonotonicClockRule
+from .concurrency import SharedMutableRule, WallClockSpanRule, WorkerRngRule
 from .contracts import BoundaryContractRule
 from .legacy import LegacyRepolintRule
 from .numeric import DivGuardRule, FloatEqRule, MathDomainRule
 from .printcall import PrintCallRule
 from .rng import RngDisciplineRule
+from .units import UnitFlowRule
 
 #: Rules driven by the per-function dataflow interpreter.
 FLOW_RULES = [DivGuardRule(), FloatEqRule(), MathDomainRule()]
@@ -35,14 +41,22 @@ MODULE_RULES = [
     BoundaryContractRule(),
     PrintCallRule(),
     MonotonicClockRule(),
+    WallClockSpanRule(),
     LegacyRepolintRule(),
+]
+
+#: Interprocedural rules driven with the cross-module project index.
+PROJECT_RULES = [
+    UnitFlowRule(),
+    SharedMutableRule(),
+    WorkerRngRule(),
 ]
 
 
 def rule_catalog() -> Dict[str, str]:
     """Stable rule id -> one-line summary, for ``--list-rules`` and docs."""
     catalog: Dict[str, str] = {}
-    for rule in [*FLOW_RULES, *MODULE_RULES]:
+    for rule in [*FLOW_RULES, *MODULE_RULES, *PROJECT_RULES]:
         for rule_id, summary in rule.catalog().items():
             catalog[rule_id] = summary
     return dict(sorted(catalog.items()))

@@ -1,0 +1,168 @@
+"""Concurrency-safety rule family — pre-clearing the multiprocessing path.
+
+ROADMAP item 3 fans search/evaluation across a worker pool. Code that
+will run inside workers is marked ``@worker_safe``
+(:func:`repro.runtime.workers.worker_safe`); these rules walk the call
+graph from those roots and flag the three process-safety hazards that
+silently corrupt fan-out results:
+
+- ``SHARED-MUTABLE``: a worker-bound function mutates module-level state
+  (the process-wide ``PerfRegistry``/``MemoPool``, scenario registries).
+  Under ``fork`` each worker mutates its own stale copy and the parent
+  merge sees nothing; under ``spawn`` the state resets entirely.
+- ``WORKER-RNG``: a worker-bound function constructs a generator from a
+  constant seed (every worker then draws the *identical* stream and the
+  "independent" replicas are copies), or draws on a module-level
+  generator (stream shared/duplicated across workers).
+- ``WALLCLOCK-SPAN``: a duration computed by subtracting wall-clock
+  ``time.time()`` readings — NTP slews and DST jumps make such spans
+  negative or wildly wrong; spans must use ``time.perf_counter()``.
+  Unlike ``monotonic-clock`` this rule also covers ``repro/perf`` and
+  ``repro/obs``, whose *timestamps-of-record* are legitimate but whose
+  span math is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Set
+
+from ..core import ModuleInfo
+from ..project import ProjectIndex
+
+
+class SharedMutableRule:
+    id = "SHARED-MUTABLE"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "worker-bound code mutates module-level state (lost or "
+                "duplicated across pool workers)"
+            )
+        }
+
+    def check(
+        self, project: ProjectIndex, module: ModuleInfo, report
+    ) -> None:
+        for summary in project.summaries_for(module):
+            root = project.worker_bound.get(summary.fqname)
+            if root is None:
+                continue
+            for mutation in summary.mutations:
+                via = (
+                    ""
+                    if root == summary.fqname
+                    else f" (reachable from worker-safe `{root}`)"
+                )
+                report(
+                    self.id,
+                    mutation.line,
+                    f"worker-bound {summary.function.qualname} "
+                    f"{mutation.how}: module-level `{mutation.target}`"
+                    f"{via}",
+                    hint=(
+                        "thread a per-worker instance through parameters "
+                        "and merge results in the parent instead of "
+                        "sharing process globals"
+                    ),
+                )
+
+
+class WorkerRngRule:
+    id = "WORKER-RNG"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "worker-bound code seeds from a constant or draws on a "
+                "module-level generator (identical streams per worker)"
+            )
+        }
+
+    def check(
+        self, project: ProjectIndex, module: ModuleInfo, report
+    ) -> None:
+        for summary in project.summaries_for(module):
+            root = project.worker_bound.get(summary.fqname)
+            if root is None:
+                continue
+            for hazard in summary.rng_hazards:
+                if hazard.kind == "const-seed":
+                    message = (
+                        f"worker-bound {summary.function.qualname} seeds "
+                        f"{hazard.detail} from a constant — every worker "
+                        "draws the identical stream"
+                    )
+                else:
+                    message = (
+                        f"worker-bound {summary.function.qualname} "
+                        f"{hazard.detail}"
+                    )
+                report(
+                    self.id,
+                    hazard.line,
+                    message,
+                    hint=(
+                        "derive per-worker seeds with repro.runtime."
+                        "workers.spawn_worker_seeds / worker_rng "
+                        "(SeedSequence.spawn) and pass the generator in"
+                    ),
+                )
+
+
+class WallClockSpanRule:
+    """Module rule: needs no call graph, but runs everywhere (incl. perf/obs)."""
+
+    id = "WALLCLOCK-SPAN"
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            self.id: (
+                "duration computed from time.time() wall-clock readings "
+                "(use time.perf_counter())"
+            )
+        }
+
+    def check(self, module: ModuleInfo, report) -> None:
+        for function in module.functions:
+            tagged: Set[str] = set()
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Assign) and self._is_wallclock(
+                    module, node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tagged.add(target.id)
+            for node in ast.walk(function.node):
+                if not (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Sub)
+                ):
+                    continue
+                if any(
+                    self._is_wallclock(module, side)
+                    or (
+                        isinstance(side, ast.Name) and side.id in tagged
+                    )
+                    for side in (node.left, node.right)
+                ):
+                    report(
+                        self.id,
+                        node,
+                        f"span `{ast.unparse(node)}` in "
+                        f"{function.qualname} is computed from the wall "
+                        "clock",
+                        hint=(
+                            "measure durations with time.perf_counter() "
+                            "(or time.monotonic()); keep time.time() for "
+                            "timestamps-of-record only"
+                        ),
+                    )
+
+    @staticmethod
+    def _is_wallclock(module: ModuleInfo, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and module.resolve(node.func) == "time.time"
+        )

@@ -5,6 +5,8 @@ serving deployment controls verbosity and destinations; raw ``print``
 output is reserved for the entry points that own a terminal:
 
 - anything under ``repro/experiments/`` (figure/table regeneration),
+- top-level ``benchmarks/`` and ``examples/`` scripts, whose entire
+  job is terminal output,
 - ``__main__.py`` CLI modules,
 - a function literally named ``main`` (the CLI convention in this repo,
   e.g. ``repro.analysis.repolint.main``).
@@ -25,12 +27,16 @@ class PrintCallRule:
         return {
             self.id: (
                 "print() in a library module (only experiments/, "
-                "__main__.py and main() entry points may print)"
+                "benchmarks/, examples/, __main__.py and main() entry "
+                "points may print)"
             )
         }
 
     def check(self, module: ModuleInfo, report) -> None:
-        if module.in_package("experiments") or module.basename == "__main__.py":
+        if (
+            module.in_package("experiments", "benchmarks", "examples")
+            or module.basename == "__main__.py"
+        ):
             return
 
         def walk(node: ast.AST, func_stack: List[str]) -> None:

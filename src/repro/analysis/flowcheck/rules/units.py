@@ -1,0 +1,106 @@
+"""Units-flow rule family — interprocedural unit checking.
+
+Three findings, all produced by one :class:`~..unitflow.UnitFlow` walk
+per function with call sites resolved through the project index:
+
+- ``UNIT-MISMATCH``: two incompatible known units meet in ``+``/``-``/
+  ``%``/comparison/``min``/``max``/ternary — adding ``_ms`` to ``_s``,
+  comparing a deadline in ms with a timeout in s.
+- ``UNIT-CONVERT``: a value of one known unit is bound to a name whose
+  suffix declares another (``transfer_s = size_mb / bandwidth_mbps`` —
+  the quotient is time*8, megabytes are 8 megabits), a non-suffixed
+  variable is reassigned across units, or a ``..._ms``-named function
+  returns a non-ms value.
+- ``UNIT-ARG``: a call argument's inferred unit disagrees with the
+  callee parameter's declared unit, cross-module via function summaries
+  or locally via the keyword-argument name's own suffix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+from ..core import ModuleInfo
+from ..project import ProjectIndex
+from ..unitflow import UnitCallbacks, UnitFlow
+from ..units import Unit
+
+
+def _render(unit: Unit) -> str:
+    return unit.render()
+
+
+class UnitFlowRule:
+    ids = ("UNIT-MISMATCH", "UNIT-CONVERT", "UNIT-ARG")
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            "UNIT-MISMATCH": (
+                "incompatible physical units combined in one "
+                "arithmetic/comparison expression"
+            ),
+            "UNIT-CONVERT": (
+                "value bound or returned under a name declaring a "
+                "different unit (missing conversion factor)"
+            ),
+            "UNIT-ARG": (
+                "call argument whose inferred unit disagrees with the "
+                "callee parameter's declared unit"
+            ),
+        }
+
+    def check(
+        self, project: ProjectIndex, module: ModuleInfo, report
+    ) -> None:
+        for function in module.functions:
+            qual = function.qualname
+
+            def mismatch(node: ast.AST, left: Unit, right: Unit, verb: str):
+                report(
+                    "UNIT-MISMATCH",
+                    node,
+                    f"`{_render(left)}` {verb} `{_render(right)}` in "
+                    f"{qual}: `{ast.unparse(node)}`",
+                    hint=(
+                        "convert one operand explicitly (1 s = 1000 ms, "
+                        "1 MB = 8 Mbit) or rename it to its true unit"
+                    ),
+                )
+
+            def convert(node: ast.AST, target: str, declared: Unit, got: Unit):
+                report(
+                    "UNIT-CONVERT",
+                    node,
+                    f"{target} in {qual} declares `{_render(declared)}` "
+                    f"but is bound to a `{_render(got)}` value",
+                    hint=(
+                        "apply the conversion factor (x1000 for s->ms, "
+                        "x8 for MB->Mbit) or fix the suffix"
+                    ),
+                )
+
+            def arg(
+                node: ast.AST,
+                callee: str,
+                param: str,
+                declared: Unit,
+                got: Unit,
+            ):
+                report(
+                    "UNIT-ARG",
+                    node,
+                    f"{qual} passes a `{_render(got)}` value to "
+                    f"parameter `{param}` of {callee}, which expects "
+                    f"`{_render(declared)}`",
+                    hint="convert at the call site or fix the variable's unit",
+                )
+
+            UnitFlow(
+                module,
+                function,
+                callbacks=UnitCallbacks(
+                    mismatch=mismatch, convert=convert, arg=arg
+                ),
+                resolver=project.resolve_call,
+            ).run()

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 output — the interchange format code-scanning UIs ingest.
+
+One run per invocation: the tool component lists every rule in the
+catalog (so viewers can show descriptions for rules with zero results),
+and each new finding becomes a ``result`` with a physical location.
+Only *new* findings are emitted — baselined and suppressed ones are
+already accepted, and a SARIF consumer should see exactly what the CI
+gate would fail on.
+
+The schema subset used here is deliberately small (tool.driver.rules,
+results with ruleId/level/message/locations) so the payload stays
+readable and diffable as a CI artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..diagnostics import Severity
+from .core import Finding
+from .rules import rule_catalog
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: flowcheck severities -> SARIF result levels.
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptors(rule_ids: Sequence[str]) -> List[Dict[str, object]]:
+    catalog = rule_catalog()
+    descriptors = []
+    for rule_id in rule_ids:
+        descriptor: Dict[str, object] = {"id": rule_id}
+        summary = catalog.get(rule_id)
+        if summary:
+            descriptor["shortDescription"] = {"text": summary}
+        descriptors.append(descriptor)
+    return descriptors
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    message = finding.diagnostic.message
+    if finding.diagnostic.hint:
+        message = f"{message} ({finding.diagnostic.hint})"
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVEL.get(finding.severity, "error"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+        # Line-free identity so scanning UIs track the finding across
+        # edits exactly like the baseline does.
+        "partialFingerprints": {"flowcheck/v1": finding.fingerprint()},
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The SARIF log object for one flowcheck run (serialize with json)."""
+    # Catalog rules first (stable index), then any ad-hoc ids a finding
+    # carries that the catalog does not list (e.g. ``syntax``).
+    rule_ids = list(rule_catalog())
+    for finding in findings:
+        if finding.rule not in rule_ids:
+            rule_ids.append(finding.rule)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "flowcheck",
+                        "rules": _rule_descriptors(rule_ids),
+                    }
+                },
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }

@@ -30,13 +30,32 @@ def _collect_imports(module: ModuleInfo) -> None:
                     head = alias.name.partition(".")[0]
                     module.imports[head] = head
         elif isinstance(node, ast.ImportFrom):
-            if node.level:  # relative import: qualify below the repo package
-                base = "repro." + (node.module or "")
+            if node.level:  # relative: resolve against this module's package
+                base = _relative_base(module, node)
             else:
                 base = node.module or ""
             for alias in node.names:
                 local = alias.asname or alias.name
                 module.imports[local] = f"{base}.{alias.name}".strip(".")
+
+
+def _relative_base(module: ModuleInfo, node: ast.ImportFrom) -> str:
+    """Absolute dotted base of a relative import, from the module's path.
+
+    ``from .core import X`` inside ``repro/analysis/flowcheck/engine.py``
+    resolves to ``repro.analysis.flowcheck.core`` (the old heuristic
+    collapsed every relative import to directly under ``repro``, which
+    made cross-module call resolution miss nested packages).
+    """
+    package = module.dotted_name.split(".")
+    if not module.basename.startswith("__init__"):
+        package = package[:-1]
+    drop = node.level - 1
+    if drop:
+        package = package[: -drop] if drop <= len(package) else []
+    if node.module:
+        package = package + node.module.split(".")
+    return ".".join(package)
 
 
 def _collect_constants(module: ModuleInfo) -> None:

@@ -1,0 +1,661 @@
+"""Per-function unit inference — the units-flow interpreter.
+
+:class:`UnitFlow` walks one function body in source order, maintaining a
+``name -> Unit`` environment seeded from parameter suffixes (and
+``Annotated[float, "ms"]``-style annotations), and fires callbacks when
+
+- two incompatible known units meet in ``+``/``-``/``%``/comparison
+  (*mismatch*),
+- a value of one known unit is bound to a name whose suffix declares
+  another, or returned from a function whose name declares another
+  (*convert*),
+- a call argument's inferred unit disagrees with the callee parameter's
+  declared unit (*arg*) — resolved cross-module through the project
+  index, or locally through keyword-argument names, which carry their
+  own suffix even when the callee cannot be resolved.
+
+The walker is deliberately optimistic-but-quiet: anything it cannot
+prove (scalar multiplications, units that leave the lattice, unknown
+call results) degrades to *unknown*, and unknown never fires. Loop and
+``try`` bodies are walked once with the live environment — unit facts
+rarely change across iterations, and a wrong guess can only suppress a
+finding, never invent one.
+
+It is used twice: by the ``UNIT-*`` rules to report findings, and by the
+project-summary pass (callbacks off) to infer return units for functions
+whose name carries no suffix, so units propagate through call chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .core import FunctionInfo, ModuleInfo
+from .dataflow import subject_key, terminates
+from .units import (
+    UNIT_BY_SUFFIX,
+    Unit,
+    compatible,
+    divide,
+    multiply,
+    unit_of_identifier,
+)
+
+#: Pure numbers: literals and numeric module constants. They combine with
+#: any unit (``x_ms * 2`` stays time) but forget the scale.
+SCALAR = Unit("scalar", None)
+
+
+def known(unit: Optional[Unit]) -> bool:
+    """A real physical unit (not unknown, not a bare number)."""
+    return unit is not None and unit is not SCALAR and unit.dim != "scalar"
+
+
+#: Calls that return their first argument's unit unchanged.
+_PASSTHROUGH = frozenset(
+    {
+        "float",
+        "int",
+        "abs",
+        "fabs",
+        "round",
+        "sum",
+        "mean",
+        "median",
+        "nanmean",
+        "nanmedian",
+        "percentile",
+        "quantile",
+        "array",
+        "asarray",
+        "sorted",
+        "copy",
+        "deepcopy",
+        "squeeze",
+        "ravel",
+    }
+)
+
+#: Calls whose arguments must share a unit; result takes it.
+_JOINING = frozenset({"min", "max", "minimum", "maximum", "fmin", "fmax"})
+
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def annotation_unit(node: Optional[ast.expr]) -> Optional[Unit]:
+    """Unit declared by an ``Annotated[<type>, "<suffix>"]`` annotation."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    head = node.value
+    leaf = head.attr if isinstance(head, ast.Attribute) else (
+        head.id if isinstance(head, ast.Name) else ""
+    )
+    if leaf != "Annotated":
+        return None
+    inner = node.slice
+    if isinstance(inner, ast.Tuple) and len(inner.elts) >= 2:
+        meta = inner.elts[1]
+        if isinstance(meta, ast.Constant) and isinstance(meta.value, str):
+            return UNIT_BY_SUFFIX.get(meta.value.lower())
+    return None
+
+
+@dataclass
+class UnitCallbacks:
+    """Findings sinks; any left None is simply not fired."""
+
+    #: (node, left_unit, right_unit, verb)
+    mismatch: Optional[Callable[[ast.AST, Unit, Unit, str], None]] = None
+    #: (node, target_description, declared_unit, value_unit)
+    convert: Optional[Callable[[ast.AST, str, Unit, Unit], None]] = None
+    #: (node, callee_description, param_name, declared_unit, value_unit)
+    arg: Optional[Callable[[ast.AST, str, str, Unit, Unit], None]] = None
+
+
+class UnitFlow:
+    """Interpret one function for units; optionally resolve calls."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        callbacks: Optional[UnitCallbacks] = None,
+        resolver: Optional[Callable[[ModuleInfo, FunctionInfo, ast.Call], object]] = None,
+    ) -> None:
+        self.module = module
+        self.function = function
+        self.callbacks = callbacks or UnitCallbacks()
+        self.resolver = resolver
+        self.return_units: List[Optional[Unit]] = []
+        self.declared_return = unit_of_identifier(function.name)
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> Optional[Unit]:
+        """Walk the body; return the function's inferred return unit."""
+        env: Dict[str, Unit] = {}
+        for param in self.function.params():
+            unit = unit_of_identifier(param.arg) or annotation_unit(
+                param.annotation
+            )
+            if unit is not None:
+                env[param.arg] = unit
+        self._exec_block(self.function.node.body, env)  # type: ignore[attr-defined]
+        if self.declared_return is not None:
+            return self.declared_return
+        candidates = [u for u in self.return_units if known(u)]
+        if not candidates:
+            return None
+        first = candidates[0]
+        if all(compatible(first, u) for u in candidates[1:]):
+            for unit in candidates:  # prefer a fully known scale
+                if unit.scale is not None:
+                    return unit
+            return first
+        return None
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, body: Sequence[ast.stmt], env: Dict[str, Unit]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Dict[str, Unit]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_unit = self.unit_of(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value_unit, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_unit = self.unit_of(stmt.value, env)
+                declared = annotation_unit(stmt.annotation)
+                if declared is not None and isinstance(stmt.target, ast.Name):
+                    self._check_convert(stmt, stmt.target.id, declared, value_unit)
+                    env[stmt.target.id] = declared
+                else:
+                    self._bind(stmt.target, stmt.value, value_unit, env)
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self.unit_of(stmt.target, env)
+            value_unit = self.unit_of(stmt.value, env)
+            result = self._combine(stmt, stmt.op, target_unit, value_unit)
+            key = subject_key(stmt.target)
+            if key is not None:
+                if known(result):
+                    env[key] = result
+                else:
+                    env.pop(key, None)
+        elif isinstance(stmt, ast.Return):
+            unit = (
+                self.unit_of(stmt.value, env) if stmt.value is not None else None
+            )
+            self.return_units.append(unit)
+            if (
+                self.declared_return is not None
+                and known(unit)
+                and not compatible(self.declared_return, unit)
+                and self.callbacks.convert
+            ):
+                self.callbacks.convert(
+                    stmt,
+                    f"return of {self.function.qualname}",
+                    self.declared_return,
+                    unit,  # type: ignore[arg-type]
+                )
+        elif isinstance(stmt, ast.If):
+            self.unit_of(stmt.test, env)
+            then_env = dict(env)
+            else_env = dict(env)
+            self._exec_block(stmt.body, then_env)
+            self._exec_block(stmt.orelse, else_env)
+            body_term = terminates(stmt.body)
+            else_term = bool(stmt.orelse) and terminates(stmt.orelse)
+            if body_term and not else_term:
+                env.clear()
+                env.update(else_env)
+            elif else_term and not body_term:
+                env.clear()
+                env.update(then_env)
+            elif not (body_term and else_term):
+                joined = _join(then_env, else_env)
+                env.clear()
+                env.update(joined)
+        elif isinstance(stmt, ast.For):
+            self.unit_of(stmt.iter, env)
+            self._bind_loop_target(stmt.target, stmt.iter, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.unit_of(stmt.test, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.unit_of(item.context_expr, env)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    env.pop(item.optional_vars.id, None)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, dict(env))
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Assert):
+            self.unit_of(stmt.test, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.unit_of(stmt.exc, env)
+        elif isinstance(stmt, ast.Expr):
+            self.unit_of(stmt.value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = subject_key(target)
+                if key is not None:
+                    env.pop(key, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate entries in the function index
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.unit_of(child, env)
+
+    # -- binding -----------------------------------------------------------
+    def _check_convert(
+        self,
+        node: ast.AST,
+        name: str,
+        declared: Unit,
+        value_unit: Optional[Unit],
+    ) -> None:
+        if (
+            known(value_unit)
+            and not compatible(declared, value_unit)
+            and self.callbacks.convert
+        ):
+            self.callbacks.convert(node, f"`{name}`", declared, value_unit)  # type: ignore[arg-type]
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        value_unit: Optional[Unit],
+        env: Dict[str, Unit],
+    ) -> None:
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            key = subject_key(target)
+            ident = target.id if isinstance(target, ast.Name) else target.attr
+            declared = unit_of_identifier(ident)
+            if declared is not None:
+                self._check_convert(value, ident, declared, value_unit)
+                if key is not None:
+                    env[key] = declared
+                return
+            if key is None:
+                return
+            previous = env.get(key)
+            if (
+                known(previous)
+                and known(value_unit)
+                and not compatible(previous, value_unit)
+                and self.callbacks.convert
+            ):
+                self.callbacks.convert(
+                    value,
+                    f"reassignment of `{key}`",
+                    previous,  # type: ignore[arg-type]
+                    value_unit,  # type: ignore[arg-type]
+                )
+            if known(value_unit):
+                env[key] = value_unit  # type: ignore[assignment]
+            else:
+                env.pop(key, None)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            ident = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else ""
+            )
+            declared = unit_of_identifier(ident)
+            if declared is not None:
+                self._check_convert(value, ident, declared, value_unit)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._bind(
+                        sub_target, sub_value, self.unit_of(sub_value, env), env
+                    )
+            else:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        declared = unit_of_identifier(leaf.id)
+                        if declared is not None:
+                            env[leaf.id] = declared
+                        else:
+                            env.pop(leaf.id, None)
+
+    def _element_unit(
+        self, iterable: ast.expr, env: Dict[str, Unit]
+    ) -> Optional[Unit]:
+        if isinstance(iterable, ast.Call):
+            leaf = self._call_leaf(iterable)
+            if leaf == "range":
+                return SCALAR
+            if leaf in {"enumerate", "zip"}:
+                return None  # tuple elements handled by _bind_loop_target
+        return self.unit_of(iterable, env)
+
+    def _bind_loop_target(
+        self, target: ast.expr, iterable: ast.expr, env: Dict[str, Unit]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            unit = self._element_unit(iterable, env)
+            if known(unit):
+                env[target.id] = unit  # type: ignore[assignment]
+            elif unit_of_identifier(target.id) is None:
+                env.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            iterable, ast.Call
+        ):
+            leaf = self._call_leaf(iterable)
+            sources: List[Optional[ast.expr]] = []
+            if leaf == "zip":
+                sources = list(iterable.args)
+            elif leaf == "enumerate" and iterable.args:
+                sources = [None, iterable.args[0]]
+            for sub_target, source in zip(target.elts, sources):
+                if source is not None:
+                    self._bind_loop_target(sub_target, source, env)
+                elif isinstance(sub_target, ast.Name):
+                    env.pop(sub_target.id, None)
+            return
+        for leaf_node in ast.walk(target):
+            if isinstance(leaf_node, ast.Name):
+                env.pop(leaf_node.id, None)
+
+    # -- expressions -------------------------------------------------------
+    def _call_leaf(self, call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+    def _report_mismatch(
+        self, node: ast.AST, left: Unit, right: Unit, verb: str
+    ) -> None:
+        if self.callbacks.mismatch:
+            self.callbacks.mismatch(node, left, right, verb)
+
+    def _combine(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: Optional[Unit],
+        right: Optional[Unit],
+    ) -> Optional[Unit]:
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            if known(left) and known(right):
+                if not compatible(left, right):
+                    verb = {
+                        ast.Add: "added to",
+                        ast.Sub: "subtracted from",
+                        ast.Mod: "taken modulo",
+                    }[type(op)]
+                    self._report_mismatch(node, left, right, verb)  # type: ignore[arg-type]
+                    return None
+                if left.scale is not None:  # type: ignore[union-attr]
+                    return left
+                return right
+            if known(left):
+                return left
+            if known(right):
+                return right
+            if left is SCALAR and right is SCALAR:
+                return SCALAR
+            return None
+        if isinstance(op, ast.Mult):
+            if left is SCALAR and right is SCALAR:
+                return SCALAR
+            if left is SCALAR and known(right):
+                return Unit(right.dim, None)  # type: ignore[union-attr]
+            if right is SCALAR and known(left):
+                return Unit(left.dim, None)  # type: ignore[union-attr]
+            if known(left) and known(right):
+                return multiply(left, right)  # type: ignore[arg-type]
+            return None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is SCALAR and right is SCALAR:
+                return SCALAR
+            if right is SCALAR and known(left):
+                return Unit(left.dim, None)  # type: ignore[union-attr]
+            if known(left) and known(right):
+                return divide(left, right)  # type: ignore[arg-type]
+            return None
+        return None
+
+    def unit_of(
+        self, node: ast.expr, env: Dict[str, Unit]
+    ) -> Optional[Unit]:
+        """Evaluate (and check) one expression; None means unknown."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return SCALAR
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            ident = node.id if isinstance(node, ast.Name) else node.attr
+            declared = unit_of_identifier(ident)
+            if declared is not None:
+                return declared
+            key = subject_key(node)
+            if key is not None and key in env:
+                return env[key]
+            if isinstance(node, ast.Name) and node.id in self.module.constants:
+                return SCALAR
+            if isinstance(node, ast.Attribute):
+                self.unit_of(node.value, env)
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.unit_of(node.left, env)
+            right = self.unit_of(node.right, env)
+            return self._combine(node, node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.unit_of(node.operand, env)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return inner
+            return None
+        if isinstance(node, ast.Compare):
+            units = [
+                self.unit_of(operand, env)
+                for operand in (node.left, *node.comparators)
+            ]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, _ORDERED_CMP):
+                    continue
+                first, second = units[index], units[index + 1]
+                if (
+                    known(first)
+                    and known(second)
+                    and not compatible(first, second)
+                ):
+                    self._report_mismatch(node, first, second, "compared with")  # type: ignore[arg-type]
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.unit_of(value, env)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.unit_of(node.test, env)
+            then_unit = self.unit_of(node.body, env)
+            else_unit = self.unit_of(node.orelse, env)
+            if known(then_unit) and known(else_unit):
+                if not compatible(then_unit, else_unit):
+                    self._report_mismatch(
+                        node, then_unit, else_unit, "mixed across ternary with"  # type: ignore[arg-type]
+                    )
+                    return None
+                return then_unit
+            if known(then_unit):
+                return then_unit
+            if known(else_unit):
+                return else_unit
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.Subscript):
+            unit = self.unit_of(node.value, env)
+            if isinstance(node.slice, ast.expr):
+                self.unit_of(node.slice, env)
+            return unit if known(unit) else None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            scope = dict(env)
+            for gen in node.generators:
+                self.unit_of(gen.iter, scope)
+                self._bind_loop_target(gen.target, gen.iter, scope)
+                for if_clause in gen.ifs:
+                    self.unit_of(if_clause, scope)
+            elt_unit = self.unit_of(node.elt, scope)
+            return elt_unit if known(elt_unit) else None
+        if isinstance(node, ast.DictComp):
+            scope = dict(env)
+            for gen in node.generators:
+                self.unit_of(gen.iter, scope)
+                self._bind_loop_target(gen.target, gen.iter, scope)
+                for if_clause in gen.ifs:
+                    self.unit_of(if_clause, scope)
+            self.unit_of(node.key, scope)
+            self.unit_of(node.value, scope)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            units = [self.unit_of(elt, env) for elt in node.elts]
+            knowns = [u for u in units if known(u)]
+            if knowns and len(knowns) == len(units) and all(
+                compatible(knowns[0], u) for u in knowns
+            ):
+                return knowns[0]  # homogeneous container carries the unit
+            return None
+        if isinstance(node, ast.Lambda):
+            return None  # separate scope
+        if isinstance(node, ast.Starred):
+            return self.unit_of(node.value, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.unit_of(child, env)
+        return None
+
+    def _call(self, node: ast.Call, env: Dict[str, Unit]) -> Optional[Unit]:
+        arg_units = [self.unit_of(arg, env) for arg in node.args]
+        kw_units = {
+            kw.arg: self.unit_of(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.unit_of(kw.value, env)
+        leaf = self._call_leaf(node)
+
+        if leaf in _PASSTHROUGH and arg_units:
+            return arg_units[0] if known(arg_units[0]) else None
+        if leaf == "clip" and arg_units:
+            return arg_units[0] if known(arg_units[0]) else None
+        if leaf in _JOINING:
+            candidates = [u for u in arg_units if known(u)]
+            for other in candidates[1:]:
+                if not compatible(candidates[0], other):
+                    self._report_mismatch(
+                        node, candidates[0], other, f"joined by {leaf}() with"  # type: ignore[arg-type]
+                    )
+                    return None
+            for unit in candidates:
+                if unit.scale is not None:  # type: ignore[union-attr]
+                    return unit
+            return candidates[0] if candidates else None
+
+        summary = (
+            self.resolver(self.module, self.function, node)
+            if self.resolver is not None
+            else None
+        )
+        if summary is not None:
+            self._check_call_args(node, summary, arg_units, kw_units)
+            declared = getattr(summary, "return_unit", None)
+            if declared is not None:
+                return declared
+            return None
+        # Unresolved call: keyword names still declare their own units,
+        # and a callee *named* with a suffix declares its return unit.
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            declared = unit_of_identifier(kw.arg)
+            actual = kw_units.get(kw.arg)
+            if (
+                declared is not None
+                and known(actual)
+                and not compatible(declared, actual)
+                and self.callbacks.arg
+            ):
+                self.callbacks.arg(
+                    kw.value, f"`{leaf}()`", kw.arg, declared, actual  # type: ignore[arg-type]
+                )
+        return unit_of_identifier(leaf)
+
+    def _check_call_args(
+        self,
+        node: ast.Call,
+        summary: object,
+        arg_units: List[Optional[Unit]],
+        kw_units: Dict[str, Optional[Unit]],
+    ) -> None:
+        if not self.callbacks.arg:
+            return
+        param_names: List[str] = getattr(summary, "param_names", [])
+        param_units: Dict[str, Unit] = getattr(summary, "param_units", {})
+        callee = getattr(summary, "fqname", "<callee>")
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred) or index >= len(param_names):
+                break
+            name = param_names[index]
+            declared = param_units.get(name)
+            actual = arg_units[index]
+            if (
+                declared is not None
+                and known(actual)
+                and not compatible(declared, actual)
+            ):
+                self.callbacks.arg(arg, callee, name, declared, actual)  # type: ignore[arg-type]
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            declared = param_units.get(kw.arg)
+            actual = kw_units.get(kw.arg)
+            if (
+                declared is not None
+                and known(actual)
+                and not compatible(declared, actual)
+            ):
+                self.callbacks.arg(kw.value, callee, kw.arg, declared, actual)  # type: ignore[arg-type]
+
+
+def _join(
+    a: Dict[str, Unit], b: Dict[str, Unit]
+) -> Dict[str, Unit]:
+    """Merge branch environments: agreement survives, conflict is dropped."""
+    out: Dict[str, Unit] = {}
+    for key in set(a) | set(b):
+        unit_a, unit_b = a.get(key), b.get(key)
+        if unit_a is not None and unit_b is not None:
+            if compatible(unit_a, unit_b):
+                out[key] = unit_a if unit_a.scale is not None else unit_b
+        elif unit_a is not None:
+            out[key] = unit_a
+        elif unit_b is not None:
+            out[key] = unit_b
+    return out

@@ -1,0 +1,177 @@
+"""The unit lattice — physical units inferred from identifier suffixes.
+
+Every quantity the paper manipulates is a bare float whose unit lives in
+the identifier: ``latency_ms``, ``bandwidth_mbps``, ``size_bytes``,
+``load_frac``. This module gives those suffixes a small algebra so the
+units-flow rules can propagate them through arithmetic:
+
+- a :class:`Unit` is a **dimension** (time, data, rate, fraction) plus a
+  **scale** relative to the dimension's base unit (seconds, bits, bits/s,
+  unity). ``ms`` is ``time × 1e-3``; ``mb`` (megabytes) is
+  ``data × 8e6`` because the base is bits — which is exactly how the
+  missing ``8×`` in ``size_mb / bandwidth_mbps`` becomes visible:
+  the quotient is *time × 8*, not seconds.
+- ``scale=None`` means "dimension known, scale not": multiplying a
+  quantity by a bare numeric literal keeps its dimension but forgets the
+  scale, because ``x_s * 1000`` may be a unit conversion (to ms) or a
+  thousandfold quantity — the lattice refuses to guess, so neither
+  reading is ever flagged.
+
+Two units are *compatible* when their dimensions agree and their scales
+are equal or either is unknown. Only incompatibility between two fully
+known units is ever reported, which keeps the rules quiet on code the
+lattice cannot prove wrong.
+
+Parameters can also carry a unit without a suffix via an annotation::
+
+    def wait(timeout: Annotated[float, "ms"]) -> None: ...
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Dimension tags. Base units: TIME seconds, DATA bits, RATE bits/second,
+#: FRACTION unity (a pure ratio; ``percent`` scales by 0.01).
+TIME = "time"
+DATA = "data"
+RATE = "rate"
+FRACTION = "fraction"
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One point of the lattice: a dimension and an optional scale."""
+
+    dim: str
+    scale: Optional[float]
+
+    def render(self) -> str:
+        """Human name: the canonical suffix when one matches, else derived."""
+        if self.scale is not None:
+            for suffix, unit in UNIT_BY_SUFFIX.items():
+                if unit.dim == self.dim and _scales_equal(unit.scale, self.scale):
+                    return suffix
+            base = _BASE_NAME[self.dim]
+            return f"{self.scale:g}x{base}"
+        return f"{self.dim}(scale unknown)"
+
+
+_BASE_NAME = {TIME: "s", DATA: "bit", RATE: "bps", FRACTION: "ratio"}
+
+
+def _scales_equal(a: Optional[float], b: Optional[float]) -> bool:
+    if a is None or b is None:
+        return True
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+#: Canonical suffix table. Deliberately *not* included: ``min``/``max``
+#: (almost always minimum/maximum, not minutes), bare single letters.
+UNIT_BY_SUFFIX: Dict[str, Unit] = {
+    # time (base: seconds)
+    "ns": Unit(TIME, 1e-9),
+    "us": Unit(TIME, 1e-6),
+    "ms": Unit(TIME, 1e-3),
+    "s": Unit(TIME, 1.0),
+    "sec": Unit(TIME, 1.0),
+    "secs": Unit(TIME, 1.0),
+    "seconds": Unit(TIME, 1.0),
+    # data (base: bits; byte-multiples carry the 8x factor)
+    "bit": Unit(DATA, 1.0),
+    "bits": Unit(DATA, 1.0),
+    "byte": Unit(DATA, 8.0),
+    "bytes": Unit(DATA, 8.0),
+    "kb": Unit(DATA, 8e3),
+    "mb": Unit(DATA, 8e6),
+    "gb": Unit(DATA, 8e9),
+    # rate (base: bits per second)
+    "bps": Unit(RATE, 1.0),
+    "kbps": Unit(RATE, 1e3),
+    "mbps": Unit(RATE, 1e6),
+    "gbps": Unit(RATE, 1e9),
+    # dimensionless fractions
+    "frac": Unit(FRACTION, 1.0),
+    "fraction": Unit(FRACTION, 1.0),
+    "ratio": Unit(FRACTION, 1.0),
+    "prob": Unit(FRACTION, 1.0),
+    "probability": Unit(FRACTION, 1.0),
+    "pct": Unit(FRACTION, 0.01),
+    "percent": Unit(FRACTION, 0.01),
+}
+
+
+def unit_of_identifier(name: str) -> Optional[Unit]:
+    """Unit declared by an identifier's ``_suffix``, or None.
+
+    Only underscore-separated suffixes count (``latency_ms`` yes, a bare
+    ``s`` loop variable no), so short names never pick up units by
+    accident. Compound ``X_per_Y`` names divide out: ``bits_per_ms`` is
+    a rate of 1000 bits/s, not a time — and any other name mentioning
+    ``per`` (``per_byte_overhead_ms``) is a compound the lattice cannot
+    represent, so it stays unknown rather than misread its last token.
+    """
+    tokens = name.lower().split("_")
+    if "per" in tokens:
+        if (
+            len(tokens) >= 3
+            and tokens[-2] == "per"
+            and tokens[-3] in UNIT_BY_SUFFIX
+            and tokens[-1] in UNIT_BY_SUFFIX
+        ):
+            return divide(UNIT_BY_SUFFIX[tokens[-3]], UNIT_BY_SUFFIX[tokens[-1]])
+        return None
+    if len(tokens) < 2 or not tokens[0]:
+        return None
+    return UNIT_BY_SUFFIX.get(tokens[-1])
+
+
+def compatible(a: Optional[Unit], b: Optional[Unit]) -> bool:
+    """False only when both units are known and provably disagree."""
+    if a is None or b is None:
+        return True
+    if a.dim != b.dim:
+        return False
+    return _scales_equal(a.scale, b.scale)
+
+
+def _scaled(dim: str, a: Optional[float], b: Optional[float], op) -> Unit:
+    if a is None or b is None:
+        return Unit(dim, None)
+    return Unit(dim, op(a, b))
+
+
+def multiply(a: Unit, b: Unit) -> Optional[Unit]:
+    """Unit of ``a * b``; None when the product leaves the lattice."""
+    import operator
+
+    if a.dim == FRACTION and b.dim == FRACTION:
+        return _scaled(FRACTION, a.scale, b.scale, operator.mul)
+    if a.dim == FRACTION:
+        return _scaled(b.dim, a.scale, b.scale, operator.mul)
+    if b.dim == FRACTION:
+        return _scaled(a.dim, a.scale, b.scale, operator.mul)
+    if {a.dim, b.dim} == {TIME, RATE}:
+        return _scaled(DATA, a.scale, b.scale, operator.mul)
+    return None  # time*time, data*data, ... — outside the lattice
+
+
+def divide(a: Unit, b: Unit) -> Optional[Unit]:
+    """Unit of ``a / b``; None when the quotient leaves the lattice."""
+
+    def ratio(x: Optional[float], y: Optional[float]) -> Optional[float]:
+        if x is None or y is None or y == 0:
+            return None
+        return x / y
+
+    if a.dim == b.dim:
+        return Unit(FRACTION, ratio(a.scale, b.scale))
+    if b.dim == FRACTION:
+        return Unit(a.dim, ratio(a.scale, b.scale))
+    if a.dim == DATA and b.dim == RATE:
+        return Unit(TIME, ratio(a.scale, b.scale))
+    if a.dim == DATA and b.dim == TIME:
+        return Unit(RATE, ratio(a.scale, b.scale))
+    return None

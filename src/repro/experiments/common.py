@@ -27,6 +27,7 @@ from ..obs.trace import get_recorder
 from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
 from ..runtime.engine import FixedPlan, RuntimeEnvironment, TreePlan
+from ..runtime.workers import worker_safe
 from ..runtime.field import FieldConditions, fieldify
 from ..search.branch import BranchPlan, optimal_branch_search, realize_branch_plan
 from ..search.baselines import dynamic_dnn_surgery
@@ -113,6 +114,7 @@ def build_environment(
     )
 
 
+@worker_safe
 def run_scenario(
     scenario: Scenario,
     config: Optional[ExperimentConfig] = None,
@@ -125,7 +127,10 @@ def run_scenario(
     it is reset on entry (``scoped()``), so multi-scenario runs never mix
     counters/spans/histograms across scenes. One observability trace
     (root span ``run_scenario``) covers the whole scene when tracing is
-    enabled via :func:`repro.obs.recording`.
+    enabled via :func:`repro.obs.recording`. Marked
+    :func:`~repro.runtime.workers.worker_safe`: one scene is the unit the
+    multiprocessing fan-out maps over, and every random stream below is
+    seeded from ``config.seed``.
     """
     config = config or ExperimentConfig()
     with get_registry().scoped(), get_recorder().trace(

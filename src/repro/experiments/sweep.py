@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..network.scenarios import get_scenario
+from ..network.scenarios import Scenario, get_scenario
 from ..runtime.emulator import run_emulation
 from ..runtime.engine import TreePlan
+from ..runtime.workers import worker_safe
 from ..search.tree import TreeSearchConfig, model_tree_search
 from .common import (
     ExperimentConfig,
@@ -43,6 +44,53 @@ class SweepRow:
     sharing_factor: float
 
 
+@worker_safe
+def sweep_cell(
+    scenario: Scenario,
+    num_blocks: int,
+    num_types: int,
+    config: ExperimentConfig,
+) -> SweepRow:
+    """Train and replay one (N, K) cell — the unit a pool worker runs.
+
+    Everything here is derived from the arguments: the search context,
+    trace and environment are built fresh per cell, and every random
+    stream is seeded from ``config.seed``, so cells are independent and
+    safe to fan out across processes (ROADMAP: multiprocessing fan-out).
+    """
+    context = build_context(scenario)
+    trace = scenario.trace(duration_s=config.trace_duration_s)
+    bandwidth_types = trace.bandwidth_types(num_types)
+    result = model_tree_search(
+        context,
+        bandwidth_types,
+        config=TreeSearchConfig(
+            num_blocks=num_blocks,
+            episodes=config.tree_episodes,
+            branch_episodes=config.branch_episodes,
+            seed=config.seed,
+        ),
+    )
+    env = build_environment(scenario, context, trace)
+    replay = run_emulation(
+        TreePlan(result.tree),
+        env,
+        num_requests=config.emulation_requests,
+        seed=config.seed + 11,
+    )
+    return SweepRow(
+        num_blocks=num_blocks,
+        num_types=num_types,
+        node_count=result.tree.node_count(),
+        branch_count=len(result.tree.branches()),
+        expected_reward=result.expected_reward,
+        replay_reward=replay.mean_reward,
+        replay_latency_ms=replay.mean_latency_ms,
+        storage_mb=result.tree.storage_bytes() / 1e6,
+        sharing_factor=result.tree.sharing_factor(),
+    )
+
+
 def run_sweep(
     scenario_key: Tuple[str, str, str] = ("vgg11", "phone", "4G (weak) indoor"),
     blocks: Sequence[int] = (1, 2, 3, 4),
@@ -52,43 +100,11 @@ def run_sweep(
     """Train and replay a model tree for every (N, K) combination."""
     config = config or ExperimentConfig()
     scenario = get_scenario(*scenario_key)
-    rows: List[SweepRow] = []
-    for num_blocks in blocks:
-        for num_types in types:
-            context = build_context(scenario)
-            trace = scenario.trace(duration_s=config.trace_duration_s)
-            bandwidth_types = trace.bandwidth_types(num_types)
-            result = model_tree_search(
-                context,
-                bandwidth_types,
-                config=TreeSearchConfig(
-                    num_blocks=num_blocks,
-                    episodes=config.tree_episodes,
-                    branch_episodes=config.branch_episodes,
-                    seed=config.seed,
-                ),
-            )
-            env = build_environment(scenario, context, trace)
-            replay = run_emulation(
-                TreePlan(result.tree),
-                env,
-                num_requests=config.emulation_requests,
-                seed=config.seed + 11,
-            )
-            rows.append(
-                SweepRow(
-                    num_blocks=num_blocks,
-                    num_types=num_types,
-                    node_count=result.tree.node_count(),
-                    branch_count=len(result.tree.branches()),
-                    expected_reward=result.expected_reward,
-                    replay_reward=replay.mean_reward,
-                    replay_latency_ms=replay.mean_latency_ms,
-                    storage_mb=result.tree.storage_bytes() / 1e6,
-                    sharing_factor=result.tree.sharing_factor(),
-                )
-            )
-    return rows
+    return [
+        sweep_cell(scenario, num_blocks, num_types, config)
+        for num_blocks in blocks
+        for num_types in types
+    ]
 
 
 def render_sweep(rows: List[SweepRow]) -> str:

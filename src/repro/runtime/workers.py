@@ -1,0 +1,73 @@
+"""Worker-safety plumbing for the multiprocessing fan-out (ROADMAP item 3).
+
+Two things live here, ahead of the pool itself:
+
+- :func:`worker_safe` — the annotation the flowcheck concurrency rules
+  key on. Decorating a function declares "this will run inside a pool
+  worker"; flowcheck then walks the call graph from it and flags
+  module-level state mutation (``SHARED-MUTABLE``) and per-worker RNG
+  stream collisions (``WORKER-RNG``) anywhere beneath it. The decorator
+  itself is a zero-cost marker: it tags the function and returns it.
+
+- deterministic per-worker seeding, following distiller's
+  ``multi-finetune`` idiom: one base seed fans out through
+  :class:`numpy.random.SeedSequence` so every worker gets an
+  independent, reproducible stream — never the base seed itself, and
+  never OS entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, TypeVar
+
+import numpy as np
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute set by :func:`worker_safe`; read by :func:`is_worker_safe`.
+_MARKER = "__worker_safe__"
+
+
+def worker_safe(function: F) -> F:
+    """Declare that ``function`` is a worker entry point.
+
+    Contract (enforced statically by flowcheck's concurrency rules, not
+    at runtime): the function and everything it calls must not mutate
+    module-level state, and every draw of randomness must flow from a
+    generator passed in by the caller (seeded via :func:`worker_rng`).
+    """
+    setattr(function, _MARKER, True)
+    return function
+
+
+def is_worker_safe(function: Callable[..., Any]) -> bool:
+    """True when ``function`` was decorated with :func:`worker_safe`."""
+    return bool(getattr(function, _MARKER, False))
+
+
+def spawn_worker_seeds(base_seed: int, num_workers: int) -> List[int]:
+    """``num_workers`` independent seeds derived from one base seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically
+    independent (unlike ``base_seed + i``, whose nearby states can
+    correlate for some bit generators) yet fully reproducible from the
+    single ``base_seed`` recorded in experiment configs.
+    """
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be positive, got {num_workers}")
+    children = np.random.SeedSequence(base_seed).spawn(num_workers)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def worker_rng(base_seed: int, worker_index: int) -> np.random.Generator:
+    """The generator worker ``worker_index`` must use.
+
+    Deterministic in ``(base_seed, worker_index)`` and independent
+    across indices; the conventional way to satisfy ``WORKER-RNG``.
+    """
+    if worker_index < 0:
+        raise ValueError(f"worker_index must be >= 0, got {worker_index}")
+    sequence = np.random.SeedSequence(base_seed).spawn(worker_index + 1)[
+        worker_index
+    ]
+    return np.random.default_rng(sequence)

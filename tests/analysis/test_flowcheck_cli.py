@@ -1,5 +1,6 @@
 """CLI behavior of ``python -m repro.analysis --flow``: exit codes, JSON
-schema, suppressions and the baseline workflow."""
+and SARIF output, report files, suppressions and the baseline workflow
+(including ``--prune-baseline``)."""
 
 import json
 import textwrap
@@ -80,6 +81,59 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"] == []
 
+    def test_format_json_matches_json_flag(self, broken_file, capsys):
+        main(["--flow", "--json", "--no-baseline", str(broken_file)])
+        via_alias = capsys.readouterr().out
+        main(["--flow", "--format", "json", "--no-baseline",
+              str(broken_file)])
+        via_format = capsys.readouterr().out
+        assert json.loads(via_alias) == json.loads(via_format)
+
+
+class TestSarifOutput:
+    def test_sarif_log_shape(self, broken_file, capsys):
+        code = main(["--flow", "--format", "sarif", "--no-baseline",
+                     str(broken_file)])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "flowcheck"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "div-guard" in rule_ids
+        assert "UNIT-MISMATCH" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "div-guard"
+        assert result["level"] == "error"
+        assert rule_ids[result["ruleIndex"]] == "div-guard"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("broken.py")
+        assert location["region"]["startLine"] == 3
+        assert result["partialFingerprints"]["flowcheck/v1"]
+
+    def test_sarif_on_clean_tree_has_no_results(self, clean_file, capsys):
+        assert main(["--flow", "--format", "sarif", "--no-baseline",
+                     str(clean_file)]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+class TestReportFile:
+    def test_report_written_alongside_human_output(self, broken_file,
+                                                   tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(["--flow", "--no-baseline", "--report", str(report),
+                     str(broken_file)])
+        assert code == 1
+        payload = json.loads(report.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"][0]["rule"] == "div-guard"
+        # stdout stays human-readable: not JSON.
+        out = capsys.readouterr().out
+        assert "div-guard" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
 
 class TestSuppressionViaCli:
     def test_suppressed_finding_reported_in_counts(self, tmp_path, capsys):
@@ -157,6 +211,60 @@ class TestBaseline:
             "--flow", "--no-baseline", "--baseline", str(baseline),
             str(broken_file),
         ]) == 1
+
+    def test_stale_warning_mentions_prune_flag(self, broken_file, tmp_path,
+                                               capsys):
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(broken_file)])
+        broken_file.write_text("def _f(x):\n    return x\n")
+        assert main([
+            "--flow", "--baseline", str(baseline), str(broken_file)
+        ]) == 0
+        assert "--prune-baseline" in capsys.readouterr().err
+
+    def test_prune_baseline_drops_stale_keeps_live(self, tmp_path, capsys):
+        # Two findings baselined; one gets fixed; prune drops only the
+        # fixed entry and preserves the survivor's edited justification.
+        source = tmp_path / "code.py"
+        source.write_text(textwrap.dedent("""
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps
+
+            def g(latency_ms):
+                return 1.0 / latency_ms
+        """))
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(source)])
+        payload = json.loads(baseline.read_text())
+        assert len(payload["entries"]) == 2
+        for entry in payload["entries"]:
+            if "bandwidth" in entry["message"]:
+                entry["justification"] = "reviewed: upstream guard"
+        baseline.write_text(json.dumps(payload))
+
+        source.write_text(textwrap.dedent("""
+            def f(bandwidth_mbps):
+                return 8.0 / bandwidth_mbps
+        """))
+        assert main([
+            "--flow", "--prune-baseline", "--baseline", str(baseline),
+            str(source),
+        ]) == 0
+        assert "pruned 1 stale" in capsys.readouterr().err
+        payload = json.loads(baseline.read_text())
+        (entry,) = payload["entries"]
+        assert "bandwidth" in entry["message"]
+        assert entry["justification"] == "reviewed: upstream guard"
+
+        # A second prune is a no-op: nothing stale, file untouched.
+        before = baseline.read_text()
+        assert main([
+            "--flow", "--prune-baseline", "--baseline", str(baseline),
+            str(source),
+        ]) == 0
+        assert baseline.read_text() == before
 
     def test_checked_in_baseline_is_valid(self):
         checked_in = Path(__file__).resolve().parents[2] / (

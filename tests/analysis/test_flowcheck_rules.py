@@ -442,6 +442,47 @@ class TestSuppression:
             """
         assert rules(src) == []
 
+    def test_multi_rule_pragma_on_one_line(self):
+        # One comment, several rules — and matching is case-insensitive,
+        # so uppercase unit-rule ids mix with lowercase classic ids.
+        src = """
+            def _f(latency_ms, timeout_s, bandwidth_mbps):
+                return (latency_ms + timeout_s) / bandwidth_mbps  # flowcheck: ignore[UNIT-MISMATCH,div-guard] -- test
+            """
+        found = rules(src)
+        assert "UNIT-MISMATCH" not in found
+        assert "div-guard" not in found
+
+    def test_multi_rule_pragma_suppresses_only_listed(self):
+        src = """
+            def _f(latency_ms, timeout_s, bandwidth_mbps):
+                return (latency_ms + timeout_s) / bandwidth_mbps  # flowcheck: ignore[UNIT-MISMATCH,float-eq]
+            """
+        found = rules(src)
+        assert "UNIT-MISMATCH" not in found
+        assert "div-guard" in found
+
+    def test_pragma_on_continuation_line(self):
+        # Findings anchor on the statement's first line; the pragma sits
+        # on a later physical line of the same logical statement (where
+        # formatters put trailing comments) and must still apply.
+        src = """
+            def _f(latency_ms, timeout_s):
+                return (
+                    latency_ms
+                    + timeout_s  # flowcheck: ignore[UNIT-MISMATCH] -- mixed on purpose
+                )
+            """
+        assert "UNIT-MISMATCH" not in rules(src)
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        src = """
+            def _f(bandwidth_mbps):
+                note = "# flowcheck: ignore[div-guard]"
+                return 8.0 / bandwidth_mbps, note
+            """
+        assert "div-guard" in rules(src)
+
 
 class TestRepoIsClean:
     def test_src_repro_has_no_unsuppressed_findings(self):

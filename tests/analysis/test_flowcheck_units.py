@@ -1,0 +1,259 @@
+"""Units-flow goldens: the unit lattice algebra and the three
+interprocedural unit rules (UNIT-MISMATCH / UNIT-CONVERT / UNIT-ARG).
+
+Each broken snippet is a real mistake class from the paper's domain —
+ms-vs-s addition, the missing 8x between megabytes and megabits,
+percent-vs-fraction — and each clean snippet is idiom the lattice must
+not second-guess (literal scaling, compound ``X_per_Y`` rates).
+"""
+
+import textwrap
+
+from repro.analysis.flowcheck import check_source
+from repro.analysis.flowcheck.units import (
+    DATA,
+    FRACTION,
+    RATE,
+    TIME,
+    Unit,
+    compatible,
+    divide,
+    multiply,
+    unit_of_identifier,
+)
+
+
+def findings(source, path="src/repro/latency/sample.py"):
+    return check_source(textwrap.dedent(source), path).sorted_findings()
+
+
+def rules(source, path="src/repro/latency/sample.py"):
+    return [f.rule for f in findings(source, path)]
+
+
+class TestUnitLattice:
+    def test_suffix_lookup(self):
+        assert unit_of_identifier("latency_ms") == Unit(TIME, 1e-3)
+        assert unit_of_identifier("size_bytes") == Unit(DATA, 8.0)
+        assert unit_of_identifier("bandwidth_mbps") == Unit(RATE, 1e6)
+        assert unit_of_identifier("load_frac") == Unit(FRACTION, 1.0)
+
+    def test_bare_short_names_carry_no_unit(self):
+        assert unit_of_identifier("s") is None
+        assert unit_of_identifier("ms") is None
+        assert unit_of_identifier("x") is None
+
+    def test_compound_per_names(self):
+        # bits_per_ms = bits / ms = 1000 bits/s — a rate, not a time.
+        unit = unit_of_identifier("bits_per_ms")
+        assert unit is not None
+        assert unit.dim == RATE
+        assert unit.scale == 1e3
+        # Unrepresentable compounds stay unknown instead of misreading
+        # their last token as the unit.
+        assert unit_of_identifier("per_byte_overhead_ms") is None
+
+    def test_megabytes_carry_the_8x(self):
+        mb = unit_of_identifier("size_mb")
+        mbps = unit_of_identifier("rate_mbps")
+        quotient = divide(mb, mbps)
+        assert quotient.dim == TIME
+        assert quotient.scale == 8.0  # not seconds: the missing 8x
+
+    def test_time_times_rate_is_data(self):
+        product = multiply(Unit(TIME, 1.0), Unit(RATE, 1e6))
+        assert product == Unit(DATA, 1e6)
+
+    def test_same_dim_divide_is_fraction(self):
+        assert divide(Unit(TIME, 1e-3), Unit(TIME, 1e-3)) == Unit(
+            FRACTION, 1.0
+        )
+
+    def test_compatibility_needs_both_known(self):
+        assert compatible(Unit(TIME, 1e-3), Unit(TIME, None))
+        assert compatible(None, Unit(TIME, 1.0))
+        assert not compatible(Unit(TIME, 1e-3), Unit(TIME, 1.0))
+        assert not compatible(Unit(TIME, 1.0), Unit(DATA, 1.0))
+
+    def test_render_canonical_suffix(self):
+        assert Unit(TIME, 1e-3).render() == "ms"
+        assert Unit(TIME, 8.0).render() == "8xs"
+
+
+class TestUnitMismatch:
+    def test_ms_plus_s_fires(self):
+        src = """
+            def total(latency_ms, timeout_s):
+                return latency_ms + timeout_s
+            """
+        assert "UNIT-MISMATCH" in rules(src)
+
+    def test_percent_vs_fraction_comparison_fires(self):
+        src = """
+            def over(load_frac, threshold_pct):
+                return load_frac > threshold_pct
+            """
+        assert "UNIT-MISMATCH" in rules(src)
+
+    def test_time_plus_data_fires(self):
+        src = """
+            def nonsense(latency_ms, size_bits):
+                return latency_ms + size_bits
+            """
+        assert "UNIT-MISMATCH" in rules(src)
+
+    def test_same_unit_arithmetic_silent(self):
+        src = """
+            def total(compute_ms, network_ms):
+                return compute_ms + network_ms
+            """
+        assert "UNIT-MISMATCH" not in rules(src)
+
+    def test_literal_scaling_silent(self):
+        # x_s * 1000 may be a conversion to ms or a thousandfold
+        # quantity; the lattice refuses to guess, so neither reading is
+        # ever flagged downstream.
+        src = """
+            def _scaled(duration_s, latency_ms):
+                y = duration_s * 1000
+                return y + latency_ms
+            """
+        assert rules(src) == []
+
+    def test_min_max_join_checks_units(self):
+        src = """
+            def clamp(latency_ms, timeout_s):
+                return min(latency_ms, timeout_s)
+            """
+        assert "UNIT-MISMATCH" in rules(src)
+
+    def test_compound_rate_division_silent(self):
+        # bits / (bits-per-ms) is a time in ms; adding it to another ms
+        # quantity is exactly right. Regression for the false positive
+        # the suffix heuristic alone would produce on _ms.
+        src = """
+            def transfer(size_bits, bits_per_ms, overhead_ms):
+                duration_ms = size_bits / max(bits_per_ms, 1e-9)
+                return duration_ms + overhead_ms
+            """
+        assert "UNIT-MISMATCH" not in rules(src)
+        assert "UNIT-CONVERT" not in rules(src)
+
+
+class TestUnitConvert:
+    def test_binding_ms_value_to_s_name_fires(self):
+        src = """
+            def total(compute_ms, network_ms):
+                total_s = compute_ms + network_ms
+                return total_s
+            """
+        assert "UNIT-CONVERT" in rules(src)
+
+    def test_missing_8x_in_transfer_time_fires(self):
+        # size_mb / bandwidth_mbps is 8x seconds (megaBYTES over
+        # megaBITS/s), so calling the result seconds is wrong.
+        src = """
+            def transfer(size_mb, bandwidth_mbps):
+                transfer_s = size_mb / max(bandwidth_mbps, 1e-9)
+                return transfer_s
+            """
+        assert "UNIT-CONVERT" in rules(src)
+
+    def test_correct_conversion_with_explicit_factor_silent(self):
+        src = """
+            def transfer(size_mb, bandwidth_mbps):
+                transfer_s = size_mb * 8.0 / max(bandwidth_mbps, 1e-9)
+                return transfer_s
+            """
+        # The literal 8.0 forgets the scale, so the binding can't be
+        # proven wrong — exactly the quietness the lattice promises.
+        assert "UNIT-CONVERT" not in rules(src)
+
+    def test_return_suffix_checked(self):
+        src = """
+            def elapsed_s(start_ms, end_ms):
+                return end_ms - start_ms
+            """
+        assert "UNIT-CONVERT" in rules(src)
+
+    def test_consistent_return_suffix_silent(self):
+        src = """
+            def elapsed_ms(start_ms, end_ms):
+                return end_ms - start_ms
+            """
+        assert "UNIT-CONVERT" not in rules(src)
+
+
+class TestUnitArg:
+    def test_resolved_call_with_wrong_unit_fires(self):
+        src = """
+            def _wait(delay_ms):
+                return delay_ms
+
+            def caller(timeout_s):
+                return _wait(timeout_s)
+            """
+        assert "UNIT-ARG" in rules(src)
+
+    def test_annotated_parameter_checked(self):
+        src = """
+            from typing import Annotated
+
+            def _wait(delay: Annotated[float, "ms"]):
+                return delay
+
+            def caller(timeout_s):
+                return _wait(timeout_s)
+            """
+        assert "UNIT-ARG" in rules(src)
+
+    def test_keyword_suffix_fallback_on_unresolvable_call(self):
+        # `configure` is not defined anywhere in the project, but the
+        # keyword's own suffix still declares the expected unit.
+        src = """
+            def caller(wait_s, configure):
+                return configure(timeout_ms=wait_s)
+            """
+        assert "UNIT-ARG" in rules(src)
+
+    def test_matching_units_silent(self):
+        src = """
+            def _wait(delay_ms):
+                return delay_ms
+
+            def caller(timeout_ms):
+                return _wait(timeout_ms)
+            """
+        assert "UNIT-ARG" not in rules(src)
+
+    def test_unknown_unit_argument_silent(self):
+        src = """
+            def _wait(delay_ms):
+                return delay_ms
+
+            def caller(timeout):
+                return _wait(timeout)
+            """
+        assert "UNIT-ARG" not in rules(src)
+
+
+class TestInterproceduralReturnUnits:
+    def test_inferred_return_unit_propagates_to_caller(self):
+        # _total has no return-suffix, but its body returns ms; the
+        # summary pass infers that, and the caller's mismatch against a
+        # seconds quantity is caught across the call.
+        src = """
+            def _total(compute_ms, network_ms):
+                return compute_ms + network_ms
+
+            def caller(budget_s, compute_ms, network_ms):
+                return budget_s - _total(compute_ms, network_ms)
+            """
+        assert "UNIT-MISMATCH" in rules(src)
+
+    def test_callee_name_suffix_declares_return_unit(self):
+        src = """
+            def caller(budget_s, estimate_latency_ms):
+                return budget_s - estimate_latency_ms()
+            """
+        assert "UNIT-MISMATCH" in rules(src)

@@ -1,0 +1,83 @@
+"""Worker-safety plumbing: the ``worker_safe`` marker and deterministic
+per-worker seeding (``spawn_worker_seeds`` / ``worker_rng``)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.workers import (
+    is_worker_safe,
+    spawn_worker_seeds,
+    worker_rng,
+    worker_safe,
+)
+
+
+class TestWorkerSafeMarker:
+    def test_marker_round_trips(self):
+        @worker_safe
+        def f(x):
+            return x
+
+        assert is_worker_safe(f)
+
+    def test_undecorated_function_is_not_marked(self):
+        def f(x):
+            return x
+
+        assert not is_worker_safe(f)
+
+    def test_decorator_returns_the_function_unchanged(self):
+        def f(x):
+            return x * 2
+
+        decorated = worker_safe(f)
+        assert decorated is f
+        assert decorated(3) == 6
+
+
+class TestSpawnWorkerSeeds:
+    def test_deterministic_in_base_seed(self):
+        assert spawn_worker_seeds(7, 4) == spawn_worker_seeds(7, 4)
+
+    def test_distinct_across_workers(self):
+        seeds = spawn_worker_seeds(7, 8)
+        assert len(set(seeds)) == 8
+
+    def test_different_base_seeds_differ(self):
+        assert spawn_worker_seeds(7, 4) != spawn_worker_seeds(8, 4)
+
+    def test_never_hands_back_the_base_seed(self):
+        # base_seed + i style schemes leak the base seed to worker 0;
+        # SeedSequence.spawn never does.
+        assert 7 not in spawn_worker_seeds(7, 4)
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError):
+            spawn_worker_seeds(7, 0)
+
+
+class TestWorkerRng:
+    def test_deterministic_per_index(self):
+        a = worker_rng(7, 2).normal(size=5)
+        b = worker_rng(7, 2).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_across_indices(self):
+        a = worker_rng(7, 0).normal(size=5)
+        b = worker_rng(7, 1).normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_prefix_stable_as_pool_grows(self):
+        # Worker i's stream must not change when more workers join —
+        # spawn(k) is a prefix of spawn(k+1) for the same parent.
+        small = worker_rng(7, 1).normal(size=3)
+        seeds_large = spawn_worker_seeds(7, 16)
+        large = np.random.default_rng(
+            np.random.SeedSequence(7).spawn(16)[1]
+        ).normal(size=3)
+        np.testing.assert_array_equal(small, large)
+        assert len(seeds_large) == 16
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            worker_rng(7, -1)
