@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench bench-json experiments examples chaos obs-report lint typecheck repolint flowcheck clean
+.PHONY: install test bench bench-json experiments examples chaos obs-report lint typecheck repolint flowcheck flowcheck-bench clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -69,6 +69,11 @@ repolint:
 # report (the CI artifact) alongside the human output.
 flowcheck:
 	$(PYTHONPATH_SRC) $(PY) -m repro.analysis --flow $(if $(FLOWCHECK_REPORT),--report $(FLOWCHECK_REPORT) ,)src/repro benchmarks examples
+
+# Cold-vs-warm incremental-cache self-benchmark (>=5x gate); the JSON
+# lands in BENCH_flowcheck.json for CI artifacts / regression tracking.
+flowcheck-bench:
+	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/test_bench_flowcheck.py --benchmark-only --benchmark-json=BENCH_flowcheck.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,58 @@
+"""Flowcheck incremental-cache bench: warm re-run must be >=5x faster.
+
+A cold run parses every module, builds the project index and runs
+passes 2-4 over `src/repro`; a warm run over the unchanged tree only
+hashes files and replays stored findings. The gate is deliberately lax
+(the measured ratio is two orders of magnitude) so CI noise cannot flap
+it. Cold/warm wall-times and the reanalyzed counts land in
+``extra_info`` so ``make flowcheck-bench`` persists them in
+``BENCH_flowcheck.json``.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flowcheck import check_paths
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    cache = tmp_path / "flowcheck_cache"
+    yield cache
+    shutil.rmtree(cache, ignore_errors=True)
+
+
+def test_bench_flowcheck_warm_vs_cold(benchmark, cache_dir):
+    start = time.perf_counter()
+    cold = check_paths([REPO_SRC], cache_dir=cache_dir)
+    cold_s = time.perf_counter() - start
+    assert cold.files_checked > 50
+    assert len(cold.reanalyzed) == cold.files_checked
+
+    def warm_run():
+        return check_paths([REPO_SRC], cache_dir=cache_dir)
+
+    warm = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.min
+
+    # Warm over an unchanged tree: nothing re-analyzed, same verdicts.
+    assert warm.reanalyzed == []
+    assert warm.files_checked == cold.files_checked
+    assert len(warm.findings) == len(cold.findings)
+
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup_warm_vs_cold"] = round(speedup, 2)
+    benchmark.extra_info["files_checked"] = cold.files_checked
+    benchmark.extra_info["warm_reanalyzed"] = len(warm.reanalyzed)
+
+    assert speedup >= 5.0, (
+        f"warm flowcheck only {speedup:.2f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )

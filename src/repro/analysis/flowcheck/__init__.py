@@ -37,14 +37,28 @@ Rule catalog (stable ids):
                       worker-bound path (streams would collide)
 ``WALLCLOCK-SPAN``    span math on ``time.time()`` (wall clock steps under
                       NTP; use ``perf_counter``)
+``SPAN-LEAK``         span/handle acquired outside ``with`` not released
+                      on every exit, including exception edges
+``SINK-FLUSH``        worker-bound result sink that can reach an exit
+                      with unflushed buffered data
+``SWALLOWED-FAULT``   broad/fault-typed handler that neither re-raises
+                      nor records the caught fault
+``BREAKER-PROTOCOL``  ``record_*`` not gated by its own preceding
+                      ``CircuitBreaker.allow()`` on some path
 ==================== =====================================================
+
+The four typestate rules run resource state machines over per-function
+control-flow graphs with explicit exception edges (:mod:`.cfg`,
+:mod:`.typestate`).
 
 Suppress one finding inline with ``# flowcheck: ignore[rule-id] -- why``
 (several ids comma-separated, matched case-insensitively); accept a known
 finding in ``flowcheck-baseline.json``. Run the gate with
 ``python -m repro.analysis --flow src/repro benchmarks examples`` or
 ``make flowcheck``; ``--format sarif`` emits SARIF 2.1.0 for scanning
-UIs, ``--prune-baseline`` drops stale baseline entries.
+UIs, ``--prune-baseline`` drops stale baseline entries. Results are
+cached incrementally in ``.flowcheck_cache/`` (:mod:`.cache`) — an
+unchanged tree re-analyzes nothing; ``--no-cache`` forces a full run.
 """
 
 from .baseline import (
@@ -55,6 +69,7 @@ from .baseline import (
     prune_baseline,
     save_baseline,
 )
+from .cache import DEFAULT_CACHE_DIR
 from .core import Finding, make_finding
 from .engine import CheckResult, check_paths, check_source
 from .rules import all_rule_ids, rule_catalog
@@ -64,6 +79,7 @@ __all__ = [
     "BaselineError",
     "CheckResult",
     "DEFAULT_BASELINE",
+    "DEFAULT_CACHE_DIR",
     "Finding",
     "all_rule_ids",
     "apply_baseline",

@@ -1,0 +1,265 @@
+"""Incremental analysis cache — skip everything that cannot have changed.
+
+A full flowcheck run parses every file, builds the project index and
+runs passes 2-4 on each module; on this repo that is seconds per run and
+grows linearly. But a finding for module *m* depends on exactly three
+inputs, all of which the engine can fingerprint:
+
+1. **m's own source** — content hash;
+2. **the modules m imports** — callee summaries feed unit inference,
+   call resolution, shared-state lookups and the fault-reaching closure
+   (every callee-direction fact crosses modules through an import);
+3. **m's worker-bound verdicts** — the one *caller*-direction fact:
+   worker-bound reachability flows caller -> callee, so an edit that
+   adds ``@worker_safe`` or a call upstream can change m's verdicts
+   without touching m or anything it imports.
+
+The manifest under ``.flowcheck_cache/`` stores, per module: the content
+hash, the resolved *import* edges (as module paths within the analyzed
+set), the findings, the suppression count, and the module's contribution
+to the light fq-level call graph (worker-safe roots, per-function callee
+lists, and the resulting worker-bound verdicts). A warm run then:
+
+- hashes every file (cheap — no parsing);
+- marks changed files dirty and propagates **transitively along reverse
+  imports** (a module whose imports went dirty may read changed facts);
+- parses only the dirty modules plus the transitive closure of their
+  imports (so the partial project index still contains every summary a
+  dirty module's analysis can read);
+- recomputes the global worker-bound closure from the merged light call
+  graph (stored entries for clean modules, fresh summaries for parsed
+  ones) and additionally dirties any clean module whose worker-bound
+  verdicts drifted — naive caller edges here would dirty the whole repo
+  on any edit, since every leaf calls into the core;
+- re-runs passes 2-4 on the dirty modules only — with the project
+  index's worker-bound map overridden by the global closure, so a dirty
+  module whose worker-safe root lives outside the parse set keeps its
+  status — and reuses stored findings verbatim, without re-parsing, for
+  everything else.
+
+The whole manifest is discarded when the **engine fingerprint** (a hash
+over the flowcheck package's own sources — rule edits invalidate
+everything) differs, or when the analyzed file *set* changes (an
+added/removed file can re-resolve imports of unchanged modules; a full
+rebuild is the simple sound answer and the common case is an edit, not
+an add). ``check_source`` and cache-less ``check_paths`` calls never
+touch the cache, so programmatic/test use is byte-identical to before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+#: Bump when the manifest layout or its semantics change.
+SCHEMA_VERSION = 1
+
+#: Default cache directory (repo-relative), created on first save.
+DEFAULT_CACHE_DIR = ".flowcheck_cache"
+
+_engine_fingerprint: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of the flowcheck package's own sources (memoized per process).
+
+    Any edit to the engine, a rule, or this module invalidates every
+    cached result — rule semantics are part of a finding's identity.
+    """
+    global _engine_fingerprint
+    if _engine_fingerprint is None:
+        digest = hashlib.sha256(f"schema:{SCHEMA_VERSION}".encode())
+        package_dir = Path(__file__).resolve().parent
+        for source in sorted(package_dir.rglob("*.py")):
+            digest.update(str(source.relative_to(package_dir)).encode())
+            digest.update(source.read_bytes())
+        _engine_fingerprint = digest.hexdigest()
+    return _engine_fingerprint
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+
+
+def dotted_of_path(path: str) -> str:
+    """Importable dotted name from a path alone (no parse needed).
+
+    Mirrors :attr:`~repro.analysis.flowcheck.core.ModuleInfo.dotted_name`
+    so edge resolution on warm runs agrees with what the symbol pass
+    would have computed.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        stem = parts[-1][: -len(".py")]
+        parts = parts[:-1] if stem == "__init__" else parts[:-1] + [stem]
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro") :])
+    return ".".join(parts[-2:]) if len(parts) >= 2 else ".".join(parts)
+
+
+def resolve_dotted_prefix(
+    fqname: str, dotted_map: Dict[str, str]
+) -> Optional[str]:
+    """Module path whose dotted name is the longest prefix of ``fqname``.
+
+    ``repro.runtime.faults.FaultSchedule`` resolves to ``faults.py``;
+    external names (``numpy``, receiver-local chains) resolve to None.
+    """
+    parts = fqname.split(".")
+    while parts:
+        hit = dotted_map.get(".".join(parts))
+        if hit is not None:
+            return hit
+        parts.pop()
+    return None
+
+
+@dataclass
+class Plan:
+    """What a warm run must actually do."""
+
+    #: modules whose findings must be recomputed (passes 2-4).
+    dirty: Set[str] = field(default_factory=set)
+    #: modules that must be parsed (dirty + transitive analysis inputs).
+    parse: Set[str] = field(default_factory=set)
+
+
+def plan_incremental(
+    stored: Dict[str, dict], hashes: Dict[str, str]
+) -> Optional[Plan]:
+    """Dirty/parse sets for a warm run, or None when a full run is due.
+
+    None on any structural change to the file set; an empty plan means
+    nothing changed at all. The dirty closure follows *import* edges
+    only (every callee-direction fact — summaries, units, module state,
+    the fault-reaching closure — crosses modules through an import);
+    the one caller-direction fact, worker-bound reachability, is checked
+    separately by the engine via :func:`worker_bound_delta`, which is
+    why the manifest stores the light fq-level call graph instead of
+    coarse caller edges (those would dirty the world on any edit).
+    """
+    if set(stored) != set(hashes):
+        return None
+    dirty = {
+        path for path, digest in hashes.items()
+        if stored[path].get("hash") != digest
+    }
+    imports = {
+        path: set(entry.get("imports", ())) & hashes.keys()
+        for path, entry in stored.items()
+    }
+    # Transitive dirtying along reverse imports: a module whose imports
+    # went dirty may read changed facts and must be re-analyzed too.
+    changed = True
+    while changed:
+        changed = False
+        for path in stored:
+            if path not in dirty and imports[path] & dirty:
+                dirty.add(path)
+                changed = True
+    return Plan(dirty=dirty, parse=closure_with_imports(dirty, imports))
+
+
+def closure_with_imports(
+    seed: Set[str], imports: Dict[str, Set[str]]
+) -> Set[str]:
+    """``seed`` plus its transitive imports — the set that must be parsed
+    so every summary a seed module's analysis can read is present."""
+    parse = set(seed)
+    frontier = list(seed)
+    while frontier:
+        for dep in imports.get(frontier.pop(), ()):
+            if dep not in parse:
+                parse.add(dep)
+                frontier.append(dep)
+    return parse
+
+
+def worker_bound_delta(
+    stored: Dict[str, dict],
+    global_worker_bound: Dict[str, str],
+    skip: Set[str],
+) -> Set[str]:
+    """Clean modules whose worker-bound verdicts no longer match.
+
+    ``global_worker_bound`` is the closure recomputed from the merged
+    light call graph (stored entries for clean modules, fresh summaries
+    for parsed ones). A clean module whose functions gained or lost
+    worker-bound status — or changed attributed root — must be
+    re-analyzed even though its own source is untouched.
+    """
+    extra: Set[str] = set()
+    for path, entry in stored.items():
+        if path in skip:
+            continue
+        own = {
+            fq: root
+            for fq, root in global_worker_bound.items()
+            if fq in entry.get("calls_fq", {})
+        }
+        if own != entry.get("worker_bound", {}):
+            extra.add(path)
+    return extra
+
+
+class AnalysisCache:
+    """The on-disk manifest: load, validate, save."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.manifest_path = self.root / "manifest.json"
+
+    def load(self) -> Optional[Dict[str, dict]]:
+        """Stored per-module entries, or None when unusable."""
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        if payload.get("engine") != engine_fingerprint():
+            return None
+        modules = payload.get("modules")
+        return modules if isinstance(modules, dict) else None
+
+    def save(self, modules: Dict[str, dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "engine": engine_fingerprint(),
+            "modules": modules,
+        }
+        self.manifest_path.write_text(json.dumps(payload, sort_keys=True))
+
+
+def module_entry(
+    digest: str,
+    imports: List[str],
+    findings: List[dict],
+    suppressed: int,
+    roots: List[str],
+    calls_fq: Dict[str, List[str]],
+    worker_bound: Dict[str, str],
+) -> dict:
+    """One manifest entry.
+
+    ``roots``/``calls_fq`` are the module's contribution to the light
+    fq-level call graph (every function appears as a ``calls_fq`` key,
+    callees sorted); ``worker_bound`` maps this module's worker-bound
+    functions to their attributed roots — the verdicts whose drift
+    forces re-analysis even when the source is unchanged.
+    """
+    return {
+        "hash": digest,
+        "imports": imports,
+        "findings": findings,
+        "suppressed": suppressed,
+        "roots": roots,
+        "calls_fq": calls_fq,
+        "worker_bound": worker_bound,
+    }

@@ -1,0 +1,518 @@
+"""Per-function control-flow graphs with explicit exception edges.
+
+The dataflow interpreter in :mod:`.dataflow` walks function bodies in
+source order, which is fine for guard tracking but blind to the paths
+that matter for resource safety: a ``raise`` that skips the ``close()``,
+an ``except`` that joins back into the happy path, a ``finally`` that
+runs on five different continuations. This module builds a real CFG:
+
+- **one simple statement per basic block** — exception edges are then
+  per-statement, and the typestate pass (:mod:`.typestate`) can use the
+  *pre*-state of a block as the state flowing along its exception edge;
+- synthetic ``entry`` / ``exit`` / ``raise`` blocks — ``exit`` is the
+  normal-return exit, ``raise`` the unhandled-exception exit, so
+  "released on every CFG exit" is literally "released at both";
+- structural ``join`` blocks after branches/loops/tries, ``dispatch``
+  blocks fanning exceptions out to handlers, ``finally`` entry markers,
+  and ``with-exit`` blocks where ``__exit__`` releases managed resources;
+- edge kinds: ``next`` (fallthrough), ``true``/``false`` (branch and
+  loop taken/exhausted), ``back`` (loop back edge), ``break``/
+  ``continue``, ``return``, ``raise`` (explicit raise), ``exc`` (a
+  statement that *may* raise), ``except`` (dispatch -> handler entry).
+
+Exception modelling, deliberately approximate and documented:
+
+- a statement **may raise** iff it contains a call, a ``raise`` or an
+  ``assert`` — attribute access, subscripts and arithmetic are ignored
+  (``ZeroDivisionError`` is the div-guard rule's beat, not this one's);
+- ``try`` bodies route ``exc`` edges to a per-try **dispatch** block,
+  which fans out to every handler entry (``except`` edges) and — unless
+  a handler is bare or catches ``BaseException`` — onward to the
+  enclosing handler/exit (the unmatched-exception path);
+- ``finally`` bodies are built **once** and given one out-edge per
+  continuation that actually runs them (normal, exception, return,
+  break, continue). This merges the continuations' states inside the
+  finally — the standard conservative treatment; duplicating the body
+  per continuation would be exact but explodes the graph;
+- ``with`` bodies exit through their ``with-exit`` block on the normal
+  path; exception edges route straight out, since ``__exit__`` runs no
+  user code the typestate machines track.
+
+``while True:`` (a constant-true test) gets no ``false`` edge, so code
+after an infinite loop is only reachable through ``break`` and the
+typestate pass does not invent release-less paths out of server loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import FunctionInfo
+
+#: Edge kinds (see module docstring).
+EDGE_KINDS = frozenset(
+    {
+        "next",
+        "true",
+        "false",
+        "back",
+        "break",
+        "continue",
+        "return",
+        "raise",
+        "exc",
+        "except",
+    }
+)
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Approximation: can executing this statement raise?
+
+    True iff the statement contains a call, an explicit ``raise`` or an
+    ``assert``. Nested function bodies do not count — their code runs
+    when *they* are called, not here — though a ``def`` statement still
+    evaluates its decorators and default values (class bodies *do* run
+    at the class statement, so they count in full).
+    """
+    todo: List[ast.AST] = [stmt]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        todo = list(stmt.decorator_list)
+        todo.extend(stmt.args.defaults)
+        todo.extend(d for d in stmt.args.kw_defaults if d is not None)
+    while todo:
+        node = todo.pop()
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not stmt
+        ):
+            todo.extend(node.decorator_list)
+            todo.extend(node.args.defaults)
+            todo.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+            return True
+        todo.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def evaluated_nodes(block: "Block") -> List[ast.AST]:
+    """The AST subtrees a block actually evaluates when it executes.
+
+    A ``test`` block evaluates only its condition, a loop header only its
+    test/iterator, a ``with`` header only its context expressions — their
+    bodies live in other blocks. Typestate machines scan these instead of
+    ``block.stmt`` so a call in a branch body is not attributed to the
+    branch header.
+    """
+    stmt = block.stmt
+    if stmt is None:
+        return []
+    if block.kind == "test":
+        return [stmt.test]  # type: ignore[attr-defined]
+    if block.kind == "loop":
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+        return [stmt.iter]  # type: ignore[attr-defined]
+    if block.kind == "with":
+        return [item.context_expr for item in stmt.items]  # type: ignore[attr-defined]
+    if block.kind == "with-exit":
+        return []  # __exit__ calls run here, but no user expressions
+    if block.kind == "stmt":
+        return [stmt]
+    return []
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed CFG edge."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class Block:
+    """One basic block: a synthetic node or exactly one simple statement.
+
+    Control headers (``if``/``while``/``for``/``with`` and handler
+    dispatch) hold their compound statement in ``stmt`` so transfer
+    functions can read the test / items / iterator; the statements of
+    their bodies live in their own blocks.
+    """
+
+    id: int
+    kind: str  # entry|exit|raise|stmt|test|loop|with|with-exit|dispatch|finally|join
+    stmt: Optional[ast.stmt] = None
+    line: int = 0
+
+
+class CFG:
+    """The built graph; query via :attr:`edges` / :meth:`successors`."""
+
+    def __init__(self, function: FunctionInfo) -> None:
+        self.function = function
+        self.blocks: Dict[int, Block] = {}
+        self.edges: List[Edge] = []
+        self._succ: Dict[int, List[Edge]] = {}
+        self._pred: Dict[int, List[Edge]] = {}
+        self.entry: Block = self.new_block("entry")
+        self.exit: Block = self.new_block("exit")
+        self.raise_exit: Block = self.new_block("raise")
+
+    # -- construction ------------------------------------------------------
+    def new_block(
+        self, kind: str, stmt: Optional[ast.stmt] = None, line: int = 0
+    ) -> Block:
+        block = Block(
+            id=len(self.blocks),
+            kind=kind,
+            stmt=stmt,
+            line=getattr(stmt, "lineno", line) if stmt is not None else line,
+        )
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: Block, dst: Block, kind: str) -> None:
+        edge = Edge(src.id, dst.id, kind)
+        if edge in self._succ.get(src.id, ()):
+            return
+        self.edges.append(edge)
+        self._succ.setdefault(src.id, []).append(edge)
+        self._pred.setdefault(dst.id, []).append(edge)
+
+    # -- queries -----------------------------------------------------------
+    def successors(self, block_id: int) -> List[Edge]:
+        return self._succ.get(block_id, [])
+
+    def predecessors(self, block_id: int) -> List[Edge]:
+        return self._pred.get(block_id, [])
+
+    def labels(self) -> Dict[int, str]:
+        """Stable human labels per block id, collision-suffixed in id order.
+
+        ``entry``/``exit``/``raise`` for the synthetic nodes; structural
+        blocks are ``<kind>@L<line>``; statement blocks are ``L<line>``.
+        A second block with the same natural label becomes ``<label>.2``.
+        """
+        labels: Dict[int, str] = {}
+        used: Dict[str, int] = {}
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            if block.kind in ("entry", "exit", "raise"):
+                base = block.kind
+            elif block.kind in ("stmt", "test", "loop", "with"):
+                base = f"L{block.line}"
+            else:
+                base = f"{block.kind}@L{block.line}"
+            used[base] = used.get(base, 0) + 1
+            labels[block_id] = (
+                base if used[base] == 1 else f"{base}.{used[base]}"
+            )
+        return labels
+
+    def edge_labels(self) -> Set[Tuple[str, str, str]]:
+        """``{(src_label, kind, dst_label)}`` — what the goldens assert."""
+        labels = self.labels()
+        return {(labels[e.src], e.kind, labels[e.dst]) for e in self.edges}
+
+    def describe(self) -> List[str]:
+        """Sorted ``src -kind-> dst`` lines (debugging aid)."""
+        return sorted(
+            f"{src} -{kind}-> {dst}" for src, kind, dst in self.edge_labels()
+        )
+
+
+@dataclass
+class _FinallyCtx:
+    """One ``finally`` body shared by every continuation that runs it."""
+
+    entry: Block
+    #: (kind, target-block) continuations requested while building the try.
+    pending: List[Tuple[str, Block]] = field(default_factory=list)
+
+
+@dataclass
+class _Frame:
+    """One entry of the builder's control stack (innermost last)."""
+
+    kind: str  # "handler" | "finally" | "loop"
+    dispatch: Optional[Block] = None  # handler frames
+    ctx: Optional[_FinallyCtx] = None  # finally frames
+    head: Optional[Block] = None  # loop frames: continue target
+    after: Optional[Block] = None  # loop frames: break target
+
+
+class _Builder:
+    """Single pass over the AST; ``current``/``pending`` thread the flow.
+
+    ``pending`` carries edges whose destination does not exist yet (the
+    ``true`` edge into a branch body, the ``except`` edge into a handler
+    body): the next block started consumes them with their stored kinds.
+    """
+
+    def __init__(self, function: FunctionInfo) -> None:
+        self.cfg = CFG(function)
+        self.frames: List[_Frame] = []
+        self.current: Optional[Block] = None
+        self.pending: List[Tuple[Block, str]] = []
+
+    def build(self) -> CFG:
+        self.current = self.cfg.entry
+        self._build_block(self.cfg.function.node.body)  # type: ignore[attr-defined]
+        self._terminate_into(self.cfg.exit, "return")
+        return self.cfg
+
+    # -- plumbing ----------------------------------------------------------
+    def _start(self, kind: str, stmt: Optional[ast.stmt] = None, line: int = 0) -> Block:
+        """New block wired from ``pending`` edges or ``current``."""
+        block = self.cfg.new_block(kind, stmt, line)
+        self._wire_into(block)
+        self.current = block
+        return block
+
+    def _wire_into(self, block: Block) -> None:
+        if self.pending:
+            for src, edge_kind in self.pending:
+                self.cfg.add_edge(src, block, edge_kind)
+            self.pending = []
+        elif self.current is not None:
+            self.cfg.add_edge(self.current, block, "next")
+
+    def _terminate_into(self, target: Block, kind: str) -> None:
+        """End of a region: wire the live flow (if any) into ``target``."""
+        if self.pending:
+            for src, edge_kind in self.pending:
+                self.cfg.add_edge(src, target, edge_kind)
+            self.pending = []
+        elif self.current is not None:
+            self.cfg.add_edge(self.current, target, kind)
+        self.current = None
+
+    def _defer(self, src: Block, kind: str) -> None:
+        self.pending.append((src, kind))
+        self.current = None
+
+    def _route(self, src: Block, kind: str) -> None:
+        """Edge(s) from ``src`` for a non-local continuation of ``kind``.
+
+        Walks the frame stack outward collecting the ``finally`` bodies
+        the continuation must run, stopping at the first handler (for
+        exceptions) or loop (for break/continue); wires one hop per
+        finally and registers the tail on each finally context.
+        """
+        hops: List[_FinallyCtx] = []
+        target: Optional[Block] = None
+        for frame in reversed(self.frames):
+            if frame.kind == "finally":
+                assert frame.ctx is not None
+                hops.append(frame.ctx)
+            elif frame.kind == "handler" and kind in ("exc", "raise"):
+                assert frame.dispatch is not None
+                target = frame.dispatch
+                break
+            elif frame.kind == "loop" and kind in ("break", "continue"):
+                target = frame.after if kind == "break" else frame.head
+                break
+        if target is None:
+            if kind in ("exc", "raise"):
+                target = self.cfg.raise_exit
+            elif kind == "return":
+                target = self.cfg.exit
+            else:  # break/continue outside a loop: syntactically invalid
+                return
+        if not hops:
+            self.cfg.add_edge(src, target, kind)
+            return
+        self.cfg.add_edge(src, hops[0].entry, kind)
+        for hop, nxt in zip(hops, hops[1:]):
+            hop.pending.append((kind, nxt.entry))
+        hops[-1].pending.append((kind, target))
+
+    def _maybe_raise(self, block: Block) -> None:
+        if block.stmt is not None and may_raise(block.stmt):
+            self._route(block, "exc")
+
+    # -- statement dispatch ------------------------------------------------
+    def _build_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._build_loop(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._build_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._build_with(stmt)
+        elif isinstance(stmt, ast.Return):
+            block = self._start("stmt", stmt)
+            self._maybe_raise(block)
+            self._route(block, "return")
+            self.current = None
+        elif isinstance(stmt, ast.Raise):
+            block = self._start("stmt", stmt)
+            self._route(block, "raise")
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            block = self._start("stmt", stmt)
+            self._route(block, "break")
+            self.current = None
+        elif isinstance(stmt, ast.Continue):
+            block = self._start("stmt", stmt)
+            self._route(block, "continue")
+            self.current = None
+        else:
+            # Simple statement (assignment, expression, def, import, …).
+            block = self._start("stmt", stmt)
+            self._maybe_raise(block)
+
+    def _build_if(self, stmt: ast.If) -> None:
+        test = self._start("test", stmt)
+        self._maybe_raise(test)
+        join = self.cfg.new_block("join", line=stmt.lineno)
+
+        self._defer(test, "true")
+        self._build_block(stmt.body)
+        self._terminate_into(join, "next")
+
+        if stmt.orelse:
+            self._defer(test, "false")
+            self._build_block(stmt.orelse)
+            self._terminate_into(join, "next")
+        else:
+            self.cfg.add_edge(test, join, "false")
+
+        self.current = join if self.cfg.predecessors(join.id) else None
+
+    def _build_loop(self, stmt: ast.stmt) -> None:
+        head = self._start("loop", stmt)
+        self._maybe_raise(head)
+        after = self.cfg.new_block("join", line=stmt.lineno)
+        infinite = isinstance(stmt, ast.While) and (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+
+        self.frames.append(_Frame(kind="loop", head=head, after=after))
+        self._defer(head, "true")
+        self._build_block(stmt.body)  # type: ignore[attr-defined]
+        self._terminate_into(head, "back")
+        self.frames.pop()
+
+        orelse = getattr(stmt, "orelse", [])
+        if not infinite:
+            if orelse:
+                self._defer(head, "false")
+                self._build_block(orelse)
+                self._terminate_into(after, "next")
+            else:
+                self.cfg.add_edge(head, after, "false")
+
+        self.current = after if self.cfg.predecessors(after.id) else None
+
+    def _build_with(self, stmt: ast.stmt) -> None:
+        header = self._start("with", stmt)
+        self._maybe_raise(header)  # entering the context may raise
+        cleanup = self.cfg.new_block("with-exit", stmt=stmt)
+        self._build_block(stmt.body)  # type: ignore[attr-defined]
+        if self.current is not None or self.pending:
+            self._terminate_into(cleanup, "next")
+            self.current = cleanup
+        else:
+            self.current = None  # body never completes normally
+
+    def _build_try(self, stmt: ast.Try) -> None:
+        finally_ctx: Optional[_FinallyCtx] = None
+        if stmt.finalbody:
+            finally_ctx = _FinallyCtx(
+                entry=self.cfg.new_block(
+                    "finally", line=stmt.finalbody[0].lineno
+                )
+            )
+            self.frames.append(_Frame(kind="finally", ctx=finally_ctx))
+
+        dispatch: Optional[Block] = None
+        if stmt.handlers:
+            dispatch = self.cfg.new_block("dispatch", line=stmt.lineno)
+            self.frames.append(_Frame(kind="handler", dispatch=dispatch))
+
+        join = self.cfg.new_block("join", line=stmt.lineno)
+
+        def to_join() -> None:
+            """Normal completion: through the finally body when present."""
+            if finally_ctx is not None:
+                self._terminate_into(finally_ctx.entry, "next")
+                finally_ctx.pending.append(("next", join))
+            else:
+                self._terminate_into(join, "next")
+
+        # -- body (and else, which shares its continuation) ----------------
+        self._build_block(stmt.body)
+        if stmt.handlers:
+            self.frames.pop()  # handlers/else do not catch their own raises
+        if stmt.orelse and (self.current is not None or self.pending):
+            self._build_block(stmt.orelse)
+        to_join()
+
+        # -- handlers ------------------------------------------------------
+        if dispatch is not None:
+            if not any(
+                handler.type is None
+                or self._catches_base_exception(handler.type)
+                for handler in stmt.handlers
+            ):
+                # No catch-all: unmatched exceptions propagate past here.
+                self._route(dispatch, "exc")
+            for handler in stmt.handlers:
+                self._defer(dispatch, "except")
+                self._build_block(handler.body)
+                to_join()
+
+        # -- finally -------------------------------------------------------
+        if finally_ctx is not None:
+            self.frames.pop()
+            self.current = None
+            self.pending = []
+            self._defer_into_existing(finally_ctx.entry)
+            self._build_block(stmt.finalbody)
+            if self.current is not None or self.pending:
+                end = self._start("join", line=stmt.finalbody[-1].lineno)
+                seen: Set[Tuple[str, int]] = set()
+                for kind, target in finally_ctx.pending:
+                    key = (kind, target.id)
+                    if key not in seen:
+                        seen.add(key)
+                        self.cfg.add_edge(end, target, kind)
+            # else: the finally body itself terminates every continuation
+            # (e.g. ``finally: return``), swallowing them — modelled as-is.
+
+        self.current = join if self.cfg.predecessors(join.id) else None
+        self.pending = []
+
+    def _defer_into_existing(self, block: Block) -> None:
+        """Resume building *inside* an already-created block's flow."""
+        self.current = block
+        self.pending = []
+
+    @staticmethod
+    def _catches_base_exception(node: ast.expr) -> bool:
+        names: List[ast.expr] = (
+            list(node.elts) if isinstance(node, ast.Tuple) else [node]
+        )
+        for item in names:
+            leaf = item.attr if isinstance(item, ast.Attribute) else (
+                item.id if isinstance(item, ast.Name) else ""
+            )
+            if leaf == "BaseException":
+                return True
+        return False
+
+
+def build_cfg(function: FunctionInfo) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _Builder(function).build()

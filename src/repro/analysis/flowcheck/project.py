@@ -83,6 +83,48 @@ MUTATOR_METHODS = frozenset(
 #: propagate one call level per sweep; repo call chains are shallow.
 _INFERENCE_SWEEPS = 3
 
+#: Leaf names that surface faults regardless of how the receiver was
+#: reached (``env.attempt_transfer`` resolves to a receiver-local name,
+#: not a repo fqname, so the leaf is the only stable handle).
+_FAULT_SEED_LEAVES = frozenset({"attempt_transfer", "resolve_offload"})
+
+
+def _is_fault_seed(fqname: str) -> bool:
+    """Is this call-graph node part of the fault-surfacing seed set?"""
+    return (
+        fqname.startswith("repro.runtime.faults.")
+        or fqname.startswith("repro.runtime.resilience.")
+        or fqname.rsplit(".", 1)[-1] in _FAULT_SEED_LEAVES
+    )
+
+
+def mark_worker_bound(
+    roots: Sequence[str],
+    calls: Dict[str, Sequence[str]],
+    known: Set[str],
+) -> Dict[str, str]:
+    """Worker-bound closure over an fq-level call graph, deterministically.
+
+    Shared by the live index and the incremental cache's warm-run replay
+    (:mod:`.cache` stores exactly ``roots``/``calls`` per module), so both
+    attribute the same root to a function reachable from several — the
+    root name appears in finding messages and must not flap between cold
+    and warm runs.
+    """
+    frontier: List[Tuple[str, str]] = [
+        (fqname, fqname) for fqname in sorted(roots)
+    ]
+    bound: Dict[str, str] = {}
+    while frontier:
+        fqname, root = frontier.pop()
+        if fqname in bound:
+            continue
+        bound[fqname] = root
+        for callee in sorted(calls.get(fqname, ())):
+            if callee in known and callee not in bound:
+                frontier.append((callee, root))
+    return bound
+
 
 @dataclass
 class Mutation:
@@ -153,6 +195,9 @@ class ProjectIndex:
         self.module_rngs: Dict[str, int] = {}
         #: fq function name -> fq worker-safe root that reaches it
         self.worker_bound: Dict[str, str] = {}
+        #: fq function names whose execution can surface injected faults
+        #: (reverse call-graph closure from the fault/resilience seeds).
+        self.fault_reaching: Set[str] = set()
         self._summaries_by_module: Dict[str, List[FunctionSummary]] = {}
         self._build()
 
@@ -169,6 +214,24 @@ class ProjectIndex:
             return None
         return self.functions.get(target)
 
+    def call_target(
+        self, module: ModuleInfo, function: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Best-effort fq name of a call's target (may be repo-external)."""
+        return self._call_target(module, function, call)
+
+    def reaches_faults(self, target: Optional[str]) -> bool:
+        """Can calling ``target`` surface an injected fault?
+
+        True for the seed surface itself (``repro.runtime.faults`` /
+        ``repro.runtime.resilience`` members, ``attempt_transfer`` /
+        ``resolve_offload`` by leaf name — the method form resolves to a
+        receiver-local name) and for everything in the reverse closure.
+        """
+        if target is None:
+            return False
+        return target in self.fault_reaching or _is_fault_seed(target)
+
     # -- construction ------------------------------------------------------
     def _build(self) -> None:
         for module in self.modules:
@@ -183,6 +246,7 @@ class ProjectIndex:
                 self.functions[summary.fqname] = summary
         self._infer_return_units()
         self._mark_worker_bound()
+        self._close_fault_reaching()
 
     def _collect_module_state(self, module: ModuleInfo) -> None:
         dotted = module.dotted_name
@@ -409,19 +473,28 @@ class ProjectIndex:
                 break
 
     def _mark_worker_bound(self) -> None:
-        frontier: List[Tuple[str, str]] = [
-            (summary.fqname, summary.fqname)
-            for summary in self.functions.values()
-            if summary.worker_safe
-        ]
-        while frontier:
-            fqname, root = frontier.pop()
-            if fqname in self.worker_bound:
-                continue
-            self.worker_bound[fqname] = root
-            summary = self.functions.get(fqname)
-            if summary is None:
-                continue
-            for callee in summary.calls:
-                if callee in self.functions and callee not in self.worker_bound:
-                    frontier.append((callee, root))
+        self.worker_bound = mark_worker_bound(
+            [s.fqname for s in self.functions.values() if s.worker_safe],
+            {fq: sorted(s.calls) for fq, s in self.functions.items()},
+            set(self.functions),
+        )
+
+    def _close_fault_reaching(self) -> None:
+        """Fixed point: f reaches faults if it is a seed or calls one."""
+        self.fault_reaching = {
+            fqname
+            for fqname in self.functions
+            if _is_fault_seed(fqname)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fqname, summary in self.functions.items():
+                if fqname in self.fault_reaching:
+                    continue
+                if any(
+                    callee in self.fault_reaching or _is_fault_seed(callee)
+                    for callee in summary.calls
+                ):
+                    self.fault_reaching.add(fqname)
+                    changed = True

@@ -9,7 +9,11 @@ Two plugin shapes:
 - **project rules** implement ``check(project, module, report)`` and get the
   cross-module :class:`~repro.analysis.flowcheck.project.ProjectIndex`
   (function summaries, call graph, worker-bound reachability) alongside
-  the module being reported on.
+  the module being reported on;
+- **cfg rules** implement ``check(project, module, function, cfg, report)``
+  and run once per function with its exception-aware control-flow graph
+  (see :mod:`repro.analysis.flowcheck.cfg`), typically via a typestate
+  machine (:mod:`repro.analysis.flowcheck.typestate`).
 
 ``report(rule_id, node_or_line, message, hint=..., severity=...)`` is
 provided by the engine and handles location bookkeeping, suppression and
@@ -25,9 +29,11 @@ from .aliasing import TensorAliasRule
 from .clock import MonotonicClockRule
 from .concurrency import SharedMutableRule, WallClockSpanRule, WorkerRngRule
 from .contracts import BoundaryContractRule
+from .exceptions import BreakerProtocolRule, SwallowedFaultRule
 from .legacy import LegacyRepolintRule
 from .numeric import DivGuardRule, FloatEqRule, MathDomainRule
 from .printcall import PrintCallRule
+from .resources import SinkFlushRule, SpanLeakRule
 from .rng import RngDisciplineRule
 from .units import UnitFlowRule
 
@@ -50,13 +56,21 @@ PROJECT_RULES = [
     UnitFlowRule(),
     SharedMutableRule(),
     WorkerRngRule(),
+    SwallowedFaultRule(),
+]
+
+#: Typestate rules driven once per function over its exception-aware CFG.
+CFG_RULES = [
+    SpanLeakRule(),
+    SinkFlushRule(),
+    BreakerProtocolRule(),
 ]
 
 
 def rule_catalog() -> Dict[str, str]:
     """Stable rule id -> one-line summary, for ``--list-rules`` and docs."""
     catalog: Dict[str, str] = {}
-    for rule in [*FLOW_RULES, *MODULE_RULES, *PROJECT_RULES]:
+    for rule in [*FLOW_RULES, *MODULE_RULES, *PROJECT_RULES, *CFG_RULES]:
         for rule_id, summary in rule.catalog().items():
             catalog[rule_id] = summary
     return dict(sorted(catalog.items()))

@@ -1,0 +1,327 @@
+"""Exception-flow rules: breaker protocol order and swallowed faults.
+
+``BREAKER-PROTOCOL`` — a :class:`~repro.runtime.resilience.CircuitBreaker`
+must be *consulted* before it is *told*: every ``record_success()`` /
+``record_failure()`` needs a preceding ``allow()`` on the same path, and
+each ``allow()`` gates at most one record (the next attempt re-asks).
+Recording without asking silently skips the open-breaker degradation
+path — the classic way a "resilient" retry loop hammers a dead cloud.
+Runs as a typestate machine over the CFG, so an ``allow()`` inside a
+loop condition correctly re-checks on the back edge.
+
+``SWALLOWED-FAULT`` — an ``except`` that is *bare*, *broad*
+(``Exception`` / ``BaseException``) or *fault-typed* (the
+``repro.runtime.faults`` hierarchy) around code that can surface
+injected faults must not exit without either re-raising or recording
+the fault (a recorder/stats call, a counter bump). Interprocedural: the
+"can surface faults" evidence comes from the project index's
+fault-reaching closure, so a broad handler around
+``resolve_offload(...)`` three calls deep is still checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg import CFG, Block, evaluated_nodes
+from ..core import FunctionInfo, ModuleInfo
+from ..project import ProjectIndex
+from ..typestate import Machine, State, analyze
+from .resources import free_loads
+
+#: Breaker method calls the protocol machine interprets.
+_ALLOW = "allow"
+_RECORDS = frozenset({"record_success", "record_failure"})
+
+#: Handler-body call leaves that count as *recording* a swallowed fault.
+RECORD_LEAVES = frozenset(
+    {
+        "event",
+        "record",
+        "record_fault",
+        "record_failure",
+        "record_success",
+        "count",
+        "observe",
+        "increment",
+        "warning",
+        "error",
+        "exception",
+        "log",
+        "debug",
+        "info",
+        "append",
+        "add",
+        "put",
+        "note",
+    }
+)
+
+#: Exception leaf names that catch everything.
+_BROAD_LEAVES = frozenset({"Exception", "BaseException"})
+
+
+def _breaker_param_names(function: FunctionInfo) -> Set[str]:
+    return {
+        param.arg
+        for param in function.params()
+        if param.arg == "breaker" or param.arg.endswith("_breaker")
+    }
+
+
+class _BreakerMachine(Machine):
+    """States: ``unchecked`` (must not record) / ``checked`` (may record).
+
+    ``allow()`` moves a breaker to ``checked``; each ``record_*()``
+    consumes the check and moves it back. A breaker that escapes into a
+    call is no longer ours to police.
+    """
+
+    def __init__(self, module: ModuleInfo, function: FunctionInfo) -> None:
+        self.module = module
+        self.function = function
+        #: (name, line, method) for every possibly-unchecked record call.
+        self.violations: Set[Tuple[str, int, str]] = set()
+
+    def initial(self, cfg: CFG) -> State:
+        return {
+            name: frozenset({"unchecked"})
+            for name in _breaker_param_names(self.function)
+        }
+
+    def transfer(self, state: State, block: Block) -> Tuple[State, State]:
+        out = dict(state)
+        for node in evaluated_nodes(block):
+            for call in self._calls_in_order(node):
+                self._apply_call(call, out)
+            escaped = free_loads(node, set(out)) if out else set()
+            for name in escaped:
+                out[name] = frozenset({"escaped"})
+        stmt = block.stmt
+        if (
+            block.kind == "stmt"
+            and isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and self.module.resolve(stmt.value.func).rsplit(".", 1)[-1]
+            == "CircuitBreaker"
+        ):
+            out[stmt.targets[0].id] = frozenset({"unchecked"})
+        return out, dict(state)
+
+    @staticmethod
+    def _calls_in_order(node: ast.AST) -> List[ast.Call]:
+        calls = [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        return calls
+
+    def _apply_call(self, call: ast.Call, out: State) -> None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in out
+        ):
+            return
+        name = func.value.id
+        if func.attr == _ALLOW:
+            out[name] = frozenset({"checked"})
+        elif func.attr in _RECORDS:
+            if "unchecked" in out[name]:
+                self.violations.add((name, call.lineno, func.attr))
+            out[name] = frozenset({"unchecked"})
+
+
+class BreakerProtocolRule:
+    """BREAKER-PROTOCOL: record_*() without a path-preceding allow()."""
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            "BREAKER-PROTOCOL": (
+                "CircuitBreaker.record_success()/record_failure() on a "
+                "path with no preceding allow() — the open-breaker "
+                "degradation path is silently skipped"
+            )
+        }
+
+    def check(
+        self,
+        project: ProjectIndex,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        cfg: CFG,
+        report,
+    ) -> None:
+        machine = _BreakerMachine(module, function)
+        if not machine.initial(cfg) and not self._constructs_breaker(module, function):
+            return  # nothing trackable: skip the fixed point
+        analyze(cfg, machine)
+        for name, line, method in sorted(machine.violations):
+            report(
+                "BREAKER-PROTOCOL",
+                line,
+                f"`{name}.{method}()` in `{function.qualname}` may run "
+                f"with no preceding `{name}.allow()` on some path",
+                hint="gate every attempt with allow() — closed->open->"
+                "half-open order is per-attempt, not per-function",
+            )
+
+    @staticmethod
+    def _constructs_breaker(module: ModuleInfo, function: FunctionInfo) -> bool:
+        for node in ast.walk(function.node):
+            if (
+                isinstance(node, ast.Call)
+                and module.resolve(node.func).rsplit(".", 1)[-1]
+                == "CircuitBreaker"
+            ):
+                return True
+        return False
+
+
+def _exception_leaves(type_node: Optional[ast.expr]) -> List[ast.expr]:
+    if type_node is None:
+        return []
+    if isinstance(type_node, ast.Tuple):
+        return list(type_node.elts)
+    return [type_node]
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    for leaf in _exception_leaves(handler.type):
+        name = leaf.attr if isinstance(leaf, ast.Attribute) else (
+            leaf.id if isinstance(leaf, ast.Name) else ""
+        )
+        if name in _BROAD_LEAVES:
+            return True
+    return False
+
+
+def _handler_is_fault_typed(
+    handler: ast.ExceptHandler, module: ModuleInfo
+) -> bool:
+    for leaf in _exception_leaves(handler.type):
+        resolved = module.resolve(leaf)
+        name = resolved.rsplit(".", 1)[-1]
+        if resolved.startswith("repro.runtime.faults.") or name.endswith(
+            "FaultError"
+        ):
+            return True
+    return False
+
+
+def _body_reaches_faults(
+    project: ProjectIndex,
+    module: ModuleInfo,
+    function: FunctionInfo,
+    body: List[ast.stmt],
+) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                target = project.call_target(module, function, node)
+                if project.reaches_faults(target):
+                    return True
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                resolved = module.resolve(exc)
+                if resolved.startswith("repro.runtime.faults.") or (
+                    resolved.rsplit(".", 1)[-1].endswith("FaultError")
+                ):
+                    return True
+    return False
+
+
+def _handler_records_or_raises(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.AugAssign):
+                return True  # counter bump: `stats.swallowed += 1`
+            if isinstance(node, ast.Call):
+                func = node.func
+                leaf = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                # `_record_fault` and friends: private helpers keep
+                # their recording leaf under the underscore prefix.
+                if leaf.lstrip("_") in RECORD_LEAVES:
+                    return True
+    return False
+
+
+class SwallowedFaultRule:
+    """SWALLOWED-FAULT: broad/fault except around fault-reaching code."""
+
+    def catalog(self) -> Dict[str, str]:
+        return {
+            "SWALLOWED-FAULT": (
+                "bare/broad/fault-typed `except` around fault-reaching "
+                "code neither re-raises nor records the fault"
+            )
+        }
+
+    def check(
+        self, project: ProjectIndex, module: ModuleInfo, report
+    ) -> None:
+        for function in module.functions:
+            for node in self._own_statements(function.node):
+                if isinstance(node, ast.Try):
+                    self._check_try(project, module, function, node, report)
+
+    @staticmethod
+    def _own_statements(root: ast.AST):
+        """Walk, skipping nested function/class bodies (own FunctionInfo)."""
+        todo = list(ast.iter_child_nodes(root))
+        while todo:
+            node = todo.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+    def _check_try(
+        self,
+        project: ProjectIndex,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        try_stmt: ast.Try,
+        report,
+    ) -> None:
+        for handler in try_stmt.handlers:
+            broad = _handler_is_broad(handler)
+            fault_typed = _handler_is_fault_typed(handler, module)
+            if not (broad or fault_typed):
+                continue
+            if broad and not fault_typed:
+                if not _body_reaches_faults(
+                    project, module, function, try_stmt.body + try_stmt.orelse
+                ):
+                    continue
+            if _handler_records_or_raises(handler):
+                continue
+            caught = (
+                "bare `except`"
+                if handler.type is None
+                else f"`except {ast.unparse(handler.type)}`"
+            )
+            report(
+                "SWALLOWED-FAULT",
+                handler.lineno,
+                f"{caught} in `{function.qualname}` swallows a fault "
+                f"from fault-reaching code without re-raising or "
+                f"recording it",
+                hint="re-raise, or record it (recorder.event(...), a "
+                "stats counter) before continuing",
+            )
+
+
+__all__ = ["BreakerProtocolRule", "SwallowedFaultRule", "RECORD_LEAVES"]

@@ -33,6 +33,47 @@ _LEVEL = {
     Severity.INFO: "note",
 }
 
+#: Long-form help for the exception-flow/typestate rules — scanning UIs
+#: surface this next to each result, so it explains the fix, not just
+#: the defect.
+RULE_HELP: Dict[str, str] = {
+    "SPAN-LEAK": (
+        "A span or file handle acquired outside `with` is not released "
+        "on every control-flow exit — including exception edges: any "
+        "call between the acquisition and the release can raise with "
+        "the resource still open. Wrap the acquisition in `with`, or "
+        "release it in a `finally` block. Handing the resource to "
+        "another owner (returning it, passing it to a call) transfers "
+        "responsibility and is not flagged."
+    ),
+    "SINK-FLUSH": (
+        "A JSONL/CSV result sink opened for writing on a worker-bound "
+        "path (reachable from a `@worker_safe` root) has a path to a "
+        "function exit with unflushed buffered data. A worker that "
+        "dies mid-run silently truncates its results. Flush or close "
+        "the handle on every path — `with open(...)` or a `finally: "
+        "handle.close()` — or stream through repro.obs.sink, which "
+        "flushes per record."
+    ),
+    "SWALLOWED-FAULT": (
+        "A bare/broad `except` (or a handler typed to the "
+        "repro.runtime.faults hierarchy) around fault-reaching code "
+        "neither re-raises nor records what it caught: a typed "
+        "environmental fault disappears without a trace event, counter "
+        "bump, or log line, making resilience telemetry lie. Re-raise, "
+        "or record the fault (recorder.event(...), a stats counter) "
+        "before continuing."
+    ),
+    "BREAKER-PROTOCOL": (
+        "CircuitBreaker methods are called out of protocol order on "
+        "some path: every `record_success`/`record_failure` must be "
+        "gated by its own preceding `allow()` check — the breaker may "
+        "open between two records, and recording against an open "
+        "breaker corrupts its closed->open->half-open state machine. "
+        "Re-check `allow()` after each recorded attempt."
+    ),
+}
+
 
 def _rule_descriptors(rule_ids: Sequence[str]) -> List[Dict[str, object]]:
     catalog = rule_catalog()
@@ -42,6 +83,10 @@ def _rule_descriptors(rule_ids: Sequence[str]) -> List[Dict[str, object]]:
         summary = catalog.get(rule_id)
         if summary:
             descriptor["shortDescription"] = {"text": summary}
+        help_text = RULE_HELP.get(rule_id)
+        if help_text:
+            descriptor["fullDescription"] = {"text": help_text}
+            descriptor["help"] = {"text": help_text}
         descriptors.append(descriptor)
     return descriptors
 

@@ -1,0 +1,102 @@
+"""Typestate dataflow over the exception-aware CFG.
+
+A *typestate machine* tracks abstract states of named resources (an open
+span, a dirty sink, a circuit breaker) through one function's
+:class:`~repro.analysis.flowcheck.cfg.CFG`. The analysis is a classic
+forward worklist fixed point on a finite powerset lattice:
+
+- a **state** maps each tracked resource key to the *set* of abstract
+  states it may be in (sets, because joins union control-flow paths);
+- the **join** at a block with several predecessors is the pointwise
+  union — monotone, so the fixed point terminates;
+- each machine's :meth:`Machine.transfer` returns a **pair**
+  ``(normal, exceptional)``: the state after the block completes, and
+  the state flowing along the block's ``exc`` edge. The exceptional
+  state defaults to the *pre*-state (a statement that raises did not
+  finish its effect: ``h = open(p)`` raising means nothing was
+  acquired), but release operations must override it — ``h.close()``
+  releases even when ``close`` itself raises, otherwise the canonical
+  ``try/finally: h.close()`` pattern would be flagged on the close's
+  own exception edge.
+
+Machines do not report during ``transfer`` (it runs once per worklist
+visit); they accumulate facts and the rule reads the fixed point —
+typically the in-states of ``cfg.exit`` (normal return) and
+``cfg.raise_exit`` (unhandled exception) — via the result of
+:func:`analyze`. Because states only grow, any fact visible in an early
+visit is a subset of the final one, so call-site checks recorded into a
+set during ``transfer`` are sound too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Tuple
+
+from .cfg import CFG, Block
+
+#: resource key -> set of abstract states it may be in.
+State = Dict[str, FrozenSet[str]]
+
+
+def join(a: State, b: State) -> State:
+    """Pointwise union of two states (paths merging at a block)."""
+    out = dict(a)
+    for key, states in b.items():
+        out[key] = out.get(key, frozenset()) | states
+    return out
+
+
+def includes(a: State, b: State) -> bool:
+    """True when ``a`` already covers everything in ``b`` (no growth)."""
+    for key, states in b.items():
+        if not states <= a.get(key, frozenset()):
+            return False
+    return True
+
+
+class Machine:
+    """Base typestate machine; subclass per rule.
+
+    One instance analyzes one function — machines may keep per-run
+    bookkeeping (acquisition lines, violation sets) as instance state.
+    """
+
+    def initial(self, cfg: CFG) -> State:
+        """Entry state (e.g. parameters already holding a resource)."""
+        return {}
+
+    def transfer(self, state: State, block: Block) -> Tuple[State, State]:
+        """``(state after normal completion, state along the exc edge)``."""
+        raise NotImplementedError
+
+
+def analyze(cfg: CFG, machine: Machine) -> Dict[int, State]:
+    """Run ``machine`` to a fixed point; returns in-states per block id.
+
+    Read ``result[cfg.exit.id]`` / ``result[cfg.raise_exit.id]`` for the
+    states reaching the normal and exceptional exits; blocks never
+    reached (dead code) are absent.
+    """
+    in_states: Dict[int, State] = {cfg.entry.id: machine.initial(cfg)}
+    worklist = deque([cfg.entry.id])
+    queued = {cfg.entry.id}
+    while worklist:
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        normal, exceptional = machine.transfer(
+            in_states[block_id], cfg.blocks[block_id]
+        )
+        for edge in cfg.successors(block_id):
+            out = exceptional if edge.kind == "exc" else normal
+            seen = in_states.get(edge.dst)
+            if seen is None:
+                in_states[edge.dst] = dict(out)
+            elif includes(seen, out):
+                continue
+            else:
+                in_states[edge.dst] = join(seen, out)
+            if edge.dst not in queued:
+                queued.add(edge.dst)
+                worklist.append(edge.dst)
+    return in_states

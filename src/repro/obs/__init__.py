@@ -20,6 +20,7 @@ run with::
 """
 
 from .exporters import export_metrics, prometheus_text
+from .sink import CsvSink, JsonlSink
 from .report import (
     RLCurve,
     SpanAgg,
@@ -39,6 +40,8 @@ from .trace import (
 )
 
 __all__ = [
+    "CsvSink",
+    "JsonlSink",
     "RLCurve",
     "SpanAgg",
     "TraceRecorder",

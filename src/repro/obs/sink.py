@@ -1,0 +1,114 @@
+"""Crash-safe streaming record sinks — durable as soon as written.
+
+:class:`~repro.obs.trace.TraceRecorder` historically buffered every
+record in memory and wrote the JSONL file only when ``recording()``
+exited — so a hard crash (OOM kill, power loss on the device under
+test) lost the entire trace, which is precisely the run you wanted
+evidence from. These sinks invert that: each record is serialized,
+written and **flushed** the moment it is produced, so the file on disk
+is always a valid prefix of the run.
+
+- :class:`JsonlSink` — one JSON object per line, the trace format
+  readers already consume (:mod:`repro.obs.report`);
+- :class:`CsvSink` — fixed-column CSV for sweep/result tables, columns
+  declared up front so partial files still parse.
+
+Both are context managers, idempotent on :meth:`close`, and safe to
+call after close (writes to a closed sink raise, they do not silently
+vanish). They hold the only reference to their file handle and release
+it on every path — the flowcheck ``SPAN-LEAK``/``SINK-FLUSH`` rules
+check exactly this contract at their call sites.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+class JsonlSink:
+    """Append-only JSONL writer that flushes after every record."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Serialize one record and make it durable before returning."""
+        if self._handle is None:
+            raise ValueError(f"sink already closed: {self.path}")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def close(self) -> None:
+        """Release the handle; safe to call more than once."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class CsvSink:
+    """Fixed-column CSV writer that flushes after every row.
+
+    Columns are declared up front and the header is written immediately,
+    so a run killed after *n* rows leaves a parseable n-row table.
+    Missing keys become empty cells; unexpected keys raise (a sweep that
+    silently drops a metric column is worse than one that crashes).
+    """
+
+    def __init__(self, path: PathLike, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("CsvSink needs at least one column")
+        self.path = Path(path)
+        self.columns = list(columns)
+        self._handle: Optional[Any] = self.path.open(
+            "w", encoding="utf-8", newline=""
+        )
+        self._writer = csv.DictWriter(self._handle, fieldnames=self.columns)
+        self._writer.writeheader()
+        self._handle.flush()
+        self.rows_written = 0
+
+    def write(self, row: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink already closed: {self.path}")
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ValueError(
+                f"row has undeclared columns {sorted(unknown)}; "
+                f"declared: {self.columns}"
+            )
+        self._writer.writerow(row)
+        self._handle.flush()
+        self.rows_written += 1
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -34,16 +34,28 @@ One JSONL line per record::
      "span": "s7", "t_ms": 12.4, "fields": {"attempt": 1}}
 
 Span records are emitted when the span *closes*, so children precede
-their parents in the file; readers rebuild the tree from ``parent``.
+their parents in the file; readers rebuild the tree from ``parent``. A
+span whose body raised carries an ``"error"`` field (the exception type
+name) — exception paths are the interesting paths in a resilience run,
+and a trace that cannot tell a clean request from a crashed one hides
+exactly what it exists to show.
+
+By default records buffer in memory and are written on ``recording()``
+exit. Pass ``stream=True`` (or a :class:`~repro.obs.sink.JsonlSink` via
+``sink=``) to make each record durable the moment it is produced — a
+run killed mid-flight still leaves every closed span on disk.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from .sink import JsonlSink
 
 PathLike = Union[str, Path]
 
@@ -120,11 +132,16 @@ class TraceRecorder:
         self,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        sink: Optional[JsonlSink] = None,
     ) -> None:
         self.enabled = enabled
         self._clock = clock
         self._origin = clock()
         self.records: List[Dict[str, Any]] = []
+        #: Optional streaming sink: every record is also written (and
+        #: flushed) the moment it is produced — crash-safe tracing. Any
+        #: object with ``write(record_dict)`` works.
+        self.sink = sink
         self._stack: List[TraceSpan] = []
         self._next_span = 0
         self._next_trace = 0
@@ -167,20 +184,24 @@ class TraceRecorder:
             yield handle
         finally:
             self._stack.pop()
-            self.records.append(
-                {
-                    "kind": "span",
-                    "name": handle.name,
-                    "trace": handle.trace_id,
-                    "span": handle.span_id,
-                    "parent": handle.parent_id,
-                    "t_ms": round(handle.start_ms, 4),
-                    "dur_ms": round(self._now_ms() - handle.start_ms, 4),
-                    "fields": {
-                        k: _jsonable(v) for k, v in handle.fields.items()
-                    },
-                }
-            )
+            record = {
+                "kind": "span",
+                "name": handle.name,
+                "trace": handle.trace_id,
+                "span": handle.span_id,
+                "parent": handle.parent_id,
+                "t_ms": round(handle.start_ms, 4),
+                "dur_ms": round(self._now_ms() - handle.start_ms, 4),
+                "fields": {
+                    k: _jsonable(v) for k, v in handle.fields.items()
+                },
+            }
+            # A raising body marks its span: exception paths are the
+            # ones a resilience trace exists to explain.
+            exc_type = sys.exc_info()[0]
+            if exc_type is not None:
+                record["error"] = exc_type.__name__
+            self._emit(record)
 
     #: Alias documenting intent at trace roots (``run_scenario``, sessions).
     trace = span
@@ -190,7 +211,7 @@ class TraceRecorder:
         if not self.enabled:
             return
         current = self._stack[-1] if self._stack else None
-        self.records.append(
+        self._emit(
             {
                 "kind": "event",
                 "name": name,
@@ -200,6 +221,11 @@ class TraceRecorder:
                 "fields": {k: _jsonable(v) for k, v in fields.items()},
             }
         )
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink.write(record)
 
     # -- export ------------------------------------------------------------
     def to_jsonl(self) -> str:
@@ -238,19 +264,29 @@ def set_recorder(recorder: TraceRecorder) -> TraceRecorder:
 
 
 @contextmanager
-def recording(path: Optional[PathLike] = None) -> Iterator[TraceRecorder]:
+def recording(
+    path: Optional[PathLike] = None, stream: bool = False
+) -> Iterator[TraceRecorder]:
     """Enable tracing for the block; optionally dump JSONL on exit.
 
     Swaps a fresh enabled recorder in as the process default and restores
-    the previous recorder afterwards (even on error); with ``path`` the
-    trace is written on exit no matter how the block ends, so a crashed
-    run still leaves evidence.
+    the previous recorder afterwards (even on error). With ``path`` the
+    trace is written on exit no matter how the block ends; with
+    ``stream=True`` as well, records go through a flushed
+    :class:`~repro.obs.sink.JsonlSink` the moment they close, so even a
+    run killed outright (no ``finally`` runs) leaves every completed
+    record on disk.
     """
-    recorder = TraceRecorder(enabled=True)
+    if stream and path is None:
+        raise ValueError("recording(stream=True) needs a path to stream to")
+    sink = JsonlSink(path) if stream and path is not None else None
+    recorder = TraceRecorder(enabled=True, sink=sink)
     previous = set_recorder(recorder)
     try:
         yield recorder
     finally:
         set_recorder(previous)
-        if path is not None:
+        if sink is not None:
+            sink.close()
+        elif path is not None:
             recorder.dump_jsonl(path)

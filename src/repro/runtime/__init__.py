@@ -13,9 +13,13 @@ from .faults import (
     BandwidthCollapse,
     CloudBrownout,
     CloudOutage,
+    CloudUnreachableError,
+    FaultError,
     FaultEvent,
     FaultSchedule,
     ProbeBlackout,
+    ProbeBlackoutError,
+    TransferAbortedError,
     TransferLoss,
 )
 from .regret import RegretReport, oracle_candidates, regret_analysis
@@ -44,6 +48,10 @@ __all__ = [
     "InferencePlan",
     "RuntimeEnvironment",
     "TreePlan",
+    "FaultError",
+    "CloudUnreachableError",
+    "TransferAbortedError",
+    "ProbeBlackoutError",
     "FaultEvent",
     "FaultSchedule",
     "CloudOutage",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from ..contracts import require_non_negative
 from ..obs.trace import get_recorder
 from ..perf import get_registry
 from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
+from .faults import FaultError
 
 
 @dataclass
@@ -25,6 +26,9 @@ class EmulationResult:
     """Aggregated outcomes of many inference requests under one plan."""
 
     outcomes: List[InferenceOutcome] = field(default_factory=list)
+    #: Typed environmental faults absorbed per request (exception type
+    #: name -> count); the faulted requests re-ran device-only.
+    swallowed_faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_latency_ms(self) -> float:
@@ -99,13 +103,37 @@ def run_emulation(
     perf = get_registry()
     recorder = get_recorder()
     device_free_ms = 0.0
+    degraded_env = None  # built lazily on the first absorbed fault
     for index, arrival in enumerate(arrival_times):
         perf.count("emulator.requests")
         start = max(float(arrival), device_free_ms) if queued else float(arrival)
         with perf.span("emulator.request"), recorder.span(
             "emulator.request", index=index, start_sim_ms=start
         ) as obs_span:
-            outcome = plan.execute(start, env, rng)
+            try:
+                outcome = plan.execute(start, env, rng)
+            except FaultError as fault:
+                # Absorb typed environmental faults only: count them,
+                # leave a trace event, and re-run this one request as if
+                # a permanent outage were active (device-only), so one
+                # flaky window cannot void a whole emulation table.
+                name = type(fault).__name__
+                result.swallowed_faults[name] = (
+                    result.swallowed_faults.get(name, 0) + 1
+                )
+                perf.count("emulator.faults_absorbed")
+                recorder.event(
+                    "emulator.fault_absorbed",
+                    fault=name,
+                    index=index,
+                    t_sim_ms=float(getattr(fault, "t_ms", 0.0)),
+                )
+                obs_span.add(degraded_by_fault=name)
+                if degraded_env is None:
+                    degraded_env = dataclasses.replace(
+                        env, cloud_outages=((0.0, float("inf")),)
+                    )
+                outcome = plan.execute(start, degraded_env, rng)
             obs_span.add(
                 latency_ms=outcome.latency_ms,
                 fork_path=list(outcome.fork_choices),

@@ -17,6 +17,16 @@ retries and graceful degradation:
 - :class:`ProbeBlackout` — bandwidth measurement stops working (the
   probe side-channel is down), so fork decisions fly blind.
 
+Alongside the declarative *events* (data: windows on the emulation
+clock) lives the typed *exception* hierarchy — :class:`FaultError` and
+its leaves :class:`CloudUnreachableError`, :class:`TransferAbortedError`
+and :class:`ProbeBlackoutError` — the sanctioned way for components
+below the serving boundary (predictors, probe callbacks, custom plans)
+to signal an environmental failure. The session boundary catches
+exactly this hierarchy (never broad ``Exception``), records what it
+swallowed, and degrades; see
+:class:`~repro.runtime.session.InferenceSession`.
+
 A :class:`FaultSchedule` composes any number of events and installs
 itself onto a :class:`~repro.runtime.engine.RuntimeEnvironment` with
 :meth:`FaultSchedule.install`, wrapping the transfer channel in a
@@ -39,6 +49,37 @@ from ..network.channel import LossyChannel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import RuntimeEnvironment
+
+
+class FaultError(RuntimeError):
+    """Base of the typed fault hierarchy — an *environmental* failure.
+
+    Components below the serving boundary (bandwidth predictors, probe
+    callbacks, custom plans) raise these — never bare ``RuntimeError`` —
+    to signal that the edge-cloud environment failed, not the code. The
+    :class:`~repro.runtime.session.InferenceSession` boundary catches
+    exactly this hierarchy (nothing broader), records the swallowed
+    fault on :class:`~repro.runtime.session.SessionStats`, and degrades
+    the request instead of crashing the serving loop. Anything outside
+    the hierarchy propagates: a genuine bug must stay loud.
+    """
+
+    def __init__(self, message: str, t_ms: float = 0.0) -> None:
+        super().__init__(message)
+        #: Simulated-clock time the fault surfaced at (best effort).
+        self.t_ms = float(require_non_negative(t_ms, "t_ms"))
+
+
+class CloudUnreachableError(FaultError):
+    """The cloud could not be reached at all (outage, dead link)."""
+
+
+class TransferAbortedError(FaultError):
+    """A transfer died mid-flight and no retry budget remained."""
+
+
+class ProbeBlackoutError(FaultError):
+    """The bandwidth measurement side-channel is down; no usable estimate."""
 
 
 @dataclass(frozen=True)

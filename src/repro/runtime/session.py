@@ -30,6 +30,7 @@ from ..search.tree import ModelTree
 from .adaptation import QuantileForkMatcher, adaptive_probe
 from .emulator import EmulationResult
 from .engine import InferenceOutcome, RuntimeEnvironment, TreePlan
+from .faults import FaultError
 from .resilience import CircuitBreaker, OffloadPolicy
 
 
@@ -61,6 +62,9 @@ class SessionStats:
     degraded_rate: float = 0.0
     breaker_state: Optional[str] = None
     breaker_transitions: Dict[str, int] = field(default_factory=dict)
+    #: Typed environmental faults the session boundary absorbed instead
+    #: of crashing the serving loop, counted per exception type name.
+    swallowed_faults: Dict[str, int] = field(default_factory=dict)
 
 
 class InferenceSession:
@@ -96,6 +100,8 @@ class InferenceSession:
         self.rng = np.random.default_rng(seed)
         self.clock_ms = 0.0
         self.outcomes: List[InferenceOutcome] = []
+        #: Environmental faults absorbed at the serving boundary, by type.
+        self.fault_counts: Dict[str, int] = {}
         #: End-to-end simulated latency distribution across requests.
         self.latency_hist = HistogramStat()
         # A policy without an explicit breaker still gets one: the breaker
@@ -122,7 +128,19 @@ class InferenceSession:
         with get_recorder().span(
             "session.infer", index=len(self.outcomes), start_sim_ms=start
         ) as obs_span:
-            outcome = self._plan.execute(start, env, self.rng)
+            try:
+                outcome = self._plan.execute(start, env, self.rng)
+            except FaultError as fault:
+                # The serving boundary: a typed environmental fault is
+                # recorded and the request degrades to device-only (the
+                # cloud is treated as out for this one execution). A
+                # fault on the degraded retry — or anything outside the
+                # FaultError hierarchy — propagates: bugs stay loud.
+                self._record_fault(fault, where="plan.execute")
+                obs_span.add(degraded_by_fault=type(fault).__name__)
+                outcome = self._plan.execute(
+                    start, self._device_only_env(), self.rng
+                )
             obs_span.add(
                 latency_ms=outcome.latency_ms,
                 fork_path=list(outcome.fork_choices),
@@ -137,6 +155,28 @@ class InferenceSession:
         self.outcomes.append(outcome)
         return outcome
 
+    def _record_fault(self, fault: FaultError, where: str) -> None:
+        """Count a swallowed environmental fault and leave a trace event."""
+        name = type(fault).__name__
+        self.fault_counts[name] = self.fault_counts.get(name, 0) + 1
+        get_recorder().event(
+            "session.fault_absorbed",
+            fault=name,
+            where=where,
+            t_sim_ms=float(getattr(fault, "t_ms", 0.0)),
+        )
+
+    def _device_only_env(self) -> RuntimeEnvironment:
+        """This session's environment with the cloud forced unavailable.
+
+        Used for the degraded retry after an absorbed fault: the request
+        runs as if a permanent outage were active, so resilient plans
+        take their fallback path instead of touching the faulty cloud.
+        """
+        return dataclasses.replace(
+            self.env, cloud_outages=((0.0, float("inf")),)
+        )
+
     def _predictive_env(self) -> RuntimeEnvironment:
         """The same environment, with probes routed through the predictor."""
         predictor = self.predictor
@@ -147,11 +187,17 @@ class InferenceSession:
             true_mbps: float, t_ms: float, rng: np.random.Generator
         ) -> float:
             measured = max(0.1, base_probe(true_mbps, t_ms, rng))
-            if predictor is not None:
-                predictor.update(measured)
-                measured = predictor.predict()
-            if adaptive is not None:
-                measured = adaptive(measured)
+            try:
+                if predictor is not None:
+                    predictor.update(measured)
+                    measured = predictor.predict()
+                if adaptive is not None:
+                    measured = adaptive(measured)
+            except FaultError as fault:
+                # A predictor signalling blackout (no usable estimate)
+                # must not kill the request — fly on the raw probe and
+                # record that the smoothing layer was down.
+                self._record_fault(fault, where="predictive_probe")
             return measured
 
         # dataclasses.replace carries every other field (outage windows,
@@ -191,6 +237,7 @@ class InferenceSession:
                 if self.breaker is not None
                 else {}
             ),
+            swallowed_faults=dict(self.fault_counts),
         )
 
     def reset(self) -> None:
@@ -200,6 +247,7 @@ class InferenceSession:
         """
         self.clock_ms = 0.0
         self.outcomes.clear()
+        self.fault_counts.clear()
         self.latency_hist = HistogramStat()
         if self.breaker is not None:
             self.breaker = CircuitBreaker(self.breaker.config)

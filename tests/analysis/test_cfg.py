@@ -1,0 +1,264 @@
+"""CFG construction goldens — block/edge sets, not rule output.
+
+Each golden asserts the *entire* ``edge_labels()`` set for one of the
+control shapes the typestate pass must get right: ``try/except/else/
+finally``, nested ``with``, ``while/else``, ``break``/``continue``
+inside ``try``, and a bare ``raise`` re-raise. Labels are stable:
+``L<line>`` for statement/test/loop/with blocks, ``<kind>@L<line>``
+for synthetic structure (dispatch, finally, join, with-exit), and
+``entry``/``exit``/``raise`` for the three synthetic terminals.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.flowcheck.cfg import build_cfg, evaluated_nodes, may_raise
+from repro.analysis.flowcheck.core import ModuleInfo
+from repro.analysis.flowcheck.suppress import collect_suppressions
+from repro.analysis.flowcheck.symbols import build_symbols
+
+
+def cfg_of(source):
+    source = textwrap.dedent(source)
+    module = build_symbols(
+        ModuleInfo(
+            path="m.py",
+            source=source,
+            tree=ast.parse(source),
+            suppressions=collect_suppressions(source),
+        )
+    )
+    return build_cfg(module.functions[0])
+
+
+class TestGoldenShapes:
+    def test_try_except_else_finally(self):
+        cfg = cfg_of(
+            '''
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                else:
+                    celebrate()
+                finally:
+                    cleanup()
+            '''
+        )
+        assert cfg.edge_labels() == {
+            # try body: success reaches the else, failure the dispatcher
+            ("entry", "next", "L4"),
+            ("L4", "next", "L8"),
+            ("L4", "exc", "dispatch@L3"),
+            # matched handler; unmatched exceptions still run the finally
+            ("dispatch@L3", "except", "L6"),
+            ("dispatch@L3", "exc", "finally@L10"),
+            # handler / else bodies both funnel into the finally,
+            # on their normal AND exceptional exits
+            ("L6", "next", "finally@L10"),
+            ("L6", "exc", "finally@L10"),
+            ("L8", "next", "finally@L10"),
+            ("L8", "exc", "finally@L10"),
+            # the finally body runs once; its end re-splits per pending
+            # continuation (fall-through vs re-raise), and an exception
+            # *inside* the finally wins outright
+            ("finally@L10", "next", "L10"),
+            ("L10", "next", "join@L10"),
+            ("L10", "exc", "raise"),
+            ("join@L10", "next", "join@L3"),
+            ("join@L10", "exc", "raise"),
+            ("join@L3", "return", "exit"),
+        }
+
+    def test_nested_with(self):
+        cfg = cfg_of(
+            '''
+            def f(a, b):
+                with open_a() as x:
+                    with open_b() as y:
+                        use(x, y)
+            '''
+        )
+        assert cfg.edge_labels() == {
+            ("entry", "next", "L3"),
+            # each context expression may itself raise (before entry)
+            ("L3", "exc", "raise"),
+            ("L3", "next", "L4"),
+            ("L4", "exc", "raise"),
+            ("L4", "next", "L5"),
+            ("L5", "exc", "raise"),
+            # normal exits unwind through the __exit__ blocks inner-first
+            ("L5", "next", "with-exit@L4"),
+            ("with-exit@L4", "next", "with-exit@L3"),
+            ("with-exit@L3", "return", "exit"),
+        }
+
+    def test_while_else(self):
+        cfg = cfg_of(
+            '''
+            def f(n):
+                while n > 0:
+                    n = step(n)
+                else:
+                    done()
+            '''
+        )
+        assert cfg.edge_labels() == {
+            ("entry", "next", "L3"),
+            ("L3", "true", "L4"),
+            ("L3", "false", "L6"),  # normal exhaustion runs the else
+            ("L3", "exc", "raise"),
+            ("L4", "back", "L3"),
+            ("L4", "exc", "raise"),
+            ("L6", "next", "join@L3"),
+            ("L6", "exc", "raise"),
+            ("join@L3", "return", "exit"),
+        }
+
+    def test_break_continue_inside_try(self):
+        cfg = cfg_of(
+            '''
+            def f(items):
+                for item in items:
+                    try:
+                        if bad(item):
+                            continue
+                        handle(item)
+                    except KeyError:
+                        break
+            '''
+        )
+        assert cfg.edge_labels() == {
+            ("entry", "next", "L3"),
+            ("L3", "true", "L5"),
+            ("L3", "false", "join@L3"),
+            ("L3", "exc", "raise"),
+            # the if-test call can raise into the enclosing try
+            ("L5", "true", "L6"),
+            ("L5", "false", "join@L5"),
+            ("L5", "exc", "dispatch@L4"),
+            # continue jumps straight back to the loop head
+            ("L6", "continue", "L3"),
+            ("join@L5", "next", "L7"),
+            ("L7", "next", "join@L4"),
+            ("L7", "exc", "dispatch@L4"),
+            ("join@L4", "back", "L3"),
+            # the handler's break leaves the loop; KeyError does not
+            # catch everything, so unmatched exceptions propagate
+            ("dispatch@L4", "except", "L9"),
+            ("dispatch@L4", "exc", "raise"),
+            ("L9", "break", "join@L3"),
+            ("join@L3", "return", "exit"),
+        }
+
+    def test_bare_raise_reraise(self):
+        cfg = cfg_of(
+            '''
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    log()
+                    raise
+            '''
+        )
+        assert cfg.edge_labels() == {
+            ("entry", "next", "L4"),
+            ("L4", "next", "join@L3"),
+            ("L4", "exc", "dispatch@L3"),
+            ("dispatch@L3", "except", "L6"),
+            # ``except Exception`` is not ``except BaseException`` —
+            # KeyboardInterrupt et al. still propagate unhandled
+            ("dispatch@L3", "exc", "raise"),
+            ("L6", "next", "L7"),
+            ("L6", "exc", "raise"),
+            ("L7", "raise", "raise"),
+            ("join@L3", "return", "exit"),
+        }
+
+
+class TestStructuralInvariants:
+    def test_while_true_has_no_false_edge(self):
+        cfg = cfg_of(
+            '''
+            def f():
+                while True:
+                    spin()
+            '''
+        )
+        kinds = {kind for _, kind, _ in cfg.edge_labels()}
+        assert "false" not in kinds
+
+    def test_bare_except_swallows_propagation(self):
+        cfg = cfg_of(
+            '''
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+            '''
+        )
+        # A bare handler catches everything: the dispatcher has no
+        # unmatched-propagation edge.
+        assert ("dispatch@L3", "exc", "raise") not in cfg.edge_labels()
+        assert not any(
+            src == "dispatch@L3" and kind == "exc"
+            for src, kind, _ in cfg.edge_labels()
+        )
+
+    def test_every_function_has_single_entry_and_exits(self):
+        cfg = cfg_of(
+            '''
+            def f(x):
+                if x:
+                    return early(x)
+                return late(x)
+            '''
+        )
+        labels = set(cfg.labels().values())
+        assert {"entry", "exit", "raise"} <= labels
+        # both returns route to the one synthetic exit
+        returns = [
+            (src, dst)
+            for src, kind, dst in cfg.edge_labels()
+            if kind == "return"
+        ]
+        assert returns and all(dst == "exit" for _, dst in returns)
+
+
+class TestNodeHelpers:
+    def test_may_raise_skips_nested_function_bodies(self):
+        stmt = ast.parse(
+            textwrap.dedent(
+                '''
+                def outer():
+                    def inner():
+                        risky()
+                '''
+            )
+        ).body[0].body[0]
+        assert not may_raise(stmt)
+        assert may_raise(ast.parse("x = f()").body[0])
+        assert may_raise(ast.parse("assert x").body[0])
+        assert not may_raise(ast.parse("x = 1").body[0])
+
+    def test_evaluated_nodes_per_block_kind(self):
+        cfg = cfg_of(
+            '''
+            def f(xs):
+                for x in xs:
+                    if x:
+                        use(x)
+            '''
+        )
+        labels = cfg.labels()
+        by_label = {labels[bid]: blk for bid, blk in cfg.blocks.items()}
+        # the loop block evaluates only its iterable, the test only its
+        # condition, synthetic joins nothing
+        loop_nodes = evaluated_nodes(by_label["L3"])
+        assert [ast.dump(n) for n in loop_nodes] == [
+            ast.dump(ast.parse("xs", mode="eval").body)
+        ]
+        assert evaluated_nodes(by_label["join@L3"]) == []

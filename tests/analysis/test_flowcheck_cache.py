@@ -1,0 +1,244 @@
+"""Incremental cache: correctness of invalidation, not speed.
+
+The pinned contract: editing one module re-analyzes exactly that module
+plus its transitive reverse *imports* — and, separately, any clean
+module whose worker-bound verdicts drifted (the one caller-direction
+fact). Warm findings must be byte-identical to a cold run.
+"""
+
+import textwrap
+
+from repro.analysis.flowcheck import check_paths
+from repro.analysis.flowcheck.cache import (
+    AnalysisCache,
+    closure_with_imports,
+    dotted_of_path,
+    plan_incremental,
+    resolve_dotted_prefix,
+)
+
+
+def write_project(root, modules):
+    pkg = root / "pkg"
+    pkg.mkdir(exist_ok=True)
+    for name, source in modules.items():
+        (pkg / f"{name}.py").write_text(textwrap.dedent(source))
+    return pkg
+
+
+BASE_MODULES = {
+    "a": """
+        def helper(latency_ms):
+            return latency_ms * 2.0
+        """,
+    "b": """
+        from pkg.a import helper
+
+        def wrap(latency_ms):
+            return helper(latency_ms)
+        """,
+    "c": """
+        def standalone(count):
+            return count + 1
+        """,
+}
+
+
+class TestWarmRuns:
+    def test_unchanged_repo_reanalyzes_nothing(self, tmp_path):
+        pkg = write_project(tmp_path, BASE_MODULES)
+        cache = tmp_path / "cache"
+        cold = check_paths([pkg], cache_dir=cache)
+        assert len(cold.reanalyzed) == 3
+        warm = check_paths([pkg], cache_dir=cache)
+        assert warm.reanalyzed == []
+        assert warm.files_checked == cold.files_checked
+
+    def test_edit_reanalyzes_module_and_reverse_imports_only(self, tmp_path):
+        pkg = write_project(tmp_path, BASE_MODULES)
+        cache = tmp_path / "cache"
+        check_paths([pkg], cache_dir=cache)
+        # Edit a: its importer b must re-run, standalone c must not.
+        (pkg / "a.py").write_text(
+            "def helper(latency_ms):\n    return latency_ms * 3.0\n"
+        )
+        warm = check_paths([pkg], cache_dir=cache)
+        assert sorted(warm.reanalyzed) == [
+            str(pkg / "a.py"),
+            str(pkg / "b.py"),
+        ]
+
+    def test_warm_findings_match_cold_findings(self, tmp_path):
+        leaky = dict(BASE_MODULES)
+        leaky["c"] = """
+            def f(path):
+                handle = open(path, "r")
+                data = handle.read()
+                handle.close()
+                return data
+            """
+        pkg = write_project(tmp_path, leaky)
+        cache = tmp_path / "cache"
+        cold = check_paths([pkg], cache_dir=cache)
+        warm = check_paths([pkg], cache_dir=cache)
+        assert warm.reanalyzed == []
+        assert [f.fingerprint() for f in warm.sorted_findings()] == [
+            f.fingerprint() for f in cold.sorted_findings()
+        ]
+        assert any(f.rule == "SPAN-LEAK" for f in warm.findings)
+        # And identical to an uncached run.
+        uncached = check_paths([pkg])
+        assert [f.fingerprint() for f in uncached.sorted_findings()] == [
+            f.fingerprint() for f in cold.sorted_findings()
+        ]
+
+    def test_file_set_change_forces_full_run(self, tmp_path):
+        pkg = write_project(tmp_path, BASE_MODULES)
+        cache = tmp_path / "cache"
+        check_paths([pkg], cache_dir=cache)
+        (pkg / "d.py").write_text("def extra():\n    return 1\n")
+        warm = check_paths([pkg], cache_dir=cache)
+        assert len(warm.reanalyzed) == 4  # everything: structural change
+
+    def test_corrupt_manifest_falls_back_to_full_run(self, tmp_path):
+        pkg = write_project(tmp_path, BASE_MODULES)
+        cache = tmp_path / "cache"
+        check_paths([pkg], cache_dir=cache)
+        (cache / "manifest.json").write_text("{not json")
+        warm = check_paths([pkg], cache_dir=cache)
+        assert len(warm.reanalyzed) == 3
+
+
+class TestWorkerBoundDrift:
+    """The caller-direction fact: an upstream @worker_safe edit must
+    re-analyze the (otherwise untouched) callee module."""
+
+    WRITER = """
+        def evaluate(path, rows):
+            handle = open(path, "w")
+            for row in rows:
+                handle.write(row)
+            handle.close()
+        """
+
+    def test_upstream_decorator_dirties_clean_callee(self, tmp_path):
+        pkg = write_project(
+            tmp_path,
+            {
+                "w": self.WRITER,
+                "r": """
+                    from pkg.w import evaluate
+
+                    def run(path, rows):
+                        evaluate(path, rows)
+                    """,
+            },
+        )
+        cache = tmp_path / "cache"
+        cold = check_paths([pkg], cache_dir=cache)
+        assert not any(f.rule == "SINK-FLUSH" for f in cold.findings)
+        # r gains @worker_safe: w's source is untouched, but its
+        # worker-bound verdict drifts — SINK-FLUSH must fire there now.
+        (pkg / "r.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.runtime.workers import worker_safe
+
+                from pkg.w import evaluate
+
+                @worker_safe
+                def run(path, rows):
+                    evaluate(path, rows)
+                """
+            )
+        )
+        warm = check_paths([pkg], cache_dir=cache)
+        assert str(pkg / "w.py") in warm.reanalyzed
+        sink = [f for f in warm.findings if f.rule == "SINK-FLUSH"]
+        assert sink and sink[0].path == str(pkg / "w.py")
+
+    def test_removing_decorator_clears_stale_finding(self, tmp_path):
+        pkg = write_project(
+            tmp_path,
+            {
+                "w": self.WRITER,
+                "r": """
+                    from repro.runtime.workers import worker_safe
+
+                    from pkg.w import evaluate
+
+                    @worker_safe
+                    def run(path, rows):
+                        evaluate(path, rows)
+                    """,
+            },
+        )
+        cache = tmp_path / "cache"
+        cold = check_paths([pkg], cache_dir=cache)
+        assert any(f.rule == "SINK-FLUSH" for f in cold.findings)
+        (pkg / "r.py").write_text(
+            textwrap.dedent(
+                """
+                from pkg.w import evaluate
+
+                def run(path, rows):
+                    evaluate(path, rows)
+                """
+            )
+        )
+        warm = check_paths([pkg], cache_dir=cache)
+        assert not any(f.rule == "SINK-FLUSH" for f in warm.findings)
+
+
+class TestPlanHelpers:
+    def test_plan_dirty_propagates_transitively(self):
+        stored = {
+            "a.py": {"hash": "old", "imports": []},
+            "b.py": {"hash": "same-b", "imports": ["a.py"]},
+            "c.py": {"hash": "same-c", "imports": ["b.py"]},
+            "d.py": {"hash": "same-d", "imports": []},
+        }
+        hashes = {
+            "a.py": "new",
+            "b.py": "same-b",
+            "c.py": "same-c",
+            "d.py": "same-d",
+        }
+        plan = plan_incremental(stored, hashes)
+        assert plan.dirty == {"a.py", "b.py", "c.py"}
+        assert "d.py" not in plan.parse
+
+    def test_plan_none_on_added_or_removed_file(self):
+        stored = {"a.py": {"hash": "x", "imports": []}}
+        assert plan_incremental(stored, {}) is None
+        assert (
+            plan_incremental(stored, {"a.py": "x", "b.py": "y"}) is None
+        )
+
+    def test_closure_includes_transitive_imports(self):
+        imports = {"a": {"b"}, "b": {"c"}, "c": set(), "d": set()}
+        assert closure_with_imports({"a"}, imports) == {"a", "b", "c"}
+
+    def test_dotted_of_path_mirrors_module_info(self):
+        assert dotted_of_path("src/repro/runtime/faults.py") == (
+            "repro.runtime.faults"
+        )
+        assert dotted_of_path("src/repro/obs/__init__.py") == "repro.obs"
+        assert dotted_of_path("/tmp/x/pkg/a.py") == "pkg.a"
+
+    def test_resolve_dotted_prefix_longest_wins(self):
+        dotted = {"repro.runtime": "i.py", "repro.runtime.faults": "f.py"}
+        assert (
+            resolve_dotted_prefix("repro.runtime.faults.FaultError", dotted)
+            == "f.py"
+        )
+        assert resolve_dotted_prefix("numpy.random", dotted) is None
+
+    def test_engine_fingerprint_mismatch_discards_manifest(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        cache.save({"a.py": {"hash": "x"}})
+        manifest = (tmp_path / "cache" / "manifest.json").read_text()
+        (tmp_path / "cache" / "manifest.json").write_text(
+            manifest.replace('"engine": "', '"engine": "stale')
+        )
+        assert cache.load() is None

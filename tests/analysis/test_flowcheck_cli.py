@@ -117,6 +117,45 @@ class TestSarifOutput:
         log = json.loads(capsys.readouterr().out)
         assert log["runs"][0]["results"] == []
 
+    def test_typestate_rules_ship_help_text(self, clean_file, capsys):
+        # The catalog lists every rule even on a clean run, and the
+        # exception-flow/typestate rules carry long-form help so
+        # scanning UIs can explain the fix next to each result.
+        main(["--flow", "--format", "sarif", "--no-baseline",
+              str(clean_file)])
+        log = json.loads(capsys.readouterr().out)
+        rules = {r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        for rule_id in ("SPAN-LEAK", "SINK-FLUSH", "SWALLOWED-FAULT",
+                        "BREAKER-PROTOCOL"):
+            descriptor = rules[rule_id]
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+            assert descriptor["help"]["text"]
+            assert len(descriptor["help"]["text"]) > 100
+
+    def test_span_leak_result_in_sarif(self, tmp_path, capsys):
+        leaky = tmp_path / "leaky.py"
+        leaky.write_text(textwrap.dedent("""
+            def read_all(path):
+                handle = open(path, "r")
+                data = handle.read()
+                handle.close()
+                return data
+        """))
+        code = main(["--flow", "--format", "sarif", "--no-baseline",
+                     str(leaky)])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        (result,) = run["results"]
+        assert result["ruleId"] == "SPAN-LEAK"
+        assert rule_ids[result["ruleIndex"]] == "SPAN-LEAK"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("leaky.py")
+        assert location["region"]["startLine"] == 3
+        assert result["partialFingerprints"]["flowcheck/v1"]
+
 
 class TestReportFile:
     def test_report_written_alongside_human_output(self, broken_file,
@@ -265,6 +304,39 @@ class TestBaseline:
             str(source),
         ]) == 0
         assert baseline.read_text() == before
+
+    def test_prune_baseline_drops_fixed_span_leak(self, tmp_path, capsys):
+        # The typestate rules round-trip through the baseline workflow
+        # exactly like the dataflow ones: baseline a SPAN-LEAK, fix the
+        # leak, prune drops the now-stale entry.
+        source = tmp_path / "leaky.py"
+        source.write_text(textwrap.dedent("""
+            def read_all(path):
+                handle = open(path, "r")
+                data = handle.read()
+                handle.close()
+                return data
+        """))
+        baseline = tmp_path / "baseline.json"
+        main(["--flow", "--write-baseline", "--baseline", str(baseline),
+              str(source)])
+        payload = json.loads(baseline.read_text())
+        assert [e["rule"] for e in payload["entries"]] == ["SPAN-LEAK"]
+        assert main([
+            "--flow", "--baseline", str(baseline), str(source)
+        ]) == 0
+
+        source.write_text(textwrap.dedent("""
+            def read_all(path):
+                with open(path, "r") as handle:
+                    return handle.read()
+        """))
+        assert main([
+            "--flow", "--prune-baseline", "--baseline", str(baseline),
+            str(source),
+        ]) == 0
+        assert "pruned 1 stale" in capsys.readouterr().err
+        assert json.loads(baseline.read_text())["entries"] == []
 
     def test_checked_in_baseline_is_valid(self):
         checked_in = Path(__file__).resolve().parents[2] / (

@@ -1,0 +1,96 @@
+"""Crash-safe streaming sinks: durable-before-close, idempotent close."""
+
+import json
+
+import pytest
+
+from repro.obs.sink import CsvSink, JsonlSink
+from repro.obs.trace import TraceRecorder, recording
+
+
+class TestJsonlSink:
+    def test_record_durable_before_close(self, tmp_path):
+        # The point of the sink: a record is on disk the moment write()
+        # returns, not when the sink is closed.
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"kind": "event", "name": "x"})
+        on_disk = path.read_text().splitlines()
+        assert len(on_disk) == 1
+        assert json.loads(on_disk[0])["name"] == "x"
+        sink.close()
+
+    def test_close_idempotent_and_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "out.jsonl")
+        sink.close()
+        sink.close()
+        assert sink.closed
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"kind": "event"})
+
+    def test_context_manager_counts_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"a": 1})
+            sink.write({"a": 2})
+        assert sink.closed
+        assert sink.records_written == 2
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestCsvSink:
+    def test_header_immediate_and_rows_flushed(self, tmp_path):
+        path = tmp_path / "table.csv"
+        sink = CsvSink(path, columns=["scene", "latency_ms"])
+        assert path.read_text().strip() == "scene,latency_ms"
+        sink.write({"scene": "walking", "latency_ms": 12.5})
+        lines = path.read_text().strip().splitlines()
+        assert lines[1] == "walking,12.5"
+        sink.close()
+
+    def test_missing_keys_blank_unknown_keys_raise(self, tmp_path):
+        with CsvSink(tmp_path / "t.csv", columns=["a", "b"]) as sink:
+            sink.write({"a": 1})  # missing b -> empty cell
+            with pytest.raises(ValueError, match="undeclared"):
+                sink.write({"a": 1, "c": 2})
+
+    def test_needs_columns(self, tmp_path):
+        with pytest.raises(ValueError):
+            CsvSink(tmp_path / "t.csv", columns=[])
+
+
+class TestStreamingRecorder:
+    def test_records_stream_to_sink_as_produced(self, tmp_path):
+        # Regression: the recorder used to buffer everything in memory
+        # and write only at recording() exit — a killed run lost the
+        # whole trace. With a sink, closed spans are durable mid-run.
+        path = tmp_path / "trace.jsonl"
+        with recording(path, stream=True) as recorder:
+            with recorder.span("request", index=0):
+                recorder.event("retry", attempt=1)
+            # Still inside the block: both records must already be on disk.
+            lines = [json.loads(l) for l in path.read_text().splitlines()]
+            assert [r["kind"] for r in lines] == ["event", "span"]
+        final = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(final) == 2
+
+    def test_stream_without_path_rejected(self):
+        with pytest.raises(ValueError, match="needs a path"):
+            with recording(stream=True):
+                pass
+
+    def test_sink_survives_exception_in_block(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with recording(path, stream=True) as recorder:
+                with recorder.span("doomed"):
+                    pass
+                raise RuntimeError("boom")
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_direct_sink_parameter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            recorder = TraceRecorder(enabled=True, sink=sink)
+            recorder.event("standalone")
+        assert json.loads(path.read_text())["name"] == "standalone"

@@ -190,3 +190,45 @@ class TestDefaultSwap:
         assert get_recorder() is before
         # The crashed run still left its trace on disk.
         assert "doomed" in path.read_text()
+
+
+class TestSpanErrorField:
+    def test_raising_body_marks_span(self):
+        # Regression: a span whose body raised used to be recorded
+        # indistinguishably from a clean one — the exception path, the
+        # one a resilience trace exists to explain, was invisible.
+        recorder = TraceRecorder(enabled=True)
+        with pytest.raises(ValueError):
+            with recorder.span("request", index=0):
+                raise ValueError("mid-request failure")
+        [record] = recorder.records
+        assert record["error"] == "ValueError"
+
+    def test_clean_span_has_no_error_key(self):
+        recorder = TraceRecorder(enabled=True)
+        with recorder.span("request"):
+            pass
+        [record] = recorder.records
+        assert "error" not in record
+
+    def test_inner_error_marks_only_raising_span(self):
+        recorder = TraceRecorder(enabled=True)
+        with pytest.raises(KeyError):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    raise KeyError("inner only")
+        inner, outer = recorder.records
+        assert inner["name"] == "inner" and inner["error"] == "KeyError"
+        # The exception propagates through the outer span too, so it is
+        # marked as well — both spans were on the failing path.
+        assert outer["name"] == "outer" and outer["error"] == "KeyError"
+
+    def test_handled_error_inside_span_stays_clean(self):
+        recorder = TraceRecorder(enabled=True)
+        with recorder.span("request"):
+            try:
+                raise ValueError("handled")
+            except ValueError:
+                pass
+        [record] = recorder.records
+        assert "error" not in record

@@ -255,3 +255,96 @@ class TestFaultedExecution:
             0.0, faulted, np.random.default_rng(0)
         )
         assert clean == injected
+
+
+class TestFaultErrorHierarchy:
+    def test_leaves_are_fault_errors(self):
+        from repro.runtime.faults import (
+            CloudUnreachableError,
+            FaultError,
+            ProbeBlackoutError,
+            TransferAbortedError,
+        )
+
+        for leaf in (
+            CloudUnreachableError,
+            TransferAbortedError,
+            ProbeBlackoutError,
+        ):
+            error = leaf("window closed", t_ms=1_250.0)
+            assert isinstance(error, FaultError)
+            assert isinstance(error, RuntimeError)
+            assert error.t_ms == 1250.0
+
+    def test_t_ms_defaults_to_zero(self):
+        from repro.runtime.faults import FaultError
+
+        assert FaultError("no clock").t_ms == 0.0
+
+    def test_exported_from_runtime(self):
+        import repro.runtime as runtime
+
+        assert runtime.FaultError is not None
+        assert issubclass(runtime.TransferAbortedError, runtime.FaultError)
+
+
+class _FlakyPlan:
+    """Raises a typed fault on chosen request indices, else delegates."""
+
+    def __init__(self, inner, faulty_indices):
+        self.inner = inner
+        self.faulty = set(faulty_indices)
+        self.calls = 0
+        self.degraded_envs = []
+
+    def execute(self, start_ms, env, rng):
+        index = self.calls
+        self.calls += 1
+        if index in self.faulty:
+            from repro.runtime.faults import TransferAbortedError
+
+            self.faulty.discard(index)  # the degraded retry must succeed
+            raise TransferAbortedError("died mid-flight", t_ms=start_ms)
+        if not env.cloud_available(0.0):
+            self.degraded_envs.append(env)
+        return self.inner.execute(start_ms, env, rng)
+
+
+class TestEmulationFaultBoundary:
+    def _plan(self):
+        spec = vgg11()
+        return FixedPlan(edge_spec=spec, cloud_spec=None)
+
+    def test_typed_fault_absorbed_and_counted(self):
+        from repro.runtime.emulator import run_emulation
+
+        flaky = _FlakyPlan(self._plan(), faulty_indices=[1])
+        result = run_emulation(
+            flaky, make_env(), num_requests=4, seed=0, admit=False
+        )
+        # Regression: a single faulted request used to abort the whole
+        # emulation; now it is counted and re-run device-only.
+        assert len(result.outcomes) == 4
+        assert result.swallowed_faults == {"TransferAbortedError": 1}
+        # The retry saw a cloud-unavailable environment.
+        assert len(flaky.degraded_envs) == 1
+
+    def test_non_fault_errors_still_propagate(self):
+        from repro.runtime.emulator import run_emulation
+
+        class BuggyPlan:
+            def execute(self, start_ms, env, rng):
+                raise ZeroDivisionError("a real bug")
+
+        with pytest.raises(ZeroDivisionError):
+            run_emulation(
+                BuggyPlan(), make_env(), num_requests=2, seed=0, admit=False
+            )
+
+    def test_clean_run_reports_no_faults(self):
+        from repro.runtime.emulator import run_emulation
+
+        result = run_emulation(
+            self._plan(), make_env(), num_requests=2, seed=0, admit=False
+        )
+        assert result.swallowed_faults == {}

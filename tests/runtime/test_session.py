@@ -142,3 +142,105 @@ class TestLatencyHistogram:
         assert summary.phases["session.infer"].count == 2
         assert summary.fork_counts  # fork_path attached to each span
         assert summary.request_latency.count == 2
+
+
+class TestSessionFaultBoundary:
+    def test_raising_predictor_degrades_not_crashes(self, tree, env):
+        from repro.runtime.faults import ProbeBlackoutError
+
+        class BlackoutPredictor:
+            """Signals the smoothing layer is down via the typed hierarchy."""
+
+            def update(self, measurement_mbps):
+                pass
+
+            def predict(self):
+                raise ProbeBlackoutError("no usable estimate")
+
+        session = InferenceSession(tree, env, predictor=BlackoutPredictor())
+        # Regression: a predictor raising inside the probe path used to
+        # crash infer(); the boundary now flies on the raw probe.
+        outcome = session.infer()
+        assert outcome.latency_ms > 0
+        stats = session.stats()
+        assert stats.swallowed_faults["ProbeBlackoutError"] >= 1
+
+    def test_plan_fault_absorbed_and_recorded(self, tree, env):
+        from repro.runtime.faults import TransferAbortedError
+
+        session = InferenceSession(tree, env)
+        real_plan = session._plan
+
+        class FlakyOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, start_ms, plan_env, rng):
+                self.calls += 1
+                if self.calls == 1:
+                    raise TransferAbortedError("mid-flight", t_ms=start_ms)
+                assert not plan_env.cloud_available(0.0)  # degraded retry
+                return real_plan.execute(start_ms, plan_env, rng)
+
+        session._plan = FlakyOnce()
+        outcome = session.infer()
+        assert outcome.latency_ms > 0
+        assert session.stats().swallowed_faults == {"TransferAbortedError": 1}
+
+    def test_fault_on_degraded_retry_propagates(self, tree, env):
+        from repro.runtime.faults import CloudUnreachableError
+
+        class AlwaysFaulting:
+            def execute(self, start_ms, plan_env, rng):
+                raise CloudUnreachableError("hard down", t_ms=start_ms)
+
+        session = InferenceSession(tree, env)
+        session._plan = AlwaysFaulting()
+        with pytest.raises(CloudUnreachableError):
+            session.infer()
+
+    def test_non_fault_errors_propagate(self, tree, env):
+        class Buggy:
+            def execute(self, start_ms, plan_env, rng):
+                raise KeyError("a real bug, not the environment")
+
+        session = InferenceSession(tree, env)
+        session._plan = Buggy()
+        with pytest.raises(KeyError):
+            session.infer()
+
+    def test_reset_clears_fault_counts(self, tree, env):
+        from repro.runtime.faults import ProbeBlackoutError, FaultError
+
+        session = InferenceSession(tree, env)
+        session._record_fault(ProbeBlackoutError("x"), where="test")
+        assert session.fault_counts
+        session.reset()
+        assert session.fault_counts == {}
+
+    def test_fault_event_lands_in_trace(self, tree, env):
+        from repro.obs.trace import recording
+        from repro.runtime.faults import TransferAbortedError
+
+        session = InferenceSession(tree, env)
+        real_plan = session._plan
+
+        class FlakyOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, start_ms, plan_env, rng):
+                self.calls += 1
+                if self.calls == 1:
+                    raise TransferAbortedError("mid-flight", t_ms=start_ms)
+                return real_plan.execute(start_ms, plan_env, rng)
+
+        session._plan = FlakyOnce()
+        with recording() as recorder:
+            session.infer()
+        events = [r for r in recorder.records if r["kind"] == "event"]
+        absorbed = [e for e in events if e["name"] == "session.fault_absorbed"]
+        assert len(absorbed) == 1
+        assert absorbed[0]["fields"]["fault"] == "TransferAbortedError"
+        spans = [r for r in recorder.records if r["name"] == "session.infer"]
+        assert spans[0]["fields"]["degraded_by_fault"] == "TransferAbortedError"
