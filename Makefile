@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench bench-json experiments examples chaos obs-report lint typecheck repolint flowcheck flowcheck-bench clean
+.PHONY: install test bench bench-json bench-pool experiments examples chaos obs-report sweep-parallel lint typecheck repolint flowcheck flowcheck-bench clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,20 @@ experiments:
 # naive and resilient offload engines (see src/repro/experiments/chaos.py).
 chaos:
 	$(PYTHONPATH_SRC) $(PY) -m repro.experiments chaos --requests 16 --tree-episodes 3 --branch-episodes 6
+
+# Parallel-sweep equivalence check: the 14-scene Table III search run
+# serially, then through the 2-worker fault-tolerant pool with a result
+# journal, a mid-sweep stop and an injected WorkerCrash — asserting the
+# resumed parallel numbers are bit-identical to serial. Writes the pool
+# robustness/telemetry report to POOL_report.json (the CI artifact) and
+# exits nonzero on any divergence.
+sweep-parallel:
+	$(PYTHONPATH_SRC) $(PY) -m repro.experiments parallel --tree-episodes 3 --branch-episodes 6 --workers 2 --journal SWEEP_journal.jsonl --pool-report POOL_report.json
+
+# Pool throughput gate: 2 blocking-task workers must beat serial >=1.5x;
+# JSON (incl. measured speedup extra_info) lands in BENCH_pool.json.
+bench-pool:
+	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/test_bench_pool.py --benchmark-only --benchmark-json=BENCH_pool.json
 
 # Record a small traced scenario run and summarize it: writes
 # TRACE_scenario.jsonl and prints the per-phase / fork / RL / resilience

@@ -1,17 +1,21 @@
 """Resource typestate rules over the exception-aware CFG.
 
 ``SPAN-LEAK`` — a ``PerfRegistry.span(...)`` / ``TraceRecorder.span(...)``
-context or a read-mode ``open()`` bound to a local outside ``with`` must
-be released (``close()`` / ``__exit__()`` / handed to ``with``) on
-*every* CFG exit, including the unhandled-exception exit. Spans that
-stay open on a raise corrupt the latency histograms the offload policy
-reads; leaked file handles are the classic slow burn.
+context, a read-mode ``open()``, or a
+crash-safe sink (``JsonlSink`` / ``CsvSink`` / the pool's
+``ResultJournal``) bound to a local outside ``with`` must be released
+(``close()`` / ``__exit__()`` / handed to ``with``) on *every* CFG exit,
+including the unhandled-exception exit. Spans that stay open on a raise
+corrupt the latency histograms the offload policy reads; leaked file
+handles are the classic slow burn.
 
 ``SINK-FLUSH`` — in a worker-bound function (reachable from a
 ``@worker_safe`` root), a write-mode ``open()`` must be flushed or
-closed on every path. Worker results that die buffered in a crashed
-process are exactly the failure the crash-safe JSONL/CSV sink idiom
-exists to prevent.
+closed on every path, and a sink-class handle (which flushes each record
+internally) must be *closed* on every path — an open journal handle in
+a dying worker races the parent's reopen-on-resume. Worker results that
+die buffered in a crashed process are exactly the failure the
+crash-safe JSONL/CSV sink idiom exists to prevent.
 
 Both rules track only resources bound to simple local names; a resource
 that *escapes* — returned, passed to a call, aliased, captured by a
@@ -40,17 +44,41 @@ _FLUSH_METHODS = frozenset({"flush"})
 #: Attribute names that (re)dirty a writer.
 _WRITE_METHODS = frozenset({"write", "writelines", "writerow", "writerows"})
 
+#: Attribute calls opening a span-shaped context (``perf.span(...)``,
+#: ``recorder.span(...)``). ``recorder.trace(...)`` is deliberately NOT
+#: matched by attribute name: ``.trace(`` is a common accessor elsewhere
+#: (``scenario.trace()`` returns a bandwidth trace) and the false
+#: positives would drown the rule.
+_SPAN_METHODS = frozenset({"span"})
+
+#: Constructors of the crash-safe sink classes. An instance holds the
+#: only reference to its file handle, so the handle-release contract the
+#: resource rules enforce on raw ``open()`` applies to these verbatim —
+#: including the pool's result journal, which wraps a ``JsonlSink``.
+_SINK_CLASSES = frozenset(
+    {
+        "repro.obs.sink.JsonlSink",
+        "repro.obs.sink.CsvSink",
+        "repro.runtime.pool.ResultJournal",
+    }
+)
+
 
 def classify_acquisition(call: ast.Call, module: ModuleInfo) -> Optional[str]:
-    """``"span"`` / ``"open-read"`` / ``"open-write"`` for resource calls.
+    """``"span"`` / ``"open-read"`` / ``"open-write"`` / ``"sink"``.
 
     ``open()`` covers the builtin and ``Path.open``; the mode is the
     second positional argument (first for the method form) or ``mode=``,
-    defaulting to read. Unknown calls return None.
+    defaulting to read. Sink-class constructions (``JsonlSink``,
+    ``CsvSink``, the pool's ``ResultJournal``) resolve through the
+    import table, so aliased imports are still recognized. Unknown
+    calls return None.
     """
     func = call.func
-    if isinstance(func, ast.Attribute) and func.attr == "span":
+    if isinstance(func, ast.Attribute) and func.attr in _SPAN_METHODS:
         return "span"
+    if module.resolve(func) in _SINK_CLASSES:
+        return "sink"
     mode_arg: Optional[ast.expr] = None
     if isinstance(func, ast.Name) and module.resolve(func) == "open":
         if len(call.args) > 1:
@@ -111,7 +139,7 @@ class _ResourceMachine(Machine):
     def tracks(self, kind: str) -> bool:
         raise NotImplementedError
 
-    def method_effect(self, attr: str) -> Optional[str]:
+    def method_effect(self, attr: str, kind: str) -> Optional[str]:
         """New abstract state after ``name.attr()``, None when neutral."""
         raise NotImplementedError
 
@@ -166,10 +194,12 @@ class _ResourceMachine(Machine):
             and func.value.id in state
         ):
             return None
-        effect = self.method_effect(func.attr)
+        name = func.value.id
+        _, kind = self.acquisitions.get(name, (0, ""))
+        effect = self.method_effect(func.attr, kind)
         if effect is None:
             return None
-        return func.value.id, effect
+        return name, effect
 
     def _acquisition_of(self, stmt: ast.stmt) -> Optional[Tuple[str, str]]:
         if not (
@@ -207,9 +237,9 @@ class _SpanLeakMachine(_ResourceMachine):
     acquired_state = "open"
 
     def tracks(self, kind: str) -> bool:
-        return kind in ("span", "open-read")
+        return kind in ("span", "open-read", "sink")
 
-    def method_effect(self, attr: str) -> Optional[str]:
+    def method_effect(self, attr: str, kind: str) -> Optional[str]:
         return "closed" if attr in _RELEASE_METHODS else None
 
 
@@ -217,10 +247,18 @@ class _SinkFlushMachine(_ResourceMachine):
     acquired_state = "dirty"
 
     def tracks(self, kind: str) -> bool:
-        return kind == "open-write"
+        return kind in ("open-write", "sink")
 
-    def method_effect(self, attr: str) -> Optional[str]:
-        if attr in _RELEASE_METHODS or attr in _FLUSH_METHODS:
+    def method_effect(self, attr: str, kind: str) -> Optional[str]:
+        if attr in _RELEASE_METHODS:
+            return "clean"
+        if kind == "sink":
+            # Sink classes flush every record internally; writes are
+            # neutral, and only close()/__exit__ discharges the handle —
+            # a worker that exits with its journal handle open races the
+            # parent's reopen-on-resume.
+            return None
+        if attr in _FLUSH_METHODS:
             return "clean"
         if attr in _WRITE_METHODS:
             return "dirty"
@@ -249,7 +287,7 @@ def _leaks(
 class SpanLeakRule:
     """SPAN-LEAK: span/file acquired outside ``with``, leaked on a path."""
 
-    _WHAT = {"span": "span", "open-read": "file handle"}
+    _WHAT = {"span": "span", "open-read": "file handle", "sink": "record sink"}
 
     def catalog(self) -> Dict[str, str]:
         return {

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments table1
     python -m repro.experiments table4 --episodes 30
+    python -m repro.experiments table3 --workers 2 --journal /tmp/t3.jsonl
     python -m repro.experiments all
 """
 
@@ -12,13 +13,32 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import chaos, energy, fig1, fig5, fig7, fig8, regret, sweep, table1, table2, table3, table45
-from .common import ExperimentConfig
+from . import (
+    chaos,
+    energy,
+    fig1,
+    fig5,
+    fig7,
+    fig8,
+    parallel,
+    regret,
+    sweep,
+    table1,
+    table2,
+    table3,
+    table45,
+)
+from ..runtime.faults import PoolChaos, WorkerCrash
+from .common import ExperimentConfig, PoolOptions
 
 
-def _tables45(config):
-    return table45.main(config)
+def _tables45(config, pool_options=None):
+    return table45.main(config, pool_options)
 
+
+#: Experiments that understand the pool flags — everything scene- or
+#: cell-mapped. The rest run single searches and ignore ``--workers``.
+POOL_AWARE = {"table3", "table4", "table5", "sweep", "chaos", "parallel"}
 
 EXPERIMENTS = {
     "table1": lambda config: table1.main(),
@@ -34,6 +54,7 @@ EXPERIMENTS = {
     "sweep": sweep.main,
     "energy": energy.main,
     "regret": regret.main,
+    "parallel": parallel.main,
 }
 
 
@@ -57,6 +78,32 @@ def main(argv=None) -> int:
         "--requests", type=int, default=40, help="inference requests per replay"
     )
     parser.add_argument("--seed", type=int, default=0)
+    pool = parser.add_argument_group(
+        "parallel execution (table3/table4/table5/sweep/chaos/parallel)"
+    )
+    pool.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan scenes/cells across N worker processes (0/1 = serial)",
+    )
+    pool.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="crash-safe result journal; rerunning resumes from completed cells",
+    )
+    pool.add_argument(
+        "--pool-report",
+        metavar="PATH",
+        help="write the pool robustness + merged-telemetry report (JSON)",
+    )
+    pool.add_argument(
+        "--inject-crash",
+        metavar="TASK_ID",
+        action="append",
+        default=[],
+        help="chaos: crash the worker on this task's first attempt (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
@@ -64,6 +111,17 @@ def main(argv=None) -> int:
         branch_episodes=args.branch_episodes,
         emulation_requests=args.requests,
         seed=args.seed,
+    )
+    pool_chaos = None
+    if args.inject_crash:
+        pool_chaos = PoolChaos(
+            tuple(WorkerCrash(task_id) for task_id in args.inject_crash)
+        )
+    pool_options = PoolOptions(
+        workers=args.workers,
+        journal=args.journal,
+        report_path=args.pool_report,
+        chaos=pool_chaos,
     )
 
     if args.experiment == "all":
@@ -74,8 +132,13 @@ def main(argv=None) -> int:
                 continue
             seen.add(id(runner))
             print(f"===== {name} =====")
-            runner(config)
+            if name in POOL_AWARE:
+                runner(config, pool_options)
+            else:
+                runner(config)
             print()
+    elif args.experiment in POOL_AWARE:
+        EXPERIMENTS[args.experiment](config, pool_options)
     else:
         EXPERIMENTS[args.experiment](config)
     return 0

@@ -20,13 +20,15 @@ The whole run is deterministic: same seed, same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.scenarios import Scenario, get_scenario
 from ..obs.trace import get_recorder
 from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
 from ..runtime.engine import TreePlan
+from ..runtime.pool import PoolTask
+from ..runtime.workers import worker_safe
 from ..runtime.faults import (
     BandwidthCollapse,
     CloudBrownout,
@@ -37,7 +39,14 @@ from ..runtime.faults import (
 )
 from ..runtime.resilience import CircuitBreaker, CircuitBreakerConfig, OffloadPolicy
 from ..search.tree import TreeSearchConfig, model_tree_search
-from .common import ExperimentConfig, build_context, build_environment, format_table
+from .common import (
+    ExperimentConfig,
+    PoolOptions,
+    build_context,
+    build_environment,
+    format_table,
+    scenario_task_id,
+)
 
 
 def default_fault_schedule(duration_ms: float) -> FaultSchedule:
@@ -143,6 +152,7 @@ class ChaosReport:
         return self.naive.p95_latency_ms - self.resilient.p95_latency_ms
 
 
+@worker_safe
 def run_chaos(
     config: Optional[ExperimentConfig] = None,
     scenario: Optional[Scenario] = None,
@@ -150,6 +160,10 @@ def run_chaos(
     policy: Optional[OffloadPolicy] = None,
 ) -> ChaosReport:
     """Search a model tree, then replay it under faults with both engines.
+
+    Marked :func:`~repro.runtime.workers.worker_safe`: one scene's chaos
+    replay is a pool task unit (see :func:`run_chaos_fleet`) — fully
+    seeded from ``config.seed``, no module state mutated.
 
     Like :func:`~repro.experiments.common.run_scenario`, the default
     :class:`~repro.perf.PerfRegistry` is scenario-scoped (reset on entry)
@@ -212,7 +226,67 @@ def run_chaos(
     )
 
 
-def main(config: Optional[ExperimentConfig] = None) -> ChaosReport:
+#: Scenes the fleet mode replays (one chaos report per scene).
+DEFAULT_FLEET_KEYS: Tuple[Tuple[str, str, str], ...] = (
+    ("vgg11", "phone", "4G indoor static"),
+    ("vgg11", "phone", "WiFi (weak) indoor"),
+    ("vgg11", "tx2", "4G (weak) indoor"),
+    ("alexnet", "phone", "WiFi outdoor slow"),
+)
+
+
+def run_chaos_fleet(
+    config: Optional[ExperimentConfig] = None,
+    scenario_keys: Optional[Sequence[Tuple[str, str, str]]] = None,
+    pool_options: Optional[PoolOptions] = None,
+) -> List[ChaosReport]:
+    """Chaos-replay several scenes, fanned across the fault-tolerant pool.
+
+    Each scene is one :class:`~repro.runtime.pool.PoolTask` running
+    :func:`run_chaos`; the pool's own chaos (``WorkerCrash`` & co.) can
+    be layered on top, in which case retried scenes still reproduce the
+    exact per-scene numbers — everything is seeded from ``config.seed``.
+    """
+    keys = list(scenario_keys or DEFAULT_FLEET_KEYS)
+    scenarios = [get_scenario(*key) for key in keys]
+    options = pool_options or PoolOptions()
+    if not options.parallel:
+        return [run_chaos(config, scenario) for scenario in scenarios]
+    tasks = [
+        PoolTask(scenario_task_id(s), kwargs={"config": config, "scenario": s})
+        for s in scenarios
+    ]
+    outcome = options.pool().run(run_chaos, tasks, journal_path=options.journal)
+    options.last_report = outcome.report
+    if options.report_path:
+        outcome.report.dump(options.report_path)
+    return outcome.require_complete()
+
+
+def main(
+    config: Optional[ExperimentConfig] = None,
+    pool_options: Optional[PoolOptions] = None,
+) -> ChaosReport:
+    if pool_options is not None and pool_options.parallel:
+        reports = run_chaos_fleet(config, pool_options=pool_options)
+        print(f"Chaos fleet — {len(reports)} scenes, "
+              f"{pool_options.workers} workers")
+        print(
+            format_table(
+                ["scenario", "naive R", "resilient R", "gain", "p95 cut ms"],
+                [
+                    [
+                        r.scenario,
+                        f"{r.naive.mean_reward:.2f}",
+                        f"{r.resilient.mean_reward:.2f}",
+                        f"{r.reward_gain:+.2f}",
+                        f"{r.p95_improvement_ms:+.1f}",
+                    ]
+                    for r in reports
+                ],
+            )
+        )
+        return reports[0]
     report = run_chaos(config)
     print(f"Chaos replay — {report.scenario}")
     print(

@@ -13,6 +13,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.faults import PoolChaos
+from ..runtime.pool import FaultTolerantPool, PoolConfig, PoolReport, PoolTask
+
 from ..accuracy.base import MemoizedEvaluator
 from ..accuracy.surrogate import PAPER_BASE_ACCURACY, SurrogateAccuracyModel
 from ..compression import default_registry
@@ -260,6 +263,87 @@ def _run_scenario_scoped(
         tree=tree,
         context=context,
     )
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out over scenes
+# ---------------------------------------------------------------------------
+def scenario_task_id(scenario: Scenario) -> str:
+    """Stable journal/chaos key for one scene."""
+    return f"{scenario.model_name}|{scenario.device_name}|{scenario.environment}"
+
+
+@dataclass
+class PoolOptions:
+    """CLI-facing knobs for the fault-tolerant sweep fan-out.
+
+    ``workers <= 1`` means serial in-process execution (the historical
+    path); anything above fans scenes/cells across a
+    :class:`~repro.runtime.pool.FaultTolerantPool`. ``journal`` makes the
+    run resumable; ``report_path`` persists the pool's robustness +
+    merged-telemetry report; ``chaos`` injects pool faults (tests/CI).
+    """
+
+    workers: int = 0
+    journal: Optional[str] = None
+    report_path: Optional[str] = None
+    chaos: Optional[PoolChaos] = None
+    task_timeout_s: float = 600.0
+    max_retries: int = 2
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def pool(self) -> FaultTolerantPool:
+        return FaultTolerantPool(
+            PoolConfig(
+                num_workers=self.workers,
+                task_timeout_s=self.task_timeout_s,
+                max_retries=self.max_retries,
+            ),
+            chaos=self.chaos,
+        )
+
+    #: Pool report of the most recent fan-out (for tests/telemetry).
+    last_report: Optional[PoolReport] = None
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    config: Optional[ExperimentConfig] = None,
+    run_field: bool = True,
+    run_emu: bool = True,
+    pool_options: Optional[PoolOptions] = None,
+) -> List[ScenarioOutcome]:
+    """Run :func:`run_scenario` over many scenes, serially or fanned out.
+
+    The parallel path is deterministic: every stream inside a scene is
+    seeded from ``config.seed``, so worker count, retries and scheduling
+    cannot change the numbers — a chaos-injected parallel sweep must
+    produce results identical to the serial run.
+    """
+    options = pool_options or PoolOptions()
+    if not options.parallel:
+        return [
+            run_scenario(s, config, run_field=run_field, run_emu=run_emu)
+            for s in scenarios
+        ]
+    tasks = [
+        PoolTask(
+            scenario_task_id(s),
+            args=(s, config),
+            kwargs={"run_field": run_field, "run_emu": run_emu},
+        )
+        for s in scenarios
+    ]
+    outcome = options.pool().run(
+        run_scenario, tasks, journal_path=options.journal
+    )
+    options.last_report = outcome.report
+    if options.report_path:
+        outcome.report.dump(options.report_path)
+    return outcome.require_complete()
 
 
 # ---------------------------------------------------------------------------

@@ -19,14 +19,21 @@ from typing import List, Optional, Sequence, Tuple
 from ..network.scenarios import Scenario, get_scenario
 from ..runtime.emulator import run_emulation
 from ..runtime.engine import TreePlan
+from ..runtime.pool import PoolTask
 from ..runtime.workers import worker_safe
 from ..search.tree import TreeSearchConfig, model_tree_search
 from .common import (
     ExperimentConfig,
+    PoolOptions,
     build_context,
     build_environment,
     format_table,
 )
+
+
+def sweep_task_id(num_blocks: int, num_types: int) -> str:
+    """Stable journal/chaos key for one (N, K) cell."""
+    return f"N{num_blocks}K{num_types}"
 
 
 @dataclass(frozen=True)
@@ -96,15 +103,29 @@ def run_sweep(
     blocks: Sequence[int] = (1, 2, 3, 4),
     types: Sequence[int] = (1, 2, 3),
     config: Optional[ExperimentConfig] = None,
+    pool_options: Optional[PoolOptions] = None,
 ) -> List[SweepRow]:
-    """Train and replay a model tree for every (N, K) combination."""
+    """Train and replay a model tree for every (N, K) combination.
+
+    With ``pool_options.workers > 1`` the cells fan out across the
+    fault-tolerant pool; every cell is fully seeded by its arguments, so
+    the parallel rows are identical to the serial ones.
+    """
     config = config or ExperimentConfig()
     scenario = get_scenario(*scenario_key)
-    return [
-        sweep_cell(scenario, num_blocks, num_types, config)
-        for num_blocks in blocks
-        for num_types in types
+    grid = [(n, k) for n in blocks for k in types]
+    options = pool_options or PoolOptions()
+    if not options.parallel:
+        return [sweep_cell(scenario, n, k, config) for n, k in grid]
+    tasks = [
+        PoolTask(sweep_task_id(n, k), args=(scenario, n, k, config))
+        for n, k in grid
     ]
+    outcome = options.pool().run(sweep_cell, tasks, journal_path=options.journal)
+    options.last_report = outcome.report
+    if options.report_path:
+        outcome.report.dump(options.report_path)
+    return outcome.require_complete()
 
 
 def render_sweep(rows: List[SweepRow]) -> str:
@@ -128,8 +149,11 @@ def render_sweep(rows: List[SweepRow]) -> str:
     )
 
 
-def main(config: Optional[ExperimentConfig] = None) -> str:
-    rows = run_sweep(config=config)
+def main(
+    config: Optional[ExperimentConfig] = None,
+    pool_options: Optional[PoolOptions] = None,
+) -> str:
+    rows = run_sweep(config=config, pool_options=pool_options)
     output = (
         "Design-space sweep: tree depth N x fork arity K "
         "('4G (weak) indoor', phone, VGG11)\n" + render_sweep(rows)

@@ -13,7 +13,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..network.scenarios import ALL_SCENARIOS, Scenario
-from .common import ExperimentConfig, ScenarioOutcome, format_table, run_scenario
+from .common import (
+    ExperimentConfig,
+    PoolOptions,
+    ScenarioOutcome,
+    format_table,
+    run_scenarios,
+)
 
 #: Paper values (reward), keyed by (model, device, environment).
 PAPER_TABLE3 = {
@@ -50,14 +56,22 @@ def run_table3(
     config: Optional[ExperimentConfig] = None,
     scenarios: Optional[List[Scenario]] = None,
     outcomes: Optional[List[ScenarioOutcome]] = None,
+    pool_options: Optional[PoolOptions] = None,
 ) -> List[Table3Row]:
-    """Offline reward per scene. Pass precomputed ``outcomes`` to reuse."""
+    """Offline reward per scene. Pass precomputed ``outcomes`` to reuse.
+
+    ``pool_options`` with ``workers > 1`` fans the scenes across the
+    fault-tolerant pool (identical numbers, near-linear wall time).
+    """
     if outcomes is None:
         scenarios = scenarios or ALL_SCENARIOS
-        outcomes = [
-            run_scenario(s, config, run_field=False, run_emu=False)
-            for s in scenarios
-        ]
+        outcomes = run_scenarios(
+            scenarios,
+            config,
+            run_field=False,
+            run_emu=False,
+            pool_options=pool_options,
+        )
     return [
         Table3Row(
             scenario=o.scenario,
@@ -108,8 +122,11 @@ def render_table3(rows: List[Table3Row]) -> str:
     )
 
 
-def main(config: Optional[ExperimentConfig] = None) -> str:
-    rows = run_table3(config)
+def main(
+    config: Optional[ExperimentConfig] = None,
+    pool_options: Optional[PoolOptions] = None,
+) -> str:
+    rows = run_table3(config, pool_options=pool_options)
     output = "Table III: offline training reward\n" + render_table3(rows)
     print(output)
     return output

@@ -16,7 +16,13 @@ import numpy as np
 
 from ..network.scenarios import ALL_SCENARIOS, Scenario
 from ..runtime.emulator import EmulationResult
-from .common import ExperimentConfig, ScenarioOutcome, format_table, run_scenario
+from .common import (
+    ExperimentConfig,
+    PoolOptions,
+    ScenarioOutcome,
+    format_table,
+    run_scenarios,
+)
 
 #: Paper Table IV (emulation): (surgery, branch, tree) × (reward, latency, acc%).
 PAPER_TABLE4 = {
@@ -87,11 +93,16 @@ def run_tables45(
     config: Optional[ExperimentConfig] = None,
     scenarios: Optional[List[Scenario]] = None,
     outcomes: Optional[List[ScenarioOutcome]] = None,
+    pool_options: Optional[PoolOptions] = None,
 ) -> Tuple[List[RuntimeRow], List[RuntimeRow]]:
-    """Run (or reuse) the pipeline; return (Table IV rows, Table V rows)."""
+    """Run (or reuse) the pipeline; return (Table IV rows, Table V rows).
+
+    ``pool_options`` with ``workers > 1`` fans the scenes across the
+    fault-tolerant pool (identical numbers, near-linear wall time).
+    """
     if outcomes is None:
         scenarios = scenarios or ALL_SCENARIOS
-        outcomes = [run_scenario(s, config) for s in scenarios]
+        outcomes = run_scenarios(scenarios, config, pool_options=pool_options)
     emulation_rows = [
         _row_from_results(o.scenario, [m.emulation for m in o.methods])
         for o in outcomes
@@ -155,8 +166,11 @@ def render_runtime_table(
     return f"{title}\n{table}"
 
 
-def main(config: Optional[ExperimentConfig] = None) -> str:
-    emulation_rows, field_rows = run_tables45(config)
+def main(
+    config: Optional[ExperimentConfig] = None,
+    pool_options: Optional[PoolOptions] = None,
+) -> str:
+    emulation_rows, field_rows = run_tables45(config, pool_options=pool_options)
     output = render_runtime_table(emulation_rows, PAPER_TABLE4, "Table IV: emulation results")
     output += "\n\n"
     output += render_runtime_table(field_rows, PAPER_TABLE5, "Table V: field test results")

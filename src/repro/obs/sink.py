@@ -23,19 +23,25 @@ check exactly this contract at their call sites.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 PathLike = Union[str, Path]
 
 
 class JsonlSink:
-    """Append-only JSONL writer that flushes after every record."""
+    """Append-only JSONL writer that flushes after every record.
 
-    def __init__(self, path: PathLike) -> None:
+    ``append=True`` reopens an existing file without truncating it — the
+    resume path: a journal killed mid-sweep is recovered with
+    :func:`recover_jsonl_records` and then extended in place.
+    """
+
+    def __init__(self, path: PathLike, append: bool = False) -> None:
         self.path = Path(path)
-        self._handle = self.path.open("w", encoding="utf-8")
+        self._handle = self.path.open("a" if append else "w", encoding="utf-8")
         self.records_written = 0
 
     def write(self, record: Dict[str, Any]) -> None:
@@ -112,3 +118,87 @@ class CsvSink:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery — reading back a sink file that may have died mid-write.
+#
+# Flush-per-record guarantees the file is a valid prefix of the run *plus
+# at most one partial trailing line* (the record being written when the
+# process was killed). These readers return the complete records and drop
+# that partial tail; corruption anywhere *before* the tail is a real
+# integrity failure and raises. ``truncate=True`` additionally cuts the
+# file back to its last complete line so it can be reopened with
+# ``append=True`` without gluing a new record onto the torn one.
+# ---------------------------------------------------------------------------
+
+
+def _complete_lines(path: Path, truncate: bool) -> List[str]:
+    # Raw bytes, not text mode: universal-newline translation would make
+    # a row torn between "\r" and "\n" look complete.
+    data = path.read_bytes()
+    complete, _, partial = data.rpartition(b"\n")
+    if partial and truncate:
+        path.write_bytes(complete + b"\n" if complete else b"")
+    return complete.decode("utf-8").splitlines()
+
+
+def recover_jsonl_records(
+    path: PathLike, truncate: bool = False
+) -> List[Dict[str, Any]]:
+    """Complete records of a possibly-torn JSONL file, in write order.
+
+    A trailing line without a newline (killed mid-write) is dropped; a
+    malformed line *with* a newline after it was durably written broken,
+    so it raises ``ValueError`` instead of being silently skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(_complete_lines(path, truncate), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{number}: corrupt journal line ({exc})"
+            ) from exc
+    return records
+
+
+def recover_csv_rows(
+    path: PathLike,
+    columns: Optional[Sequence[str]] = None,
+    truncate: bool = False,
+) -> List[Dict[str, str]]:
+    """Complete rows of a possibly-torn :class:`CsvSink` file.
+
+    The header row declares the columns (checked against ``columns`` when
+    given). A partial final row — killed mid-write, so its line has no
+    newline — is detected and dropped, never parsed as a short row; a
+    short row that *was* durably written raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = _complete_lines(path, truncate)
+    if not lines:
+        return []
+    parsed = list(csv.reader(io.StringIO("\n".join(lines))))
+    header, body = parsed[0], parsed[1:]
+    if columns is not None and header != list(columns):
+        raise ValueError(
+            f"{path}: header {header} does not match expected columns "
+            f"{list(columns)}"
+        )
+    rows: List[Dict[str, str]] = []
+    for number, cells in enumerate(body, start=2):
+        if len(cells) != len(header):
+            raise ValueError(
+                f"{path}:{number}: row has {len(cells)} cells, "
+                f"expected {len(header)}"
+            )
+        rows.append(dict(zip(header, cells)))
+    return rows

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..contracts import require_non_negative, require_unit_interval
 from ..network.channel import LossyChannel
@@ -215,3 +215,89 @@ class FaultSchedule:
             slowdown_at=self.slowdown_at,
         )
         return dataclasses.replace(env, channel=lossy, faults=self)
+
+
+# ---------------------------------------------------------------------------
+# Pool-level chaos — process faults, keyed on (task, attempt), not the
+# emulation clock. The :class:`~repro.runtime.pool.FaultTolerantPool`
+# injects these inside its workers so the recovery machinery (timeout
+# kill, retry with re-derived seed, quarantine) is exercised
+# deterministically: the same schedule always hits the same attempts.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolFaultEvent:
+    """A process fault targeting one attempt of one pool task.
+
+    ``attempt`` counts from 0 (the first execution); a retry of the same
+    task arrives as attempt 1, so a fault pinned to attempt 0 models a
+    transient failure the retry recovers from, while faults on every
+    attempt model a poison task headed for quarantine.
+    """
+
+    task_id: str
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+
+@dataclass(frozen=True)
+class WorkerCrash(PoolFaultEvent):
+    """The worker process dies abruptly (SIGKILL/OOM) mid-task."""
+
+    exit_code: int = 13
+
+
+@dataclass(frozen=True)
+class WorkerHang(PoolFaultEvent):
+    """The worker wedges on the task until the pool's timeout kills it."""
+
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s}")
+
+
+@dataclass(frozen=True)
+class ResultLoss(PoolFaultEvent):
+    """The task completes but its result never reaches the parent."""
+
+
+@dataclass(frozen=True)
+class PoolChaos:
+    """An immutable schedule of pool faults, matched per (task, attempt).
+
+    Picklable by construction — the schedule rides into every worker
+    process at startup. At most one event fires per attempt; declaring
+    two events for the same (task_id, attempt) is rejected up front
+    rather than silently picking one.
+    """
+
+    events: Tuple[PoolFaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for event in self.events:
+            if not isinstance(event, PoolFaultEvent):
+                raise TypeError(
+                    f"pool chaos entries must be PoolFaultEvents, got {event!r}"
+                )
+            key = (event.task_id, event.attempt)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate pool fault for task {event.task_id!r} "
+                    f"attempt {event.attempt}"
+                )
+            seen.add(key)
+
+    def event_for(self, task_id: str, attempt: int) -> Optional[PoolFaultEvent]:
+        """The fault scheduled for this attempt, or None."""
+        for event in self.events:
+            if event.task_id == task_id and event.attempt == attempt:
+                return event
+        return None

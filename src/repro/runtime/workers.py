@@ -45,6 +45,12 @@ def is_worker_safe(function: Callable[..., Any]) -> bool:
     return bool(getattr(function, _MARKER, False))
 
 
+#: Words of spawned entropy preserved per worker seed (4 x 32 = 128 bits,
+#: a full SeedSequence pool — truncating to one word used to collapse each
+#: worker's stream to 32 bits of state).
+_SEED_WORDS = 4
+
+
 def spawn_worker_seeds(base_seed: int, num_workers: int) -> List[int]:
     """``num_workers`` independent seeds derived from one base seed.
 
@@ -52,11 +58,24 @@ def spawn_worker_seeds(base_seed: int, num_workers: int) -> List[int]:
     independent (unlike ``base_seed + i``, whose nearby states can
     correlate for some bit generators) yet fully reproducible from the
     single ``base_seed`` recorded in experiment configs.
+
+    Each returned seed packs the child's full 128-bit entropy pool into
+    one integer — ``generate_state(1)[0]`` would keep only the first
+    32-bit word, collapsing every downstream ``default_rng(seed)`` to a
+    32-bit keyspace and voiding the independence guarantee the spawn
+    tree provides.
     """
     if num_workers <= 0:
         raise ValueError(f"num_workers must be positive, got {num_workers}")
     children = np.random.SeedSequence(base_seed).spawn(num_workers)
-    return [int(child.generate_state(1)[0]) for child in children]
+    seeds = []
+    for child in children:
+        words = child.generate_state(_SEED_WORDS, dtype=np.uint32)
+        packed = 0
+        for position, word in enumerate(words):
+            packed |= int(word) << (32 * position)
+        seeds.append(packed)
+    return seeds
 
 
 def worker_rng(base_seed: int, worker_index: int) -> np.random.Generator:

@@ -145,6 +145,101 @@ class TestSinkFlush:
         assert "SINK-FLUSH" in rules(src)
 
 
+class TestSinkClassTracking:
+    def test_jsonl_sink_leaked_on_raise_path_is_span_leak(self):
+        # A sink instance holds the only reference to its file handle;
+        # losing it on an exception path is the same defect as a leaked
+        # read handle.
+        src = """
+            from repro.obs.sink import JsonlSink
+
+            def export(path, rows):
+                sink = JsonlSink(path)
+                for row in rows:
+                    sink.write(row)
+                sink.close()
+            """
+        assert "SPAN-LEAK" in rules(src)
+
+    def test_with_managed_sink_is_clean(self):
+        src = """
+            from repro.obs.sink import CsvSink
+
+            def export(path, rows):
+                with CsvSink(path, columns=["a"]) as sink:
+                    for row in rows:
+                        sink.write(row)
+            """
+        assert "SPAN-LEAK" not in rules(src)
+
+    def test_try_finally_closed_sink_is_clean(self):
+        src = """
+            from repro.obs.sink import JsonlSink
+
+            def export(path, rows):
+                sink = JsonlSink(path)
+                try:
+                    for row in rows:
+                        sink.write(row)
+                finally:
+                    sink.close()
+            """
+        assert "SPAN-LEAK" not in rules(src)
+
+    def test_result_journal_tracked_in_worker_bound_code(self):
+        # A worker that exits with its journal handle open races the
+        # parent's reopen-on-resume; writes do NOT discharge the handle
+        # (the journal flushes per record — only close releases it).
+        src = """
+            from repro.runtime.pool import ResultJournal
+            from repro.runtime.workers import worker_safe
+
+            @worker_safe
+            def record(path, task_id, value):
+                journal = ResultJournal(path)
+                journal.record_ok(task_id, value, 1, 0.0)
+                journal.close()
+            """
+        assert "SINK-FLUSH" in rules(src)
+
+    def test_result_journal_closed_in_finally_is_clean(self):
+        src = """
+            from repro.runtime.pool import ResultJournal
+            from repro.runtime.workers import worker_safe
+
+            @worker_safe
+            def record(path, task_id, value):
+                journal = ResultJournal(path)
+                try:
+                    journal.record_ok(task_id, value, 1, 0.0)
+                finally:
+                    journal.close()
+            """
+        assert "SINK-FLUSH" not in rules(src)
+
+    def test_aliased_import_still_recognized(self):
+        src = """
+            from repro.obs.sink import JsonlSink as Journal
+
+            def export(path, rows):
+                sink = Journal(path)
+                for row in rows:
+                    sink.write(row)
+                sink.close()
+            """
+        assert "SPAN-LEAK" in rules(src)
+
+    def test_scenario_trace_accessor_is_not_a_span(self):
+        # Regression guard: ``.trace(`` is a common accessor name
+        # (bandwidth traces); only ``.span(`` opens a span context.
+        src = """
+            def measure(scenario):
+                trace = scenario.trace(duration_s=10.0)
+                return trace
+            """
+        assert "SPAN-LEAK" not in rules(src)
+
+
 class TestBreakerProtocol:
     def test_record_without_allow_fires(self):
         src = """

@@ -82,7 +82,7 @@ class TestExperimentsCLI:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5",
             "fig1", "fig5", "fig7", "fig8", "sweep", "energy", "regret",
-            "chaos",
+            "chaos", "parallel",
         }
 
     def test_table1_via_cli(self, capsys):

@@ -55,6 +55,25 @@ class TestSpawnWorkerSeeds:
         with pytest.raises(ValueError):
             spawn_worker_seeds(7, 0)
 
+    def test_seeds_carry_more_than_32_bits(self):
+        # Regression: generate_state(1)[0] used to truncate each child's
+        # 128-bit entropy pool to its first 32-bit word, collapsing every
+        # worker stream to a 32-bit keyspace.
+        seeds = spawn_worker_seeds(7, 8)
+        assert any(seed >= 2**32 for seed in seeds)
+        assert all(seed < 2**128 for seed in seeds)
+
+    def test_streams_differ_beyond_the_first_word(self):
+        # Two seeds sharing a low word must still drive different
+        # generators — the high words have to matter.
+        for seed in spawn_worker_seeds(7, 4):
+            truncated = seed & 0xFFFFFFFF
+            if truncated == seed:
+                continue  # astronomically unlikely, but skip if so
+            full_stream = np.random.default_rng(seed).normal(size=8)
+            truncated_stream = np.random.default_rng(truncated).normal(size=8)
+            assert not np.allclose(full_stream, truncated_stream)
+
 
 class TestWorkerRng:
     def test_deterministic_per_index(self):
