@@ -8,7 +8,7 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench bench-json bench-pool experiments examples chaos obs-report sweep-parallel lint typecheck repolint flowcheck flowcheck-bench clean
+.PHONY: install test bench bench-json bench-pool bench-episode experiments examples chaos obs-report sweep-parallel lint typecheck repolint flowcheck flowcheck-bench clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,12 @@ sweep-parallel:
 # JSON (incl. measured speedup extra_info) lands in BENCH_pool.json.
 bench-pool:
 	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/test_bench_pool.py --benchmark-only --benchmark-json=BENCH_pool.json
+
+# Batched-episode throughput gate: level-batched tree episodes must beat
+# the per-node sequential path >=3x (locally ~5-7x); JSON incl. the
+# measured speedup extra_info lands in BENCH_episode.json.
+bench-episode:
+	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/test_bench_episode.py --benchmark-only --benchmark-json=BENCH_episode.json
 
 # Record a small traced scenario run and summarize it: writes
 # TRACE_scenario.jsonl and prints the per-phase / fork / RL / resilience

@@ -11,9 +11,10 @@ to avoid redundant computations" is :class:`MemoizedEvaluator`.
 
 from __future__ import annotations
 
-from typing import Dict, Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
 from ..model.spec import ModelSpec
+from ..perf import DEFAULT_MAXSIZE, MemoPool, MemoStats
 
 
 @runtime_checkable
@@ -24,31 +25,51 @@ class AccuracyEvaluator(Protocol):
 
 
 class MemoizedEvaluator:
-    """Caches accuracy by model fingerprint — the paper's memory pool."""
+    """Caches accuracy by model fingerprint — the paper's memory pool.
 
-    def __init__(self, inner: AccuracyEvaluator) -> None:
+    Backed by a bounded LRU :class:`~repro.perf.MemoPool`: the earlier
+    plain-dict cache grew without bound across long sweeps, while every
+    other memo in the search stack was already LRU-bounded and counted.
+    ``hits`` / ``misses`` / ``__len__`` / ``clear`` keep their historical
+    meaning; :attr:`stats` exposes the full pool telemetry for
+    ``repro obs report``.
+    """
+
+    def __init__(
+        self,
+        inner: AccuracyEvaluator,
+        maxsize: Optional[int] = DEFAULT_MAXSIZE,
+    ) -> None:
         self.inner = inner
-        self._cache: Dict[str, float] = {}
-        self.hits = 0
-        self.misses = 0
+        self._pool = MemoPool(maxsize=maxsize, name="accuracy.memo")
 
     def evaluate(self, spec: ModelSpec) -> float:
         key = spec.fingerprint()
-        if key in self._cache:
-            self.hits += 1
-            return self._cache[key]
-        self.misses += 1
+        cached = self._pool.get(key)
+        if cached is not None:
+            return cached
         value = self.inner.evaluate(spec)
-        self._cache[key] = value
+        self._pool.put(key, value)
         return value
 
+    @property
+    def hits(self) -> int:
+        return self._pool.hits
+
+    @property
+    def misses(self) -> int:
+        return self._pool.misses
+
+    @property
+    def stats(self) -> MemoStats:
+        """Hit/miss/eviction telemetry of the accuracy memo pool."""
+        return self._pool.stats
+
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._pool)
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        self._pool.clear()
 
 
 class FixedAccuracy:

@@ -254,6 +254,7 @@ def _run_scenario_scoped(
                             seed=config.seed + 13,
                         )
 
+    _record_cache_stats(context, recorder)
     return ScenarioOutcome(
         scenario=scenario,
         trace=trace,
@@ -263,6 +264,23 @@ def _run_scenario_scoped(
         tree=tree,
         context=context,
     )
+
+
+def _record_cache_stats(context: SearchContext, recorder) -> None:
+    """Emit one ``memo.stats`` trace event per cache the scene exercised.
+
+    Cumulative snapshots taken at scene end — ``repro obs report`` renders
+    the last event per cache name as the scene's cache telemetry.
+    """
+    if not recorder.enabled:
+        return
+    pools = {
+        "search.memo": context.memo_stats(),
+        "accuracy.memo": context.accuracy.stats,
+        "compose.memo": context.composer.stats,
+    }
+    for cache, stats in pools.items():
+        recorder.event("memo.stats", cache=cache, **stats.to_dict())
 
 
 # ---------------------------------------------------------------------------

@@ -52,6 +52,21 @@ class LSTMCell(Module):
         """One time step: ``x`` is (N, input_size); returns new (h, c)."""
         h, c = state
         gates = x.matmul(self.weight_ih.T) + h.matmul(self.weight_hh.T) + self.bias
+        return self.apply_gates(gates, c)
+
+    def step_projected(
+        self, x_projected: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """One step where ``x @ W_ih^T`` was precomputed for the whole
+        sequence (``x_projected`` is that (N, 4*hidden) slice). Keeps the
+        same left-to-right addition order as :meth:`forward_step`, so the
+        fused sequence path is numerically identical to stepping."""
+        h, c = state
+        gates = x_projected + h.matmul(self.weight_hh.T) + self.bias
+        return self.apply_gates(gates, c)
+
+    def apply_gates(self, gates: Tensor, c: Tensor) -> Tuple[Tensor, Tensor]:
+        """Gate nonlinearities shared by the stepped and fused paths."""
         hs = self.hidden_size
         i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
         f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
@@ -82,13 +97,20 @@ class LSTM(Module):
         self.hidden_size = hidden_size
 
     def forward(self, x: Tensor, reverse: bool = False) -> Tensor:
-        """Return hidden states for every step, shape (N, T, hidden_size)."""
+        """Return hidden states for every step, shape (N, T, hidden_size).
+
+        The input projection ``x @ W_ih^T`` has no recurrent dependency, so
+        it is hoisted out of the time loop and computed for all N sequences
+        and T steps in one batched matmul; only the ``h @ W_hh^T`` recurrence
+        remains stepwise.
+        """
         n, t, _ = x.shape
+        projected = x.matmul(self.cell.weight_ih.T)  # (N, T, 4*hidden)
         state = self.cell.initial_state(n)
         outputs: List[Tensor] = []
         steps = range(t - 1, -1, -1) if reverse else range(t)
         for step in steps:
-            state = self.cell.forward_step(x[:, step, :], state)
+            state = self.cell.step_projected(projected[:, step, :], state)
             outputs.append(state[0])
         if reverse:
             outputs.reverse()

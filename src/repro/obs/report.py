@@ -121,6 +121,8 @@ class TraceSummary:
     request_latency: HistogramStat = field(default_factory=HistogramStat)
     rl: Dict[str, RLCurve] = field(default_factory=dict)
     resilience: List[Dict[str, Any]] = field(default_factory=list)
+    #: cache name -> latest ``memo.stats`` event fields (hits/misses/…).
+    caches: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: span-id -> record, for nesting checks and drill-down tooling.
     span_index: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
@@ -158,6 +160,9 @@ class TraceSummary:
                 for name, curve in sorted(self.rl.items())
             },
             "resilience": list(self.resilience),
+            "caches": {
+                name: dict(stats) for name, stats in sorted(self.caches.items())
+            },
         }
 
 
@@ -235,6 +240,13 @@ def summarize_records(
                 entropy = fields.get("entropy")
                 if entropy is not None:
                     curve.entropies.append(float(entropy))
+            elif name == "memo.stats":
+                cache = str(fields.get("cache", "cache"))
+                # Later events win: stats are cumulative snapshots, so the
+                # last one per cache describes the whole trace.
+                summary.caches[cache] = {
+                    k: v for k, v in fields.items() if k != "cache"
+                }
             elif name in RESILIENCE_EVENTS:
                 summary.resilience.append(record)
     summary.traces = trace_ids
@@ -323,6 +335,31 @@ def render_report(summary: TraceSummary) -> str:
             lines.append(f"  advantage {spark(curve.advantages)}")
             if curve.entropies:
                 lines.append(f"  entropy   {spark(curve.entropies)}")
+
+    if summary.caches:
+        lines.append("")
+        lines.append("== cache telemetry (memo pools) ==")
+        rows = []
+        for name, stats in sorted(summary.caches.items()):
+            hits = int(stats.get("hits", 0))
+            misses = int(stats.get("misses", 0))
+            lookups = hits + misses
+            rate = hits / lookups if lookups else 0.0
+            rows.append(
+                [
+                    name,
+                    str(hits),
+                    str(misses),
+                    f"{100.0 * rate:.0f}%",
+                    str(stats.get("size", "-")),
+                    str(stats.get("evictions", "-")),
+                ]
+            )
+        lines.append(
+            _format_rows(
+                ["cache", "hits", "misses", "hit rate", "size", "evicted"], rows
+            )
+        )
 
     if summary.resilience:
         lines.append("")

@@ -9,12 +9,20 @@ registry, with inapplicable techniques masked out.
 
 Sampling returns both the drawn action and its log-probability tensor so
 REINFORCE gradients flow back through the LSTM.
+
+Both controllers expose a batched entry point (``sample_batch``): N
+requests against the same block — the K same-block-different-bandwidth
+forks of a tree level, or the per-fork edge slices — run through the
+backbone as one (N, T, W) pass instead of N sequential calls. The single
+``sample`` methods delegate to the batch path with N = 1, so batched and
+sequential sampling are the same code and consume the RNG identically in
+request order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,6 +90,53 @@ class PartitionController(Module):
         keep_score = hidden[-1].reshape(1, -1).matmul(self.keep_head).reshape(-1) + self.bias[1]
         return concatenate([cut_scores, keep_score], axis=0)
 
+    def logits_batch(
+        self, spec: ModelSpec, bandwidths_mbps: Sequence[float]
+    ) -> Tensor:
+        """(N, L+1) logits: one row per requested bandwidth for one block."""
+        encoded = Tensor(
+            np.concatenate(
+                [encode_model(spec, bw) for bw in bandwidths_mbps], axis=0
+            )
+        )
+        n = len(bandwidths_mbps)
+        hidden = self.backbone(encoded)  # (N, T, width)
+        cut_scores = hidden.matmul(self.cut_head).reshape(n, -1) + self.bias[0]
+        keep_score = hidden[:, -1, :].matmul(self.keep_head) + self.bias[1]
+        return concatenate([cut_scores, keep_score], axis=1)
+
+    def sample_batch(
+        self,
+        spec: ModelSpec,
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+        force_flags: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[int, Tensor, Optional[Tensor]]]:
+        """Sample N cuts for one block in a single backbone pass.
+
+        Returns one ``(cut_index, log_prob, entropy)`` triple per requested
+        bandwidth, in request order — which is also the RNG consumption
+        order, so a batch of one draws exactly what a sequential call would.
+        Forced rows (fair-chance exploration, Sec. VII-A) never sample a
+        distribution; their entropy is ``None`` and they consume no RNG.
+        """
+        n = len(bandwidths_mbps)
+        flags = list(force_flags) if force_flags is not None else [False] * n
+        if len(flags) != n:
+            raise ValueError("force_flags length must match bandwidths_mbps")
+        logits = self.logits_batch(spec, bandwidths_mbps)
+        length = len(spec)
+        results: List[Tuple[int, Tensor, Optional[Tensor]]] = []
+        for row in range(n):
+            if flags[row]:
+                log_probs = F.log_softmax(logits[row], axis=-1)
+                results.append((NO_PARTITION, log_probs[length], None))
+                continue
+            index, log_prob, entropy = _sample_from_logits(logits[row], rng)
+            cut = NO_PARTITION if index == length else index
+            results.append((cut, log_prob, entropy))
+        return results
+
     def sample(
         self,
         spec: ModelSpec,
@@ -96,16 +151,15 @@ class PartitionController(Module):
         ``force_no_partition`` implements the fair-chance exploration
         override (Sec. VII-A) — the log-prob of the forced choice is still
         returned so the update remains on-policy for the chosen action.
+        ``last_entropy`` is reset to ``None`` on the forced path (no
+        distribution was sampled, so the previous node's entropy must not
+        leak to a later reader).
         """
-        logits = self.logits(spec, bandwidth_mbps)
-        length = len(spec)
-        if force_no_partition:
-            log_probs = F.log_softmax(logits, axis=-1)
-            return NO_PARTITION, log_probs[length]
-        index, log_prob, self.last_entropy = _sample_from_logits(logits, rng)
-        if index == length:
-            return NO_PARTITION, log_prob
-        return index, log_prob
+        cut, log_prob, entropy = self.sample_batch(
+            spec, [bandwidth_mbps], rng, [force_no_partition]
+        )[0]
+        self.last_entropy = entropy
+        return cut, log_prob
 
     def greedy(self, spec: ModelSpec, bandwidth_mbps: float) -> int:
         """Arg-max cut choice (used after training converges)."""
@@ -146,6 +200,77 @@ class CompressionController(Module):
             bias[self.technique_names.index("ID")] = 2.0
         self.head_bias = Tensor(bias, requires_grad=True, name="compression.head_bias")
 
+    def _applicable_mask(self, spec: ModelSpec, layer: int) -> np.ndarray:
+        applicable = {t.name for t in self.registry.applicable(spec, layer)}
+        return np.array([n in applicable for n in self.technique_names])
+
+    def _sole_applicable_name(self, mask: np.ndarray) -> str:
+        """The action for a layer with at most one applicable technique.
+
+        Nothing is sampled (a one-arm distribution carries no gradient
+        signal), but the emitted name must be the technique that actually
+        applies — an earlier revision hardcoded ``"ID"``, silently dropping
+        the sole applicable transform whenever identity was masked out.
+        ``"ID"`` remains the no-op fallback when *nothing* applies.
+        """
+        if mask.any():
+            return self.technique_names[int(np.argmax(mask))]
+        return "ID"
+
+    def sample_batch(
+        self,
+        specs: Sequence[ModelSpec],
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+    ) -> List[Tuple[List[str], List[Tensor], List[Tensor]]]:
+        """Sample per-layer techniques for N edge slices in batched passes.
+
+        Specs of equal length are grouped into one (N, T, W) backbone pass
+        and one fused head matmul; sampling then runs in *request order*
+        regardless of grouping, so the RNG stream matches N sequential
+        :meth:`sample` calls over the same requests. Returns one
+        ``(names, log_probs, entropies)`` triple per request.
+        """
+        if len(specs) != len(bandwidths_mbps):
+            raise ValueError("specs and bandwidths_mbps must have equal length")
+        logits_rows: List[Optional[Tensor]] = [None] * len(specs)
+        groups: Dict[int, List[int]] = {}
+        for i, spec in enumerate(specs):
+            groups.setdefault(len(spec), []).append(i)
+        for indices in groups.values():
+            encoded = Tensor(
+                np.concatenate(
+                    [
+                        encode_model(specs[i], bandwidths_mbps[i])
+                        for i in indices
+                    ],
+                    axis=0,
+                )
+            )
+            hidden = self.backbone(encoded)  # (n, T, width)
+            all_logits = hidden.matmul(self.head) + self.head_bias  # (n, T, C)
+            for j, i in enumerate(indices):
+                logits_rows[i] = all_logits[j]
+        results: List[Tuple[List[str], List[Tensor], List[Tensor]]] = []
+        for i, spec in enumerate(specs):
+            layer_logits = logits_rows[i]
+            names: List[str] = []
+            log_probs: List[Tensor] = []
+            entropies: List[Tensor] = []
+            for layer in range(len(spec)):
+                mask = self._applicable_mask(spec, layer)
+                if mask.sum() <= 1:
+                    names.append(self._sole_applicable_name(mask))
+                    continue
+                index, log_prob, entropy = _sample_from_logits(
+                    layer_logits[layer], rng, mask=mask
+                )
+                names.append(self.technique_names[index])
+                log_probs.append(log_prob)
+                entropies.append(entropy)
+            results.append((names, log_probs, entropies))
+        return results
+
     def sample(
         self,
         spec: ModelSpec,
@@ -154,27 +279,13 @@ class CompressionController(Module):
     ) -> Tuple[List[str], List[Tensor]]:
         """Sample one technique name per layer; returns (names, log-probs).
 
-        Inapplicable techniques are masked; layers where only the identity
-        applies are skipped (their action carries no gradient signal).
+        Inapplicable techniques are masked; layers where at most one
+        technique applies are skipped (their action carries no gradient
+        signal) and emit that technique's name directly.
         """
-        encoded = Tensor(encode_model(spec, bandwidth_mbps))
-        hidden = self.backbone(encoded)[0]  # (T, width)
-        names: List[str] = []
-        log_probs: List[Tensor] = []
-        entropies: List[Tensor] = []
-        for i in range(len(spec)):
-            applicable = {
-                t.name for t in self.registry.applicable(spec, i)
-            }
-            mask = np.array([n in applicable for n in self.technique_names])
-            if mask.sum() <= 1:
-                names.append("ID")
-                continue
-            logits = hidden[i].reshape(1, -1).matmul(self.head).reshape(-1) + self.head_bias
-            index, log_prob, entropy = _sample_from_logits(logits, rng, mask=mask)
-            names.append(self.technique_names[index])
-            log_probs.append(log_prob)
-            entropies.append(entropy)
+        names, log_probs, entropies = self.sample_batch(
+            [spec], [bandwidth_mbps], rng
+        )[0]
         self.last_entropies = entropies
         return names, log_probs
 
@@ -182,16 +293,13 @@ class CompressionController(Module):
         """Arg-max technique per layer (used after training converges)."""
         encoded = Tensor(encode_model(spec, bandwidth_mbps))
         hidden = self.backbone(encoded)[0]
+        all_logits = (hidden.matmul(self.head) + self.head_bias).data  # (T, C)
         names = []
         for i in range(len(spec)):
-            applicable = {t.name for t in self.registry.applicable(spec, i)}
-            mask = np.array([n in applicable for n in self.technique_names])
+            mask = self._applicable_mask(spec, i)
             if mask.sum() <= 1:
-                names.append("ID")
+                names.append(self._sole_applicable_name(mask))
                 continue
-            logits = (
-                hidden[i].reshape(1, -1).matmul(self.head).reshape(-1) + self.head_bias
-            ).data
-            logits = np.where(mask, logits, -1e9)
+            logits = np.where(mask, all_logits[i], -1e9)
             names.append(self.technique_names[int(np.argmax(logits))])
         return names

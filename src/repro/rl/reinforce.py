@@ -146,14 +146,98 @@ class ReinforceTrainer:
         ``(log_probs, reward, entropies)`` — the 3-tuple form carries the
         entropy bonus through, so replaying episodes in a batch is exactly
         equivalent to calling :meth:`update` once per episode (an earlier
-        revision dropped the entropies on replay). Used by the tree search,
-        where every node contributes an action/reward pair after the
-        backward-estimation stage (Alg. 3 lines 32–34).
+        revision dropped the entropies on replay). This sequential replay
+        is kept as the reference semantics; the search hot path batches all
+        of a tree episode's nodes into one optimizer step via
+        :meth:`update_episode`.
         """
         for episode in episodes:
-            if len(episode) == 2:
-                log_probs, reward = episode
-                entropies: Optional[Sequence[Tensor]] = None
-            else:
-                log_probs, reward, entropies = episode
+            log_probs, reward, entropies = _unpack_episode(episode)
             self.update(log_probs, reward, entropies=entropies)
+
+    def episode_loss(
+        self,
+        episodes: Sequence[Tuple],
+        baseline_value: float,
+    ) -> Tuple[Optional[Tensor], List[float]]:
+        """Accumulated REINFORCE loss of many episodes under one baseline.
+
+        Returns ``(loss, advantages)``: the loss is the sum of every
+        episode's per-action ``log_prob * (-advantage)`` terms (plus the
+        entropy bonus), so its gradient equals the **sum** of the per-episode
+        gradients with the baseline frozen at ``baseline_value`` — the
+        property the batched-update equivalence test pins. ``loss`` is
+        ``None`` when no episode carries a differentiable term.
+        """
+        loss: Optional[Tensor] = None
+        advantages: List[float] = []
+        for episode in episodes:
+            log_probs, reward, entropies = _unpack_episode(episode)
+            advantage = (reward - baseline_value) * self.reward_scale
+            advantages.append(advantage)
+            for log_prob in log_probs:
+                term = log_prob * (-advantage)
+                loss = term if loss is None else loss + term
+            if entropies and self.entropy_coeff > 0.0:
+                for entropy in entropies:
+                    term = entropy * (-self.entropy_coeff)
+                    loss = term if loss is None else loss + term
+        return loss, advantages
+
+    def update_episode(self, episodes: Sequence[Tuple]) -> List[float]:
+        """All of one search episode's node updates as a single Adam step.
+
+        The sequential path (:meth:`update` per node) replays one
+        backward/step per tree node and lets the EMA baseline drift *inside*
+        the episode, making sibling advantages depend on preorder position.
+        Here the baseline is snapshotted once at episode start, every node's
+        advantage is computed against that snapshot, and one accumulated
+        loss drives one ``backward()`` and one optimizer step. Rewards still
+        fold into the EMA (and ``self.history``) in arrival order, so the
+        baseline *after* the episode matches the sequential path's end
+        state. Returns the per-episode advantages used.
+        """
+        if not episodes:
+            return []
+        baseline_value = (
+            self.baseline.value if self.baseline.value is not None else 0.0
+        )
+        recorder = get_recorder()
+        for episode in episodes:
+            log_probs, reward, entropies = _unpack_episode(episode)
+            self.history.append(reward)
+            self.baseline.update(reward)
+            if recorder.enabled:
+                advantage = (reward - baseline_value) * self.reward_scale
+                mean_entropy = (
+                    float(np.mean([np.mean(e.data) for e in entropies]))
+                    if entropies
+                    else None
+                )
+                recorder.event(
+                    "rl.update",
+                    controller=self.name,
+                    reward=float(reward),
+                    baseline=float(baseline_value),
+                    advantage=float(advantage),
+                    entropy=mean_entropy,
+                    actions=len(log_probs),
+                )
+        loss, advantages = self.episode_loss(episodes, baseline_value)
+        if loss is not None:
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.clip_grad_norm(self.max_grad_norm)
+            self.optimizer.step()
+        return advantages
+
+
+def _unpack_episode(
+    episode: Tuple,
+) -> Tuple[Sequence[Tensor], float, Optional[Sequence[Tensor]]]:
+    """Normalize ``(log_probs, reward[, entropies])`` episode tuples."""
+    if len(episode) == 2:
+        log_probs, reward = episode
+        return log_probs, reward, None
+    log_probs, reward, entropies = episode
+    return log_probs, reward, entropies

@@ -31,6 +31,7 @@ from ..model.spec import ModelSpec
 from ..network.channel import Channel, TransferAttempt
 from ..network.traces import BandwidthTrace
 from ..search.compose import match_fork
+from ..search.composer import SpecComposer
 from ..search.tree import ModelTree, TreeNode
 from .resilience import CircuitBreaker, OffloadPolicy, resolve_offload
 
@@ -196,9 +197,10 @@ def _finish(
     edge_ms: float,
     offload,
     forks: Tuple[int, ...] = (),
+    composer: Optional[SpecComposer] = None,
 ) -> InferenceOutcome:
     """Compose the outcome both plan types report after their offload."""
-    composed = _concat(edge_spec, cloud_spec)
+    composed = _concat(edge_spec, cloud_spec, composer)
     accuracy = env.accuracy.evaluate(composed)
     latency = clock - start_ms
     return InferenceOutcome(
@@ -232,6 +234,12 @@ class FixedPlan:
     cloud_spec: Optional[ModelSpec]
     policy: Optional[OffloadPolicy] = None
     breaker: Optional[CircuitBreaker] = field(default=None, compare=False)
+    #: Composed-spec cache (excluded from equality like the breaker): the
+    #: edge+cloud composition is identical for every request of a session,
+    #: so repeat requests reuse one cached spec with a warm fingerprint.
+    composer: SpecComposer = field(
+        default_factory=SpecComposer, compare=False, repr=False
+    )
 
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
@@ -257,6 +265,7 @@ class FixedPlan:
             self.cloud_spec,
             edge_ms,
             offload,
+            composer=self.composer,
         )
 
 
@@ -272,13 +281,19 @@ class TreePlan:
     tree: ModelTree
     policy: Optional[OffloadPolicy] = None
     breaker: Optional[CircuitBreaker] = field(default=None, compare=False)
+    #: Composed-spec cache (excluded from equality like the breaker): a
+    #: session's requests revisit the same few tree paths, so the walked
+    #: edge prefix is composed once per distinct path, not per request.
+    composer: SpecComposer = field(
+        default_factory=SpecComposer, compare=False, repr=False
+    )
 
     def execute(
         self, start_ms: float, env: RuntimeEnvironment, rng: np.random.Generator
     ) -> InferenceOutcome:
         clock = require_non_negative(start_ms, "start_ms")
         node = self.tree.root
-        edge_spec: Optional[ModelSpec] = None
+        edge_parts: List[ModelSpec] = []
         edge_ms_total = 0.0
         forks: List[int] = []
 
@@ -287,11 +302,7 @@ class TreePlan:
                 block_ms = env.edge_compute_ms(node.edge_spec, rng)
                 edge_ms_total += block_ms
                 clock += block_ms
-                edge_spec = (
-                    node.edge_spec
-                    if edge_spec is None
-                    else edge_spec.concatenate(node.edge_spec)
-                )
+                edge_parts.append(node.edge_spec)
             if node.partitioned or not node.children:
                 break
             measured = env.probe_bandwidth(clock, rng)
@@ -300,6 +311,7 @@ class TreePlan:
             forks.append(fork)
             node = node.children[fork]
 
+        edge_spec = self.composer.concat(edge_parts)
         wants_offload = node.cloud_spec is not None and len(node.cloud_spec) > 0
         offload = resolve_offload(
             env,
@@ -319,12 +331,20 @@ class TreePlan:
             edge_ms_total,
             offload,
             forks=tuple(forks),
+            composer=self.composer,
         )
 
 
 def _concat(
-    edge_spec: Optional[ModelSpec], cloud_spec: Optional[ModelSpec]
+    edge_spec: Optional[ModelSpec],
+    cloud_spec: Optional[ModelSpec],
+    composer: Optional[SpecComposer] = None,
 ) -> ModelSpec:
+    if composer is not None:
+        composed = composer.concat([edge_spec, cloud_spec], name="composed")
+        if composed is None:
+            raise ValueError("plan has neither edge nor cloud model")
+        return composed
     if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
         return edge_spec.concatenate(cloud_spec, name="composed")
     if edge_spec is not None and len(edge_spec):

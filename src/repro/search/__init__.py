@@ -13,6 +13,7 @@ from .branch import (
     realize_branch_plan,
 )
 from .compose import ComposedModel, compose_from_tree, match_fork
+from .composer import SpecComposer
 from .context import CandidateResult, SearchContext
 from .plan import AppliedPlan, apply_compression_plan
 from .serialize import (
@@ -58,6 +59,7 @@ __all__ = [
     "ComposedModel",
     "compose_from_tree",
     "match_fork",
+    "SpecComposer",
     "CandidateResult",
     "SearchContext",
     "AppliedPlan",

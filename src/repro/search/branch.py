@@ -125,7 +125,13 @@ def optimal_branch_search(
             plan = BranchPlan(partition_index, tuple(names))
             result = realize_branch_plan(context, plan, bandwidth_mbps)
 
-            policy.update([t for t in tokens if t is not None], result.reward)
+            # One-episode batch: for a single episode the snapshotted
+            # baseline equals the sequential pre-update EMA, so this is
+            # exactly the historical per-episode update — but through the
+            # same accumulated-loss path the tree search uses.
+            policy.update_episode(
+                [([t for t in tokens if t is not None], result.reward)]
+            )
             obs_span.add(
                 reward=result.reward,
                 partition_index=partition_index,

@@ -17,6 +17,7 @@ import numpy as np
 from ..contracts import require_positive
 from ..model.spec import ModelSpec
 from ..perf import get_registry
+from .composer import SpecComposer
 from .tree import ModelTree, TreeNode
 
 #: Called before each block with the block index; returns measured Mbps.
@@ -64,22 +65,35 @@ def match_fork(bandwidth_mbps: float, bandwidth_types: List[float]) -> int:
     return int(np.argmin(distances))
 
 
-def compose_from_tree(tree: ModelTree, probe: BandwidthProbe) -> ComposedModel:
-    """Algorithm 2: grow a model from the tree, fork by measured bandwidth."""
+def compose_from_tree(
+    tree: ModelTree,
+    probe: BandwidthProbe,
+    composer: Optional[SpecComposer] = None,
+) -> ComposedModel:
+    """Algorithm 2: grow a model from the tree, fork by measured bandwidth.
+
+    ``composer`` (optional) caches the edge-prefix concatenation by the
+    parts' fingerprints, so repeated walks down the same path — the normal
+    case across a session's requests — reuse one composed spec.
+    """
     get_registry().count("compose.walks")
     node = tree.root
     path: List[TreeNode] = [node]
     measured: List[float] = []
-    edge_spec: Optional[ModelSpec] = None
+    edge_parts: List[ModelSpec] = []
 
     while True:
         if node.edge_spec is not None and len(node.edge_spec):
-            edge_spec = (
-                node.edge_spec
-                if edge_spec is None
-                else edge_spec.concatenate(node.edge_spec)
-            )
+            edge_parts.append(node.edge_spec)
         if node.partitioned or not node.children:
+            if composer is not None:
+                edge_spec = composer.concat(edge_parts)
+            else:
+                edge_spec = None
+                for part in edge_parts:
+                    edge_spec = (
+                        part if edge_spec is None else edge_spec.concatenate(part)
+                    )
             return ComposedModel(
                 path=tuple(path),
                 edge_spec=edge_spec,

@@ -35,6 +35,7 @@ from ..latency.compute import LatencyBreakdown, LatencyEstimator
 from ..mdp.reward import RewardConfig
 from ..model.spec import ModelSpec
 from ..perf import DEFAULT_MAXSIZE, MemoPool, MemoStats, PerfRegistry, get_registry
+from .composer import SpecComposer
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,11 @@ class SearchContext:
         self.debug = debug
         self.perf = perf if perf is not None else get_registry()
         self._pool: MemoPool = MemoPool(maxsize=memo_maxsize, name="search.memo")
+        #: Composed-spec cache shared by every search strategy over this
+        #: context: prefix/cloud/full compositions are keyed on the parts'
+        #: cached fingerprints, so repeat compositions across episodes are
+        #: dict reads instead of fresh concatenations.
+        self.composer = SpecComposer(maxsize=memo_maxsize, name="compose.memo")
         self.evaluations = 0
 
     def evaluate(
@@ -111,13 +117,10 @@ class SearchContext:
                 )
             self.evaluations += 1
 
-            if edge_spec is not None and len(edge_spec) and cloud_spec is not None and len(cloud_spec):
-                composed = edge_spec.concatenate(cloud_spec, name="composed")
-            elif edge_spec is not None and len(edge_spec):
-                composed = edge_spec
-            elif cloud_spec is not None and len(cloud_spec):
-                composed = cloud_spec
-            else:
+            composed = self.composer.concat(
+                [edge_spec, cloud_spec], name="composed"
+            )
+            if composed is None:
                 raise ValueError("candidate has neither edge nor cloud model")
 
             accuracy = self.accuracy.evaluate(composed)

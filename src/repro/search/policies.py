@@ -24,8 +24,22 @@ from ..rl.reinforce import ReinforceTrainer
 ActionToken = object  # opaque per-policy bookkeeping attached to an action
 
 
+def _require_positive_bandwidths(bandwidths_mbps: Sequence[float]) -> None:
+    """Entry contract for the batch APIs: every bandwidth must be > 0."""
+    for bandwidth in bandwidths_mbps:
+        require_positive(bandwidth, "bandwidth_mbps")
+
+
 class SearchPolicy(Protocol):
-    """Interface all search strategies implement."""
+    """Interface all search strategies implement.
+
+    The batch methods serve the vectorized tree episode: one call covers
+    all pending requests of a tree level (same block, different
+    bandwidths), and ``update_episode`` folds every node's
+    (tokens, reward) pair of one episode into a single policy update.
+    Implementations must consume the RNG in request order so a batch of
+    one is indistinguishable from the sequential method.
+    """
 
     def sample_partition(
         self,
@@ -39,7 +53,26 @@ class SearchPolicy(Protocol):
         self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
     ) -> Tuple[List[str], ActionToken]: ...
 
+    def sample_partition_batch(
+        self,
+        spec: ModelSpec,
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+        force_flags: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[int, ActionToken]]: ...
+
+    def sample_compression_batch(
+        self,
+        specs: Sequence[ModelSpec],
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+    ) -> List[Tuple[List[str], ActionToken]]: ...
+
     def update(self, tokens: Sequence[ActionToken], reward: float) -> None: ...
+
+    def update_episode(
+        self, updates: Sequence[Tuple[Sequence[ActionToken], float]]
+    ) -> None: ...
 
 
 class RLPolicy:
@@ -67,6 +100,44 @@ class RLPolicy:
             entropy_coeff=entropy_coeff, name="compression",
         )
 
+    def sample_partition_batch(
+        self,
+        spec: ModelSpec,
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+        force_flags: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[int, ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        triples = self.partition_controller.sample_batch(
+            spec, bandwidths_mbps, rng, force_flags=force_flags
+        )
+        return [
+            (
+                cut,
+                (
+                    "partition",
+                    [log_prob],
+                    [entropy] if entropy is not None else [],
+                ),
+            )
+            for cut, log_prob, entropy in triples
+        ]
+
+    def sample_compression_batch(
+        self,
+        specs: Sequence[ModelSpec],
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+    ) -> List[Tuple[List[str], ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        results = self.compression_controller.sample_batch(
+            specs, bandwidths_mbps, rng
+        )
+        return [
+            (names, ("compression", log_probs, entropies))
+            for names, log_probs, entropies in results
+        ]
+
     def sample_partition(
         self,
         spec: ModelSpec,
@@ -75,31 +146,44 @@ class RLPolicy:
         force_no_partition: bool = False,
     ) -> Tuple[int, ActionToken]:
         require_positive(bandwidth_mbps, "bandwidth_mbps")
-        cut, log_prob = self.partition_controller.sample(
-            spec, bandwidth_mbps, rng, force_no_partition=force_no_partition
-        )
-        entropy = self.partition_controller.last_entropy
-        entropies = [entropy] if (entropy is not None and not force_no_partition) else []
-        return cut, ("partition", [log_prob], entropies)
+        return self.sample_partition_batch(
+            spec, [bandwidth_mbps], rng, [force_no_partition]
+        )[0]
 
     def sample_compression(
         self, spec: ModelSpec, bandwidth_mbps: float, rng: np.random.Generator
     ) -> Tuple[List[str], ActionToken]:
         require_positive(bandwidth_mbps, "bandwidth_mbps")
-        names, log_probs = self.compression_controller.sample(
-            spec, bandwidth_mbps, rng
+        return self.sample_compression_batch([spec], [bandwidth_mbps], rng)[0]
+
+    def _trainer_for(self, kind: str) -> ReinforceTrainer:
+        return (
+            self.partition_trainer
+            if kind == "partition"
+            else self.compression_trainer
         )
-        entropies = list(self.compression_controller.last_entropies)
-        return names, ("compression", log_probs, entropies)
 
     def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
         for kind, log_probs, entropies in tokens:
-            trainer = (
-                self.partition_trainer
-                if kind == "partition"
-                else self.compression_trainer
-            )
-            trainer.update(log_probs, reward, entropies=entropies)
+            self._trainer_for(kind).update(log_probs, reward, entropies=entropies)
+
+    def update_episode(
+        self, updates: Sequence[Tuple[Sequence[ActionToken], float]]
+    ) -> None:
+        """One optimizer step per controller for a whole tree episode.
+
+        Tokens are bucketed by controller kind in node order, then each
+        trainer applies its bucket as a single accumulated-loss step with
+        the EMA baseline snapshotted at episode start (see
+        :meth:`~repro.rl.reinforce.ReinforceTrainer.update_episode`).
+        """
+        buckets: Dict[str, List[Tuple]] = {"partition": [], "compression": []}
+        for tokens, reward in updates:
+            for kind, log_probs, entropies in tokens:
+                buckets[kind].append((log_probs, reward, entropies))
+        for kind, episodes in buckets.items():
+            if episodes:
+                self._trainer_for(kind).update_episode(episodes)
 
 
 class RandomPolicy:
@@ -131,7 +215,38 @@ class RandomPolicy:
             names.append(options[int(rng.integers(0, len(options)))] if options else "ID")
         return names, None
 
+    def sample_partition_batch(
+        self,
+        spec: ModelSpec,
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+        force_flags: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[int, ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        flags = _normalized_flags(force_flags, len(bandwidths_mbps))
+        return [
+            self.sample_partition(spec, bw, rng, force_no_partition=flag)
+            for bw, flag in zip(bandwidths_mbps, flags)
+        ]
+
+    def sample_compression_batch(
+        self,
+        specs: Sequence[ModelSpec],
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+    ) -> List[Tuple[List[str], ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        return [
+            self.sample_compression(spec, bw, rng)
+            for spec, bw in zip(specs, bandwidths_mbps)
+        ]
+
     def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
+        return None
+
+    def update_episode(
+        self, updates: Sequence[Tuple[Sequence[ActionToken], float]]
+    ) -> None:
         return None
 
 
@@ -207,9 +322,50 @@ class EpsilonGreedyPolicy:
             keys.append(("c", state, i, choice))
         return names, keys
 
+    def sample_partition_batch(
+        self,
+        spec: ModelSpec,
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+        force_flags: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[int, ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        flags = _normalized_flags(force_flags, len(bandwidths_mbps))
+        return [
+            self.sample_partition(spec, bw, rng, force_no_partition=flag)
+            for bw, flag in zip(bandwidths_mbps, flags)
+        ]
+
+    def sample_compression_batch(
+        self,
+        specs: Sequence[ModelSpec],
+        bandwidths_mbps: Sequence[float],
+        rng: np.random.Generator,
+    ) -> List[Tuple[List[str], ActionToken]]:
+        _require_positive_bandwidths(bandwidths_mbps)
+        return [
+            self.sample_compression(spec, bw, rng)
+            for spec, bw in zip(specs, bandwidths_mbps)
+        ]
+
     def update(self, tokens: Sequence[ActionToken], reward: float) -> None:
         for token in tokens:
             if not token:
                 continue
             for key in token:
                 self._record(key, reward)
+
+    def update_episode(
+        self, updates: Sequence[Tuple[Sequence[ActionToken], float]]
+    ) -> None:
+        for tokens, reward in updates:
+            self.update(tokens, reward)
+
+
+def _normalized_flags(
+    force_flags: Optional[Sequence[bool]], count: int
+) -> List[bool]:
+    flags = list(force_flags) if force_flags is not None else [False] * count
+    if len(flags) != count:
+        raise ValueError("force_flags length must match bandwidths_mbps")
+    return flags

@@ -47,6 +47,7 @@ from .branch import (
     BranchSearchResult,
     optimal_branch_search,
 )
+from .composer import SpecComposer
 from .context import CandidateResult, SearchContext
 from .plan import apply_compression_plan
 from .policies import RLPolicy, SearchPolicy
@@ -199,23 +200,35 @@ class TreeSearchResult:
 # ---------------------------------------------------------------------------
 # Shared helpers
 # ---------------------------------------------------------------------------
-def _compose_prefix(prefix: Sequence[TreeNode]) -> Optional[ModelSpec]:
-    """Concatenate the edge parts of a path's blocks."""
+def _compose_prefix(
+    prefix: Sequence[TreeNode], composer: Optional[SpecComposer] = None
+) -> Optional[ModelSpec]:
+    """Concatenate the edge parts of a path's blocks (composer-cached)."""
+    parts = [node.edge_spec for node in prefix]
+    if composer is not None:
+        return composer.concat(parts)
     spec: Optional[ModelSpec] = None
-    for node in prefix:
-        if node.edge_spec is None or not len(node.edge_spec):
+    for part in parts:
+        if part is None or not len(part):
             continue
-        spec = node.edge_spec if spec is None else spec.concatenate(node.edge_spec)
+        spec = part if spec is None else spec.concatenate(part)
     return spec
 
 
-def _cloud_suffix(blocks: Sequence[BlockSpec], start_block: int) -> Optional[ModelSpec]:
+def _cloud_suffix(
+    blocks: Sequence[BlockSpec],
+    start_block: int,
+    composer: Optional[SpecComposer] = None,
+) -> Optional[ModelSpec]:
     """The base-model remainder from ``start_block`` on (inherited, uncompressed)."""
     if start_block >= len(blocks):
         return None
-    spec = blocks[start_block].model
-    for block in blocks[start_block + 1 :]:
-        spec = spec.concatenate(block.model)
+    parts = [block.model for block in blocks[start_block:]]
+    if composer is not None:
+        return composer.concat(parts)
+    spec = parts[0]
+    for part in parts[1:]:
+        spec = spec.concatenate(part)
     return spec
 
 
@@ -241,7 +254,7 @@ def _block_config_from_plan(
         # belongs to the cloud.
         return _BlockConfig(
             edge_spec=None,
-            cloud_spec=_cloud_suffix(blocks, block_index),
+            cloud_spec=_cloud_suffix(blocks, block_index, context.composer),
             partitioned=True,
         )
     partitioned = plan.partition_index < block.stop
@@ -264,102 +277,147 @@ def _block_config_from_plan(
             if edge_len < len(block.model)
             else None
         )
-        suffix = _cloud_suffix(blocks, block_index + 1)
-        if rest is None:
-            cloud_spec = suffix
-        elif suffix is None:
-            cloud_spec = rest
-        else:
-            cloud_spec = rest.concatenate(suffix)
+        suffix = _cloud_suffix(blocks, block_index + 1, context.composer)
+        cloud_spec = context.composer.concat([rest, suffix])
     return _BlockConfig(edge_spec, cloud_spec, partitioned)
 
 
 # ---------------------------------------------------------------------------
 # Forward generation (episode sampling)
 # ---------------------------------------------------------------------------
-def _generate_node(
+@dataclass
+class _PendingNode:
+    """A node slot awaiting generation at the current tree level."""
+
+    fork_index: Optional[int]
+    bandwidth_mbps: float
+    prefix: List[TreeNode]
+    parent: Optional[TreeNode]
+
+
+def _generate_episode(
     context: SearchContext,
     blocks: Sequence[BlockSpec],
     policy: SearchPolicy,
-    block_index: int,
-    fork_index: Optional[int],
-    bandwidth_mbps: float,
-    prefix: List[TreeNode],
     rng: np.random.Generator,
     episode: int,
     schedule: Optional[FairChanceSchedule],
     bandwidth_types: Sequence[float],
+    root_bandwidth: float,
 ) -> TreeNode:
-    """Forward generation for one node and (recursively) its subtree."""
-    block = blocks[block_index]
-    force = bool(
-        schedule is not None and schedule.should_force(episode, block_index, rng)
-    )
-    cut, partition_token = policy.sample_partition(
-        block.model, bandwidth_mbps, rng, force_no_partition=force
-    )
-    tokens: List[object] = [partition_token]
+    """Forward generation of one episode's tree, level by level.
 
-    partitioned = cut != NO_PARTITION
-    edge_len = len(block.model) if not partitioned else cut
-
-    edge_spec: Optional[ModelSpec] = None
-    if edge_len > 0:
-        edge_raw = block.model.slice(0, edge_len)
-        names, compression_token = policy.sample_compression(
-            edge_raw, bandwidth_mbps, rng
+    All pending nodes at depth ``d`` realize the *same* base block (a
+    node's block index equals its depth), so each level is generated with
+    one batched partition sample and one batched compression sample over
+    the level's pending forks, instead of one backbone pass per node. Per
+    level, the RNG is consumed in node order: first every fair-chance
+    draw, then the partition samples, then the compression samples — a
+    one-wide tree therefore draws exactly what the per-node sequential
+    walk would.
+    """
+    composer = context.composer
+    root: Optional[TreeNode] = None
+    pending: List[_PendingNode] = [
+        _PendingNode(
+            fork_index=None,
+            bandwidth_mbps=root_bandwidth,
+            prefix=[],
+            parent=None,
         )
-        tokens.append(compression_token)
-        edge_spec = apply_compression_plan(edge_raw, names, context.registry).spec
-
-    cloud_spec: Optional[ModelSpec] = None
-    if partitioned:
-        rest = (
-            block.model.slice(edge_len, len(block.model))
-            if edge_len < len(block.model)
-            else None
-        )
-        suffix = _cloud_suffix(blocks, block_index + 1)
-        if rest is None:
-            cloud_spec = suffix
-        elif suffix is None:
-            cloud_spec = rest
-        else:
-            cloud_spec = rest.concatenate(suffix)
-
-    node = TreeNode(
-        block_index=block_index,
-        fork_index=fork_index,
-        bandwidth_mbps=bandwidth_mbps,
-        edge_spec=edge_spec,
-        cloud_spec=cloud_spec,
-        partitioned=partitioned,
-        tokens=[t for t in tokens if t is not None],
-    )
-
-    path = prefix + [node]
-    if partitioned or block_index == len(blocks) - 1:
-        full_edge = _compose_prefix(path)
-        node.result = context.evaluate(full_edge, cloud_spec, bandwidth_mbps)
-        node.reward = node.result.reward
-        return node
-
-    for k, next_bandwidth in enumerate(bandwidth_types):
-        child = _generate_node(
-            context,
-            blocks,
-            policy,
-            block_index + 1,
-            k,
-            next_bandwidth,
-            path,
+    ]
+    for block_index, block in enumerate(blocks):
+        if not pending:
+            break
+        force_flags = [
+            bool(
+                schedule is not None
+                and schedule.should_force(episode, block_index, rng)
+            )
+            for _ in pending
+        ]
+        partition_results = policy.sample_partition_batch(
+            block.model,
+            [entry.bandwidth_mbps for entry in pending],
             rng,
-            episode,
-            schedule,
-            bandwidth_types,
+            force_flags,
         )
-        node.children.append(child)
-    return node
+
+        nodes: List[TreeNode] = []
+        edge_lens: List[int] = []
+        compression_slots: List[int] = []
+        compression_specs: List[ModelSpec] = []
+        for slot, (entry, (cut, partition_token)) in enumerate(
+            zip(pending, partition_results)
+        ):
+            partitioned = cut != NO_PARTITION
+            edge_len = len(block.model) if not partitioned else cut
+            nodes.append(
+                TreeNode(
+                    block_index=block_index,
+                    fork_index=entry.fork_index,
+                    bandwidth_mbps=entry.bandwidth_mbps,
+                    edge_spec=None,
+                    cloud_spec=None,
+                    partitioned=partitioned,
+                    tokens=[partition_token] if partition_token is not None else [],
+                )
+            )
+            edge_lens.append(edge_len)
+            if edge_len > 0:
+                compression_slots.append(slot)
+                compression_specs.append(block.model.slice(0, edge_len))
+
+        if compression_slots:
+            compression_results = policy.sample_compression_batch(
+                compression_specs,
+                [pending[slot].bandwidth_mbps for slot in compression_slots],
+                rng,
+            )
+            for slot, edge_raw, (names, compression_token) in zip(
+                compression_slots, compression_specs, compression_results
+            ):
+                if compression_token is not None:
+                    nodes[slot].tokens.append(compression_token)
+                nodes[slot].edge_spec = apply_compression_plan(
+                    edge_raw, names, context.registry
+                ).spec
+
+        next_pending: List[_PendingNode] = []
+        for entry, node, edge_len in zip(pending, nodes, edge_lens):
+            if node.partitioned:
+                rest = (
+                    block.model.slice(edge_len, len(block.model))
+                    if edge_len < len(block.model)
+                    else None
+                )
+                suffix = _cloud_suffix(blocks, block_index + 1, composer)
+                node.cloud_spec = composer.concat([rest, suffix])
+            if entry.parent is None:
+                root = node
+            else:
+                entry.parent.children.append(node)
+            path = entry.prefix + [node]
+            if node.partitioned or block_index == len(blocks) - 1:
+                full_edge = _compose_prefix(path, composer)
+                node.result = context.evaluate(
+                    full_edge, node.cloud_spec, node.bandwidth_mbps
+                )
+                node.reward = node.result.reward
+                continue
+            for k, next_bandwidth in enumerate(bandwidth_types):
+                next_pending.append(
+                    _PendingNode(
+                        fork_index=k,
+                        bandwidth_mbps=next_bandwidth,
+                        prefix=path,
+                        parent=node,
+                    )
+                )
+        pending = next_pending
+
+    assert root is not None
+    return root
 
 
 def _backward_estimate(node: TreeNode) -> float:
@@ -374,10 +432,20 @@ def _backward_estimate(node: TreeNode) -> float:
 
 
 def _update_policy(policy: SearchPolicy, root: TreeNode) -> None:
-    """Update controllers with every node's (actions, estimated reward)."""
-    for node in root.iter_nodes():
-        if node.tokens and not node.grafted:
-            policy.update(node.tokens, node.reward)
+    """Update controllers with every node's (actions, estimated reward).
+
+    All nodes go in as one episode (preorder): the policy accumulates a
+    single loss per controller and applies one optimizer step, with the
+    EMA baseline snapshotted at episode start — so sibling advantages no
+    longer depend on preorder position.
+    """
+    updates = [
+        (node.tokens, node.reward)
+        for node in root.iter_nodes()
+        if node.tokens and not node.grafted
+    ]
+    if updates:
+        policy.update_episode(updates)
 
 
 # ---------------------------------------------------------------------------
@@ -401,9 +469,7 @@ def _straight_path_result(
         if config.partitioned:
             cloud_spec = config.cloud_spec
             break
-    edge_spec: Optional[ModelSpec] = None
-    for part in edge_parts:
-        edge_spec = part if edge_spec is None else edge_spec.concatenate(part)
+    edge_spec = context.composer.concat(edge_parts)
     return context.evaluate(edge_spec, cloud_spec, bandwidth_mbps)
 
 
@@ -486,7 +552,7 @@ def build_grafted_tree(
         )
         path = prefix + [node]
         if config.partitioned or block_index == num_blocks - 1:
-            full_edge = _compose_prefix(path)
+            full_edge = _compose_prefix(path, context.composer)
             node.result = context.evaluate(full_edge, config.cloud_spec, bandwidth)
             node.reward = node.result.reward
             return node
@@ -508,15 +574,22 @@ def graft_path(
 
     Used to fold an RL-discovered branch that beats the deterministic graft
     into the final tree. Subtrees hanging off the replaced nodes are kept.
+    The whole donor path is resolved against the tree's fork arities
+    *before* anything is overwritten, so a donor that does not fit raises
+    ``ValueError`` with the tree untouched — an earlier revision mutated
+    shallower depths first and could leave a partially overwritten tree
+    (masked only because the caller discarded it on the error).
     """
+    targets: List[TreeNode] = []
     node = tree.root
-    prefix: List[TreeNode] = []
     for depth, donor in enumerate(donor_path):
         if depth > 0:
             fork = donor.fork_index if donor.fork_index is not None else 0
-            while len(node.children) <= fork:
+            if fork >= len(node.children):
                 raise ValueError("donor path does not fit the tree's fork arity")
             node = node.children[fork]
+        targets.append(node)
+    for donor, node in zip(donor_path, targets):
         node.edge_spec = donor.edge_spec
         node.cloud_spec = donor.cloud_spec
         node.partitioned = donor.partitioned
@@ -526,7 +599,6 @@ def graft_path(
             node.children = []
             node.result = donor.result
             node.reward = donor.reward
-        prefix.append(node)
     _refresh_subtree_rewards(context, tree)
 
 
@@ -535,7 +607,7 @@ def _refresh_subtree_rewards(context: SearchContext, tree: ModelTree) -> None:
     def walk(node: TreeNode, prefix: List[TreeNode]) -> None:
         path = prefix + [node]
         if node.is_terminal:
-            full_edge = _compose_prefix(path)
+            full_edge = _compose_prefix(path, context.composer)
             node.result = context.evaluate(
                 full_edge, node.cloud_spec, node.bandwidth_mbps
             )
@@ -597,18 +669,15 @@ def model_tree_search(
         context.perf.count("tree.episodes")
         with recorder.span("tree.episode", episode=episode) as obs_span:
             with context.perf.span("tree.forward"), recorder.span("tree.forward"):
-                root = _generate_node(
+                root = _generate_episode(
                     context,
                     blocks,
                     policy,
-                    block_index=0,
-                    fork_index=None,
-                    bandwidth_mbps=root_bandwidth,
-                    prefix=[],
                     rng=rng,
                     episode=episode,
                     schedule=schedule,
                     bandwidth_types=types,
+                    root_bandwidth=root_bandwidth,
                 )
             with context.perf.span("tree.backward"), recorder.span("tree.backward"):
                 _backward_estimate(root)

@@ -169,3 +169,56 @@ class TestMemoization:
     def test_fixed_accuracy_validation(self):
         with pytest.raises(ValueError):
             FixedAccuracy(1.5)
+
+
+class TestMemoizationBounds:
+    """The accuracy memo is the paper's memory pool; it must stay bounded.
+
+    Regression: the original plain-dict cache grew without limit across
+    long sweeps. It is now backed by the LRU MemoPool, keeping the
+    historical hits/misses/__len__/clear API and exposing full stats.
+    """
+
+    def _distinct_specs(self, base, registry, count):
+        # Distinct prefixes of the base model: distinct fingerprints.
+        return [base.slice(0, len(base) - i) for i in range(count)]
+
+    def test_lru_bound_enforced(self, base, registry):
+        memo = MemoizedEvaluator(FixedAccuracy(0.9), maxsize=2)
+        specs = self._distinct_specs(base, registry, 3)
+        for spec in specs:
+            memo.evaluate(spec)
+        assert len(memo) == 2
+        assert memo.stats.evictions == 1
+        # The oldest entry was evicted; re-evaluating it is a miss.
+        memo.evaluate(specs[0])
+        assert memo.misses == 4
+
+    def test_lru_recency_order(self, base, registry):
+        memo = MemoizedEvaluator(FixedAccuracy(0.9), maxsize=2)
+        a, b, c = self._distinct_specs(base, registry, 3)
+        memo.evaluate(a)
+        memo.evaluate(b)
+        memo.evaluate(a)  # refresh a; b is now the LRU entry
+        memo.evaluate(c)  # evicts b
+        assert memo.evaluate(a) == 0.9
+        assert memo.hits == 2
+        memo.evaluate(b)
+        assert memo.misses == 4  # b was evicted, so this re-computed
+
+    def test_stats_surface_pool_telemetry(self, base):
+        memo = MemoizedEvaluator(FixedAccuracy(0.9))
+        memo.evaluate(base)
+        memo.evaluate(base)
+        stats = memo.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.to_dict()["hit_rate"] == pytest.approx(0.5)
+
+    def test_unbounded_mode_still_available(self, base, registry):
+        memo = MemoizedEvaluator(FixedAccuracy(0.9), maxsize=None)
+        for spec in self._distinct_specs(base, registry, 3):
+            memo.evaluate(spec)
+        assert len(memo) == 3
+        assert memo.stats.evictions == 0

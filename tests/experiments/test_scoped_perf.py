@@ -59,3 +59,22 @@ class TestScenarioTrace:
         # The offline phases all appear under the same trace.
         for phase in ("scenario.surgery", "scenario.branch", "scenario.tree"):
             assert phase in summary.phases
+
+
+class TestScenarioCacheTelemetry:
+    def test_memo_stats_events_per_cache(self, scenario, tmp_path):
+        """A traced scene ends with one cumulative ``memo.stats`` snapshot
+        per memo pool, so ``obs report`` can render cache telemetry."""
+        path = tmp_path / "scenario.jsonl"
+        with recording(path):
+            run_scenario(scenario, tiny_config(), run_emu=False, run_field=False)
+        from repro.obs.report import summarize_trace
+
+        summary = summarize_trace(path)
+        assert set(summary.caches) >= {
+            "search.memo",
+            "accuracy.memo",
+            "compose.memo",
+        }
+        for stats in summary.caches.values():
+            assert stats["hits"] + stats["misses"] > 0

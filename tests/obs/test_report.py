@@ -189,3 +189,60 @@ class TestRoundTrip:
         assert summary.unparsed == 0
         assert summary.fork_counts == {"0": 1}
         assert summary.resilience[0]["name"] == "offload.retry"
+
+
+class TestCacheTelemetry:
+    def _records_with_stats(self):
+        records = make_records()
+        for t_ms, hits in ((3.0, 2), (4.0, 7)):
+            records.append(
+                {
+                    "kind": "event",
+                    "name": "memo.stats",
+                    "trace": "t1",
+                    "span": "s1",
+                    "t_ms": t_ms,
+                    "fields": {
+                        "cache": "search.memo",
+                        "hits": hits,
+                        "misses": 3,
+                        "evictions": 0,
+                        "size": 3,
+                        "maxsize": 65536,
+                        "hit_rate": hits / (hits + 3),
+                    },
+                }
+            )
+        records.append(
+            {
+                "kind": "event",
+                "name": "memo.stats",
+                "trace": "t1",
+                "span": "s1",
+                "t_ms": 5.0,
+                "fields": {"cache": "compose.memo", "hits": 1, "misses": 4},
+            }
+        )
+        return records
+
+    def test_latest_snapshot_per_cache_wins(self):
+        summary = summarize_records(self._records_with_stats())
+        assert set(summary.caches) == {"search.memo", "compose.memo"}
+        # Stats are cumulative snapshots: the later event describes the run.
+        assert summary.caches["search.memo"]["hits"] == 7
+        assert summary.caches["compose.memo"]["misses"] == 4
+
+    def test_caches_in_json_dict(self):
+        summary = summarize_records(self._records_with_stats())
+        parsed = json.loads(json.dumps(summary.to_json_dict()))
+        assert parsed["caches"]["search.memo"]["hits"] == 7
+
+    def test_render_includes_cache_section(self):
+        report = render_report(summarize_records(self._records_with_stats()))
+        assert "cache telemetry" in report
+        assert "search.memo" in report
+        assert "compose.memo" in report
+
+    def test_no_stats_no_section(self):
+        report = render_report(summarize_records(make_records()))
+        assert "cache telemetry" not in report

@@ -333,3 +333,251 @@ class TestEntropyBonus:
         controller.sample(small_spec, 10.0, rng)
         trainer.update([], 10.0, entropies=[controller.last_entropy])
         assert trainer.history == [10.0]
+
+
+class TestStaleEntropyRegression:
+    def test_forced_path_clears_last_entropy(self, small_spec, rng):
+        """Regression: a forced no-partition draw samples no distribution,
+        so the previous sample's entropy must not survive on the
+        controller — it used to leak into the forced node's update."""
+        controller = PartitionController(hidden_size=8, seed=0)
+        controller.sample(small_spec, 10.0, rng)
+        assert controller.last_entropy is not None
+        controller.sample(small_spec, 10.0, rng, force_no_partition=True)
+        assert controller.last_entropy is None
+
+    def test_entropy_returns_after_forced_sample(self, small_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        controller.sample(small_spec, 10.0, rng, force_no_partition=True)
+        controller.sample(small_spec, 10.0, rng)
+        assert controller.last_entropy is not None
+
+
+class TestSoleApplicableRegression:
+    """Layers with exactly one applicable technique must emit *that*
+    technique — a prior revision hardcoded "ID" whenever the distribution
+    was degenerate, silently dropping the only applicable transform in
+    registries where identity is masked out."""
+
+    @pytest.fixture
+    def no_id_registry(self, registry):
+        from repro.compression.base import TechniqueRegistry
+
+        return TechniqueRegistry([registry.get("W1")])
+
+    def test_sample_emits_sole_technique(self, small_spec, no_id_registry, rng):
+        controller = CompressionController(no_id_registry, hidden_size=8, seed=0)
+        names, log_probs = controller.sample(small_spec, 10.0, rng)
+        assert log_probs == []  # one-arm distributions are never sampled
+        for i, name in enumerate(names):
+            applicable = [
+                t.name for t in no_id_registry.applicable(small_spec, i)
+            ]
+            if applicable:
+                assert name == applicable[0] == "W1"
+            else:
+                assert name == "ID"  # no-op fallback when nothing applies
+        assert "W1" in names  # the spec has conv layers W1 applies to
+
+    def test_greedy_emits_sole_technique(self, small_spec, no_id_registry):
+        controller = CompressionController(no_id_registry, hidden_size=8, seed=0)
+        names = controller.greedy(small_spec, 10.0)
+        assert "W1" in names
+        for i, name in enumerate(names):
+            if name != "ID":
+                assert no_id_registry.get(name).applies_to(small_spec, i)
+
+
+class TestBatchedSampling:
+    """The batched controller paths must be indistinguishable from N
+    sequential calls: same logits, same RNG consumption, same actions."""
+
+    def test_partition_logits_batch_matches_single(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        bandwidths = [3.0, 10.0, 80.0]
+        batched = controller.logits_batch(small_spec, bandwidths).data
+        for row, bw in enumerate(bandwidths):
+            single = controller.logits(small_spec, bw).data
+            np.testing.assert_allclose(batched[row], single, rtol=1e-12)
+
+    def test_partition_batch_matches_sequential_actions(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        bandwidths = [3.0, 10.0, 80.0, 10.0]
+        batched = controller.sample_batch(
+            small_spec, bandwidths, np.random.default_rng(11)
+        )
+        rng = np.random.default_rng(11)
+        for (cut, log_prob, entropy), bw in zip(batched, bandwidths):
+            expected_cut, expected_lp = controller.sample(small_spec, bw, rng)
+            assert cut == expected_cut
+            np.testing.assert_allclose(
+                log_prob.data, expected_lp.data, rtol=1e-12
+            )
+
+    def test_partition_forced_rows_consume_no_rng(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        bandwidths = [3.0, 10.0, 80.0]
+        flags = [False, True, False]
+        batched = controller.sample_batch(
+            small_spec, bandwidths, np.random.default_rng(5), force_flags=flags
+        )
+        assert batched[1][0] == NO_PARTITION
+        assert batched[1][2] is None  # no distribution sampled -> no entropy
+        # Unforced rows draw the same stream as a run without the forced row.
+        rng = np.random.default_rng(5)
+        for row in (0, 2):
+            cut, _ = controller.sample(small_spec, bandwidths[row], rng)
+            assert batched[row][0] == cut
+
+    def test_partition_force_flags_length_checked(self, small_spec, rng):
+        controller = PartitionController(hidden_size=8, seed=0)
+        with pytest.raises(ValueError):
+            controller.sample_batch(small_spec, [5.0, 10.0], rng, [True])
+
+    def test_compression_batch_matches_sequential(self, small_spec, registry):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        specs = [small_spec, small_spec.slice(0, 6), small_spec]
+        bandwidths = [3.0, 10.0, 80.0]
+        batched = controller.sample_batch(
+            specs, bandwidths, np.random.default_rng(13)
+        )
+        rng = np.random.default_rng(13)
+        for (names, log_probs, entropies), spec, bw in zip(
+            batched, specs, bandwidths
+        ):
+            expected_names, expected_lps = controller.sample(spec, bw, rng)
+            assert names == expected_names
+            assert len(log_probs) == len(expected_lps)
+            for got, want in zip(log_probs, expected_lps):
+                np.testing.assert_allclose(got.data, want.data, rtol=1e-12)
+
+    def test_compression_batch_length_mismatch_rejected(self, small_spec, registry, rng):
+        controller = CompressionController(registry, hidden_size=8, seed=0)
+        with pytest.raises(ValueError):
+            controller.sample_batch([small_spec], [5.0, 10.0], rng)
+
+
+class TestBatchedEpisodeUpdate:
+    """update_episode: one accumulated loss, one step, frozen baseline."""
+
+    def _partition_episodes(self, controller, spec, seed, rewards):
+        rng = np.random.default_rng(seed)
+        episodes = []
+        for reward in rewards:
+            _, log_prob = controller.sample(spec, 10.0, rng)
+            entropy = controller.last_entropy
+            episodes.append(([log_prob], reward, [entropy]))
+        return episodes
+
+    def _compression_episodes(self, controller, spec, seed, rewards):
+        rng = np.random.default_rng(seed)
+        episodes = []
+        for reward in rewards:
+            _, log_probs = controller.sample(spec, 10.0, rng)
+            episodes.append((log_probs, reward, list(controller.last_entropies)))
+        return episodes
+
+    def _grads(self, controller):
+        return {
+            name: parameter.grad.copy()
+            for name, parameter in controller.named_parameters()
+            if parameter.grad is not None and np.abs(parameter.grad).sum() > 0
+        }
+
+    @pytest.mark.parametrize("kind", ["partition", "compression"])
+    def test_batched_gradient_is_sum_of_per_node_gradients(
+        self, small_spec, registry, kind
+    ):
+        """The property the one-step batched update rests on: with the
+        baseline frozen, the accumulated episode loss's gradient equals
+        the sum of the per-node loss gradients. (Episodes are re-sampled
+        from the same RNG seed for each measurement so every backward()
+        runs on a fresh graph; no optimizer step happens in between, so
+        the draws are identical.)"""
+        if kind == "partition":
+            controller = PartitionController(hidden_size=8, seed=0)
+            make = lambda: self._partition_episodes(
+                controller, small_spec, 17, (30.0, 10.0, 50.0)
+            )
+        else:
+            controller = CompressionController(registry, hidden_size=8, seed=0)
+            make = lambda: self._compression_episodes(
+                controller, small_spec, 17, (30.0, 10.0, 50.0)
+            )
+        trainer = ReinforceTrainer(
+            controller, lr=0.05, reward_scale=0.1, entropy_coeff=0.5
+        )
+        baseline_value = 20.0
+
+        # Sequential reference: one backward per node, gradients summed.
+        expected: dict = {}
+        for episode in make():
+            loss, _ = trainer.episode_loss([episode], baseline_value)
+            trainer.optimizer.zero_grad()
+            loss.backward()
+            for name, grad in self._grads(controller).items():
+                expected[name] = expected.get(name, 0.0) + grad
+
+        # Batched: one accumulated loss, one backward.
+        loss, advantages = trainer.episode_loss(make(), baseline_value)
+        trainer.optimizer.zero_grad()
+        loss.backward()
+        batched = self._grads(controller)
+
+        assert advantages == pytest.approx(
+            [(r - baseline_value) * 0.1 for r in (30.0, 10.0, 50.0)]
+        )
+        assert set(batched) == set(expected)
+        for name in expected:
+            np.testing.assert_allclose(
+                batched[name], expected[name], rtol=1e-9, atol=1e-12
+            )
+
+    def test_single_episode_update_episode_equals_update(self, small_spec):
+        """A one-episode batch is *exactly* the sequential update — the
+        equivalence the branch search (one update per episode) relies on."""
+
+        def run(batched: bool):
+            controller = PartitionController(hidden_size=8, seed=0)
+            trainer = ReinforceTrainer(
+                controller, lr=0.05, reward_scale=0.1, entropy_coeff=0.5
+            )
+            for reward in (30.0, 10.0, 50.0):
+                episode = self._partition_episodes(
+                    controller, small_spec, int(reward), (reward,)
+                )[0]
+                if batched:
+                    trainer.update_episode([episode])
+                else:
+                    log_probs, r, entropies = episode
+                    trainer.update(log_probs, r, entropies=entropies)
+            return trainer, {
+                name: parameter.data.copy()
+                for name, parameter in controller.named_parameters()
+            }
+
+        trainer_a, params_a = run(batched=True)
+        trainer_b, params_b = run(batched=False)
+        assert trainer_a.history == trainer_b.history
+        assert trainer_a.baseline.value == pytest.approx(trainer_b.baseline.value)
+        for name in params_a:
+            np.testing.assert_allclose(params_a[name], params_b[name])
+
+    def test_baseline_folds_rewards_in_arrival_order(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller, lr=0.05)
+        rewards = (30.0, 10.0, 50.0)
+        episodes = self._partition_episodes(controller, small_spec, 23, rewards)
+        trainer.update_episode(episodes)
+        reference = EMABaseline(trainer.baseline.decay)
+        for reward in rewards:
+            reference.update(reward)
+        assert trainer.history == list(rewards)
+        assert trainer.baseline.value == pytest.approx(reference.value)
+
+    def test_empty_episode_batch_is_noop(self, small_spec):
+        controller = PartitionController(hidden_size=8, seed=0)
+        trainer = ReinforceTrainer(controller)
+        assert trainer.update_episode([]) == []
+        assert trainer.history == []
+        assert trainer.baseline.value is None

@@ -8,8 +8,10 @@ from repro.search.compose import compose_from_tree, match_fork
 from repro.search.policies import RLPolicy, RandomPolicy
 from repro.search.tree import (
     ModelTree,
+    TreeNode,
     TreeSearchConfig,
     build_grafted_tree,
+    graft_path,
     model_tree_search,
 )
 from tests.conftest import make_context
@@ -204,3 +206,48 @@ class TestRandomPolicyTree:
         policy = RandomPolicy(vgg_context.registry)
         result = model_tree_search(vgg_context, [5.0, 20.0], policy=policy, config=config)
         assert result.tree.best_branch()[1] > 0
+
+
+class TestGraftPath:
+    @pytest.fixture
+    def searched(self, vgg_context, quick_config):
+        return model_tree_search(vgg_context, [5.0, 20.0], config=quick_config)
+
+    def _snapshot(self, tree):
+        return [
+            (id(node), node.edge_spec, node.cloud_spec, node.partitioned,
+             node.grafted, node.reward)
+            for node in tree.root.iter_nodes()
+        ]
+
+    def test_valid_graft_replaces_path(self, vgg_context, searched):
+        tree = searched.tree
+        donor_path, _ = tree.best_branch()
+        graft_path(vgg_context, tree, donor_path)
+        node = tree.root
+        for depth, donor in enumerate(donor_path):
+            if depth > 0:
+                node = node.children[donor.fork_index or 0]
+            assert node.grafted
+            assert node.edge_spec is donor.edge_spec
+
+    def test_unfitting_donor_raises_without_mutating(self, vgg_context, searched):
+        """Regression: the donor path must be resolved against the tree's
+        fork arities *before* any node is overwritten. The old
+        depth-by-depth loop mutated shallower nodes first, so an unfitting
+        donor left a half-grafted tree behind its ValueError."""
+        tree = searched.tree
+        donor_path, _ = tree.best_branch()
+        before = self._snapshot(tree)
+        bad_child = TreeNode(
+            block_index=1,
+            fork_index=99,  # beyond the K=2 fork arity
+            bandwidth_mbps=5.0,
+            edge_spec=vgg_context.base.slice(0, 1),
+            cloud_spec=None,
+            partitioned=False,
+        )
+        bad_path = [donor_path[0], bad_child]
+        with pytest.raises(ValueError, match="fork arity"):
+            graft_path(vgg_context, tree, bad_path)
+        assert self._snapshot(tree) == before
