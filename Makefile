@@ -8,7 +8,14 @@
 PY ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: install test bench bench-json bench-pool bench-episode experiments examples chaos obs-report sweep-parallel lint typecheck repolint flowcheck flowcheck-bench clean
+.PHONY: install test bench bench-json bench-pool bench-episode bench-diff bench-diff-report experiments examples chaos obs-report sweep-parallel lint typecheck repolint flowcheck flowcheck-bench clean
+
+# bench-diff thresholds: relative drift that annotates (warn) vs fails the
+# job. CI machines vary wildly in absolute speed, so the fail bar is
+# deliberately generous; tune per-fleet with e.g.
+# `make bench-diff BENCH_DIFF_FAIL=0.5`.
+BENCH_DIFF_WARN ?= 0.10
+BENCH_DIFF_FAIL ?= 3.0
 
 install:
 	pip install -e . || python setup.py develop
@@ -51,6 +58,18 @@ bench-pool:
 # measured speedup extra_info lands in BENCH_episode.json.
 bench-episode:
 	$(PYTHONPATH_SRC) $(PY) -m pytest benchmarks/test_bench_episode.py --benchmark-only --benchmark-json=BENCH_episode.json
+
+# Cross-run regression diff: fresh BENCH_search.json / BENCH_episode.json
+# against the checked-in baselines (benchmarks/baselines/). Drift past
+# BENCH_DIFF_WARN is annotated; past BENCH_DIFF_FAIL the target exits
+# nonzero. Diff reports land in BENCH_DIFF_*.json for CI artifacts.
+# `bench-diff-report` only diffs (CI runs it after the bench steps have
+# already produced the fresh JSONs); `bench-diff` is the local one-shot.
+bench-diff: bench-json bench-episode bench-diff-report
+
+bench-diff-report:
+	$(PYTHONPATH_SRC) $(PY) -m repro.obs diff benchmarks/baselines/BENCH_search.json BENCH_search.json --warn $(BENCH_DIFF_WARN) --fail $(BENCH_DIFF_FAIL) --report BENCH_DIFF_search.json
+	$(PYTHONPATH_SRC) $(PY) -m repro.obs diff benchmarks/baselines/BENCH_episode.json BENCH_episode.json --warn $(BENCH_DIFF_WARN) --fail $(BENCH_DIFF_FAIL) --report BENCH_DIFF_episode.json
 
 # Record a small traced scenario run and summarize it: writes
 # TRACE_scenario.jsonl and prints the per-phase / fork / RL / resilience

@@ -98,6 +98,12 @@ def main(argv=None) -> int:
         help="write the pool robustness + merged-telemetry report (JSON)",
     )
     pool.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="stream one observability trace per task into this directory "
+        "(repro obs report DIR merges them)",
+    )
+    pool.add_argument(
         "--inject-crash",
         metavar="TASK_ID",
         action="append",
@@ -122,6 +128,7 @@ def main(argv=None) -> int:
         journal=args.journal,
         report_path=args.pool_report,
         chaos=pool_chaos,
+        trace_dir=args.trace_dir,
     )
 
     if args.experiment == "all":

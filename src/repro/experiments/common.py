@@ -26,6 +26,7 @@ from ..network.channel import Channel
 from ..network.scenarios import Scenario
 from ..network.traces import BandwidthTrace
 from ..nn.zoo import get_model
+from ..obs.slo import SLOPolicy
 from ..obs.trace import get_recorder
 from ..perf import get_registry
 from ..runtime.emulator import EmulationResult, run_emulation
@@ -55,6 +56,9 @@ class ExperimentConfig:
     emulation_requests: int = 40
     trace_duration_s: float = 120.0
     seed: int = 0
+    #: Optional latency SLO: replays get a burn-rate evaluator, alert
+    #: transitions land in the trace, summaries in ``EmulationResult.slo``.
+    slo: Optional["SLOPolicy"] = None
 
 
 @dataclass
@@ -243,6 +247,7 @@ def _run_scenario_scoped(
                             env,
                             num_requests=config.emulation_requests,
                             seed=config.seed + 11,
+                            slo=config.slo,
                         )
                 if run_field:
                     field_env = fieldify(env, FieldConditions())
@@ -252,6 +257,7 @@ def _run_scenario_scoped(
                             field_env,
                             num_requests=config.emulation_requests,
                             seed=config.seed + 13,
+                            slo=config.slo,
                         )
 
     _record_cache_stats(context, recorder)
@@ -299,7 +305,9 @@ class PoolOptions:
     path); anything above fans scenes/cells across a
     :class:`~repro.runtime.pool.FaultTolerantPool`. ``journal`` makes the
     run resumable; ``report_path`` persists the pool's robustness +
-    merged-telemetry report; ``chaos`` injects pool faults (tests/CI).
+    merged-telemetry report; ``chaos`` injects pool faults (tests/CI);
+    ``trace_dir`` streams one observability trace per task so ``repro
+    obs report`` over the directory reproduces the serial run's view.
     """
 
     workers: int = 0
@@ -308,6 +316,7 @@ class PoolOptions:
     chaos: Optional[PoolChaos] = None
     task_timeout_s: float = 600.0
     max_retries: int = 2
+    trace_dir: Optional[str] = None
 
     @property
     def parallel(self) -> bool:
@@ -319,6 +328,7 @@ class PoolOptions:
                 num_workers=self.workers,
                 task_timeout_s=self.task_timeout_s,
                 max_retries=self.max_retries,
+                trace_dir=self.trace_dir,
             ),
             chaos=self.chaos,
         )

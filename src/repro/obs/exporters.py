@@ -9,9 +9,17 @@ JSON snapshot or as Prometheus' text-based exposition format (v0.0.4):
 - counters  -> ``# TYPE <name> counter`` samples;
 - spans     -> summary-style ``_count`` / ``_sum`` samples (milliseconds)
   plus a ``_max`` gauge;
-- histograms -> classic cumulative ``_bucket{le="..."}`` series with
-  ``_sum`` / ``_count``, plus ``p50``/``p90``/``p99`` gauges for humans
-  reading the exposition directly.
+- histograms -> classic cumulative ``_bucket{le="..."}`` series ending in
+  the mandatory ``le="+Inf"`` bucket, with ``_sum`` / ``_count``, plus
+  ``p50``/``p90``/``p99`` gauges for humans reading the exposition
+  directly;
+- windows   -> ``_window_*`` gauges (current-window p50/p90/p99/count for
+  histograms, sum/rate for counters) so the scrape shows the recent past
+  next to the cumulative series.
+
+Every family carries ``# HELP`` and ``# TYPE`` lines, and
+:func:`parse_prometheus_text` parses the exposition back — the
+conformance tests round-trip through it instead of string-matching.
 
 No HTTP server is shipped — the repo's workloads are batch replays, so
 the Makefile/CI story is "write the files next to ``BENCH_search.json``";
@@ -23,8 +31,9 @@ from __future__ import annotations
 
 import math
 import re
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..perf import PerfRegistry
 
@@ -49,23 +58,27 @@ def prometheus_text(registry: PerfRegistry, prefix: str = "repro") -> str:
     lines: List[str] = []
     snapshot = registry.snapshot()
 
+    def family(metric: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in snapshot["counters"].items():
         metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} counter")
+        family(metric, "counter", f"Cumulative count of {name}.")
         lines.append(f"{metric} {value}")
 
     for name, stat in snapshot["spans"].items():
         metric = _metric_name(name, prefix) + "_ms"
-        lines.append(f"# TYPE {metric} summary")
+        family(metric, "summary", f"Wall-clock span timings of {name} (ms).")
         lines.append(f"{metric}_count {stat['count']}")
         lines.append(f"{metric}_sum {_format_value(stat['total_ms'])}")
-        lines.append(f"# TYPE {metric}_max gauge")
+        family(f"{metric}_max", "gauge", f"Longest single {name} span (ms).")
         lines.append(f"{metric}_max {_format_value(stat['max_ms'])}")
 
     for name in snapshot["histograms"]:
         hist = registry.histogram(name)
         metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} histogram")
+        family(metric, "histogram", f"Cumulative distribution of {name}.")
         for bound, cumulative in hist.bucket_counts():
             lines.append(
                 f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
@@ -78,10 +91,147 @@ def prometheus_text(registry: PerfRegistry, prefix: str = "repro") -> str:
             ("p99", hist.p99),
         ):
             gauge = f"{metric}_{label}"
-            lines.append(f"# TYPE {gauge} gauge")
+            family(gauge, "gauge", f"Cumulative {label} of {name}.")
             lines.append(f"{gauge} {_format_value(value)}")
 
+    for name, state in snapshot.get("windows", {}).items():
+        metric = _metric_name(name, prefix) + "_window"
+        current = state.get("current", {})
+        window_s = float(state.get("window_ms", 0.0)) / 1e3
+        if state.get("kind") == "histogram":
+            for label in ("p50", "p90", "p99"):
+                gauge = f"{metric}_{label}"
+                family(
+                    gauge,
+                    "gauge",
+                    f"{label} of {name} over the last "
+                    f"{window_s:g}s of simulated time.",
+                )
+                lines.append(
+                    f"{gauge} {_format_value(current.get(label, 0.0))}"
+                )
+            gauge = f"{metric}_count"
+            family(
+                gauge,
+                "gauge",
+                f"Observations of {name} in the current window.",
+            )
+            lines.append(f"{gauge} {int(current.get('count', 0))}")
+        elif state.get("kind") == "counter":
+            gauge = f"{metric}_sum"
+            family(
+                gauge,
+                "gauge",
+                f"Sum of {name} over the last {window_s:g}s of "
+                "simulated time.",
+            )
+            lines.append(f"{gauge} {_format_value(current.get('sum', 0.0))}")
+            gauge = f"{metric}_rate_per_s"
+            family(
+                gauge,
+                "gauge",
+                f"Windowed rate of {name} per simulated second.",
+            )
+            lines.append(
+                f"{gauge} {_format_value(current.get('rate_per_s', 0.0))}"
+            )
+
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Exposition parsing (round-trip conformance)
+# ---------------------------------------------------------------------------
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` family parsed back out of the exposition text."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: (sample name, labels, value) triples, in exposition order.
+    samples: List[Tuple[str, Dict[str, str], float]] = field(
+        default_factory=list
+    )
+
+    def sample_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        """Value of the first sample matching ``name`` (and labels)."""
+        for sample_name, sample_labels, value in self.samples:
+            if sample_name != name:
+                continue
+            if labels is not None and sample_labels != labels:
+                continue
+            return value
+        return None
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _parse_sample_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, MetricFamily]:
+    """Parse text exposition back into families (name -> MetricFamily).
+
+    A sample belongs to the family whose name prefixes it (so
+    ``foo_bucket``/``foo_sum``/``foo_count`` land under ``foo``); samples
+    with no preceding ``# TYPE`` get an ``untyped`` family of their own.
+    Raises ``ValueError`` on a line that is neither comment, blank, nor
+    well-formed sample — the round-trip test leans on this strictness.
+    """
+    families: Dict[str, MetricFamily] = {}
+    pending_help: Dict[str, str] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            pending_help[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            family = families.setdefault(name, MetricFamily(name=name))
+            family.kind = kind.strip() or "untyped"
+            if name in pending_help:
+                family.help = pending_help.pop(name)
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw_line!r}")
+        sample_name = match.group("name")
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        value = _parse_sample_value(match.group("value"))
+        owner = None
+        # Longest family-name prefix wins: foo_bucket belongs to foo even
+        # when a family named foo_b also exists.
+        for family_name in sorted(families, key=len, reverse=True):
+            if sample_name == family_name or sample_name.startswith(
+                family_name + "_"
+            ):
+                owner = families[family_name]
+                break
+        if owner is None:
+            owner = families.setdefault(
+                sample_name, MetricFamily(name=sample_name)
+            )
+        owner.samples.append((sample_name, labels, value))
+    return families
 
 
 def export_metrics(
@@ -93,7 +243,8 @@ def export_metrics(
 
     Returns ``{format: rendered text}`` for whichever formats were
     requested (both renderings are returned even when only one path was
-    given, so callers can print the other).
+    given, so callers can print the other). The JSON side is the full
+    :meth:`~repro.perf.PerfRegistry.snapshot`, windowed metrics included.
     """
     rendered = {
         "json": registry.to_json(),

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..perf import HistogramStat
+from .window import WindowedHistogram
 
 PathLike = Union[str, Path]
 
@@ -43,6 +44,7 @@ RESILIENCE_EVENTS = frozenset(
         "offload.fallback",
         "offload.degraded",
         "breaker.transition",
+        "slo.alert",
     }
 )
 
@@ -50,12 +52,20 @@ _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 
 def spark(values: List[float], width: int = 40) -> str:
-    """Tiny ASCII sparkline (resampled to ``width`` points)."""
+    """Tiny ASCII sparkline (resampled to ``width`` points).
+
+    Downsampling always keeps both endpoints: the final value is the
+    most recent observation, and a sparkline whose last glyph is some
+    interior sample misreads as "where the curve ended".
+    """
     if not values:
         return ""
     if len(values) > width:
-        step = len(values) / width
-        values = [values[int(i * step)] for i in range(width)]
+        last = len(values) - 1
+        if width == 1:
+            values = [values[last]]
+        else:
+            values = [values[i * last // (width - 1)] for i in range(width)]
     lo, hi = min(values), max(values)
     if hi <= lo:
         return _SPARK_GLYPHS[0] * len(values)
@@ -119,8 +129,14 @@ class TraceSummary:
     phases: Dict[str, SpanAgg] = field(default_factory=dict)
     fork_counts: Dict[str, int] = field(default_factory=dict)
     request_latency: HistogramStat = field(default_factory=HistogramStat)
+    #: The same request latencies, windowed on simulated completion time
+    #: (``start_sim_ms + latency_ms``) — p50/p90/p99 of the *most recent*
+    #: window render next to the cumulative values.
+    windowed_latency: WindowedHistogram = field(default_factory=WindowedHistogram)
     rl: Dict[str, RLCurve] = field(default_factory=dict)
     resilience: List[Dict[str, Any]] = field(default_factory=list)
+    #: Burn-rate alert transitions (``slo.alert`` events), in time order.
+    slo_alerts: List[Dict[str, Any]] = field(default_factory=list)
     #: cache name -> latest ``memo.stats`` event fields (hits/misses/…).
     caches: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: span-id -> record, for nesting checks and drill-down tooling.
@@ -149,6 +165,10 @@ class TraceSummary:
             },
             "fork_counts": dict(sorted(self.fork_counts.items())),
             "request_latency": self.request_latency.to_dict(),
+            "windowed_latency": self.windowed_latency.state(),
+            "slo_alerts": [
+                dict(record.get("fields") or {}) for record in self.slo_alerts
+            ],
             "rl": {
                 name: {
                     "updates": curve.updates,
@@ -227,6 +247,12 @@ def summarize_records(
                 latency = fields.get("latency_ms")
                 if latency is not None:
                     summary.request_latency.record(float(latency))
+                    start_sim = fields.get("start_sim_ms")
+                    if start_sim is not None:
+                        summary.windowed_latency.record(
+                            float(latency),
+                            t_ms=float(start_sim) + float(latency),
+                        )
         else:
             summary.events += 1
             if name == "rl.update":
@@ -249,6 +275,8 @@ def summarize_records(
                 }
             elif name in RESILIENCE_EVENTS:
                 summary.resilience.append(record)
+                if name == "slo.alert":
+                    summary.slo_alerts.append(record)
     summary.traces = trace_ids
     summary.resilience.sort(key=lambda r: float(r.get("t_ms", 0.0)))
     return summary
@@ -258,6 +286,49 @@ def summarize_trace(path: PathLike) -> TraceSummary:
     """Load + summarize one trace file."""
     records, unparsed = load_trace(path)
     return summarize_records(records, unparsed, path=str(path))
+
+
+def expand_trace_paths(paths: List[PathLike]) -> List[Path]:
+    """Expand any directories into their sorted ``*.jsonl`` members.
+
+    This is how a pool run's per-task trace directory becomes one
+    report: sorting makes the merged view independent of which worker
+    finished first.
+    """
+    expanded: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded.extend(sorted(path.glob("*.jsonl")))
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def summarize_paths(paths: List[PathLike]) -> TraceSummary:
+    """Summarize one or more trace files/directories as a single run.
+
+    Counts sum and latencies fold into the same cumulative histogram and
+    simulated-time windows, so a 2-worker sweep's per-task traces
+    aggregate to exactly the serial run's report (wall-clock span
+    durations excepted — those legitimately differ between machines).
+    """
+    files = expand_trace_paths(paths)
+    if not files:
+        raise ValueError(f"no trace files found in {list(map(str, paths))!r}")
+    if len(files) == 1:
+        return summarize_trace(files[0])
+    records: List[Dict[str, Any]] = []
+    unparsed = 0
+    for file in files:
+        file_records, file_unparsed = load_trace(file)
+        records.extend(file_records)
+        unparsed += file_unparsed
+    parents = {file.parent for file in files}
+    label = str(parents.pop()) if len(parents) == 1 else "<merged>"
+    return summarize_records(
+        records, unparsed, path=f"{label} ({len(files)} traces)"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -320,6 +391,14 @@ def render_report(summary: TraceSummary) -> str:
                 f"request latency (simulated): p50 {hist.p50:.1f} ms, "
                 f"p90 {hist.p90:.1f} ms, p99 {hist.p99:.1f} ms "
                 f"(n={hist.count}, mean {hist.mean:.1f} ms)"
+            )
+        window = summary.windowed_latency
+        if window.count:
+            current = window.window()
+            lines.append(
+                f"  last {window.window_ms / 1e3:.0f}s (sim time): "
+                f"p50 {current.p50:.1f} ms, p90 {current.p90:.1f} ms, "
+                f"p99 {current.p99:.1f} ms (n={current.count})"
             )
 
     if summary.rl:

@@ -148,6 +148,61 @@ class HistogramStat:
     def p99(self) -> float:
         return self.quantile(0.99)
 
+    def merge(self, other: "HistogramStat") -> "HistogramStat":
+        """Fold ``other`` into this histogram, bucket by bucket.
+
+        This is the documented mergeability contract: because bucket
+        bounds are shared (:data:`DEFAULT_BUCKET_BOUNDS`), per-scenario /
+        per-worker snapshots merge exactly — counts and sum add, min/max
+        recompute — and the merged percentile bounds equal those of one
+        histogram that recorded every value itself.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        if other.count == 0:
+            return self
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.sum += other.sum
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        return self
+
+    def state_dict(self) -> Dict[str, object]:
+        """Exact serializable state (per-bucket counts, not percentiles)."""
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS,
+    ) -> "HistogramStat":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        hist = cls(bounds)
+        counts = list(state["counts"])  # type: ignore[arg-type]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"state has {len(counts)} buckets, bounds imply "
+                f"{len(hist.counts)}"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(state["count"])  # type: ignore[arg-type]
+        hist.sum = float(state["sum"])  # type: ignore[arg-type]
+        hist.min = float(state["min"])  # type: ignore[arg-type]
+        hist.max = float(state["max"])  # type: ignore[arg-type]
+        return hist
+
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
 
@@ -187,6 +242,13 @@ class PerfRegistry:
         self._counters: Dict[str, int] = {}
         self._spans: Dict[str, SpanStat] = {}
         self._histograms: Dict[str, HistogramStat] = {}
+        # Windowed companions, keyed on *simulated* time (never wall
+        # clock). Values are repro.obs.window ring classes, imported
+        # lazily in observe_at/count_at — the one deliberate exception
+        # to this module's no-repro-imports rule, deferred to call time
+        # so the layering (perf below obs) still holds at import time.
+        self._windows: Dict[str, object] = {}
+        self._window_counters: Dict[str, object] = {}
 
     # -- counters ---------------------------------------------------------
     def count(self, name: str, by: int = 1) -> None:
@@ -239,9 +301,57 @@ class PerfRegistry:
         """Histogram ``name`` (an empty one if never observed)."""
         return self._histograms.get(name, HistogramStat())
 
+    # -- windowed metrics (simulated-time rings) ---------------------------
+    def observe_at(self, name: str, value: float, t_ms: float) -> None:
+        """Fold ``value`` into both the cumulative histogram ``name`` and
+        its sliding-window companion, bucketed on simulated time ``t_ms``.
+
+        The windowed ring is what makes a brownout's p99 spike visible
+        inside a long sweep: the cumulative histogram only ever dilutes
+        it. ``t_ms`` must be the *simulated* clock (request completion
+        time), consistent with the WALLCLOCK-SPAN rule.
+        """
+        self.observe(name, value)
+        if not self.enabled:
+            return
+        window = self._windows.get(name)
+        if window is None:
+            from ..obs.window import WindowedHistogram
+
+            window = self._windows[name] = WindowedHistogram()
+        window.record(value, t_ms=t_ms)  # type: ignore[attr-defined]
+
+    def count_at(self, name: str, by: int = 1, *, t_ms: float) -> None:
+        """Increment counter ``name`` cumulatively *and* in its
+        simulated-time window ring."""
+        self.count(name, by)
+        if not self.enabled:
+            return
+        counter = self._window_counters.get(name)
+        if counter is None:
+            from ..obs.window import WindowedCounter
+
+            counter = self._window_counters[name] = WindowedCounter()
+        counter.add(by, t_ms=t_ms)  # type: ignore[attr-defined]
+
+    def window(self, name: str):
+        """The :class:`~repro.obs.window.WindowedHistogram` for ``name``
+        (``None`` if :meth:`observe_at` never recorded into it)."""
+        return self._windows.get(name)
+
+    def window_counter(self, name: str):
+        """The :class:`~repro.obs.window.WindowedCounter` for ``name``
+        (``None`` if :meth:`count_at` never recorded into it)."""
+        return self._window_counters.get(name)
+
     # -- export -----------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Everything recorded so far, as plain JSON-serializable dicts."""
+        windows: Dict[str, object] = {}
+        for name, window in sorted(self._windows.items()):
+            windows[name] = window.state()  # type: ignore[attr-defined]
+        for name, counter in sorted(self._window_counters.items()):
+            windows[name] = counter.state()  # type: ignore[attr-defined]
         return {
             "counters": dict(sorted(self._counters.items())),
             "spans": {
@@ -252,6 +362,7 @@ class PerfRegistry:
                 name: hist.to_dict()
                 for name, hist in sorted(self._histograms.items())
             },
+            "windows": windows,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -265,6 +376,8 @@ class PerfRegistry:
         self._counters.clear()
         self._spans.clear()
         self._histograms.clear()
+        self._windows.clear()
+        self._window_counters.clear()
 
     @contextmanager
     def scoped(self) -> Iterator["PerfRegistry"]:

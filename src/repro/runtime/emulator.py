@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..contracts import require_non_negative
+from ..obs.slo import BurnRateEvaluator, SLOPolicy
 from ..obs.trace import get_recorder
 from ..perf import get_registry
 from .engine import InferenceOutcome, InferencePlan, RuntimeEnvironment, admit_plan
@@ -29,6 +30,9 @@ class EmulationResult:
     #: Typed environmental faults absorbed per request (exception type
     #: name -> count); the faulted requests re-ran device-only.
     swallowed_faults: Dict[str, int] = field(default_factory=dict)
+    #: Burn-rate alerting summary when the run had an ``SLOPolicy``
+    #: (:meth:`BurnRateEvaluator.summary`); ``None`` otherwise.
+    slo: Optional[Dict[str, Any]] = None
 
     @property
     def mean_latency_ms(self) -> float:
@@ -63,6 +67,7 @@ def run_emulation(
     queued: bool = False,
     pipelined: bool = False,
     admit: bool = True,
+    slo: Optional[SLOPolicy] = None,
 ) -> EmulationResult:
     """Issue ``num_requests`` inferences at times spread across the trace.
 
@@ -85,6 +90,10 @@ def run_emulation(
 
     ``admit=True`` (the default) statically verifies the plan with
     :func:`~repro.runtime.engine.admit_plan` before the first request.
+
+    ``slo`` attaches a burn-rate evaluator: every request's simulated
+    completion feeds the fast/slow windows, alert transitions land in
+    the trace, and the final state is returned as ``result.slo``.
     """
     require_non_negative(spacing_ms, "spacing_ms")
     if num_requests < 1:
@@ -102,11 +111,13 @@ def run_emulation(
 
     perf = get_registry()
     recorder = get_recorder()
+    evaluator = BurnRateEvaluator(slo) if slo is not None else None
     device_free_ms = 0.0
     degraded_env = None  # built lazily on the first absorbed fault
     for index, arrival in enumerate(arrival_times):
-        perf.count("emulator.requests")
-        start = max(float(arrival), device_free_ms) if queued else float(arrival)
+        start_key = max(float(arrival), device_free_ms) if queued else float(arrival)
+        perf.count_at("emulator.requests", t_ms=start_key)
+        start = start_key
         with perf.span("emulator.request"), recorder.span(
             "emulator.request", index=index, start_sim_ms=start
         ) as obs_span:
@@ -165,7 +176,15 @@ def run_emulation(
                     ),
                 )
         # End-to-end (post-queueing) simulated latency, so the exported
-        # percentiles match what the application would observe.
-        perf.observe("emulator.request.latency_ms", outcome.latency_ms)
+        # percentiles match what the application would observe. The
+        # windowed slab is keyed on the simulated completion time.
+        done_ms = outcome.start_ms + outcome.latency_ms
+        perf.observe_at(
+            "emulator.request.latency_ms", outcome.latency_ms, t_ms=done_ms
+        )
+        if evaluator is not None:
+            evaluator.observe(outcome.latency_ms, t_ms=done_ms)
         result.outcomes.append(outcome)
+    if evaluator is not None:
+        result.slo = evaluator.summary()
     return result

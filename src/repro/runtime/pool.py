@@ -50,6 +50,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..contracts import require_non_negative, require_positive
 from ..obs.sink import JsonlSink, recover_jsonl_records
+from ..obs.window import merge_window_sections
 from .faults import PoolChaos, ResultLoss, WorkerCrash, WorkerHang
 from .workers import is_worker_safe, spawn_worker_seeds
 
@@ -86,6 +87,12 @@ class PoolConfig:
     poll_interval_s: float = 0.02
     #: Degrade to in-process serial execution when workers cannot start.
     serial_fallback: bool = True
+    #: When set, every task attempt streams its own observability trace
+    #: to ``<trace_dir>/<task_id>.jsonl`` (flush-per-record, so a crashed
+    #: attempt still leaves its completed records). A retry overwrites
+    #: the previous attempt's file: the last attempt wins, matching the
+    #: journal's last-record-wins semantics.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_workers, "num_workers")
@@ -201,11 +208,17 @@ def merge_perf_snapshots(
     Counters sum; spans merge exactly (count/total/max, mean recomputed);
     histogram summaries merge their exact moments (count/sum/min/max,
     mean recomputed) — per-snapshot percentiles cannot be merged and are
-    dropped rather than faked.
+    dropped rather than faked. Windowed metrics *do* merge exactly: their
+    slabs are bucket-aligned on simulated time, so the fold is
+    bucket-by-bucket (:func:`~repro.obs.window.merge_window_sections`)
+    and a parallel sweep's windowed percentiles equal the serial run's.
     """
     counters: Dict[str, int] = {}
     spans: Dict[str, Dict[str, float]] = {}
     histograms: Dict[str, Dict[str, float]] = {}
+    windows = merge_window_sections(
+        [snapshot.get("windows", {}) for snapshot in snapshots]
+    )
     for snapshot in snapshots:
         for name, value in snapshot.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
@@ -231,7 +244,12 @@ def merge_perf_snapshots(
         stat["mean"] = stat["sum"] / stat["count"] if stat["count"] else 0.0
         if stat["count"] == 0:
             stat["min"] = 0.0
-    return {"counters": counters, "spans": spans, "histograms": histograms}
+    return {
+        "counters": counters,
+        "spans": spans,
+        "histograms": histograms,
+        "windows": windows,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -314,11 +332,38 @@ class ResultJournal:
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
+def _task_trace_path(trace_dir: str, task_id: str) -> Path:
+    """Per-task trace file; task ids are sanitized into safe filenames."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "._-" else "_" for ch in task_id
+    )
+    return Path(trace_dir) / f"{safe or 'task'}.jsonl"
+
+
+def _call_traced(
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    kwargs: Mapping[str, Any],
+    trace_dir: Optional[str],
+    task_id: str,
+) -> Any:
+    """Run one attempt, streaming its trace when a trace_dir is set."""
+    if trace_dir is None:
+        return fn(*args, **kwargs)
+    from ..obs.trace import recording
+
+    path = _task_trace_path(trace_dir, task_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with recording(path, stream=True):
+        return fn(*args, **kwargs)
+
+
 def _worker_main(
     worker_id: int,
     inbox: Any,
     results: Any,
     chaos: Optional[PoolChaos],
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Worker loop: take (task, attempt) messages until the None sentinel.
 
@@ -341,7 +386,7 @@ def _worker_main(
             time.sleep(event.hang_s)
         start = time.perf_counter()
         try:
-            value = fn(*args, **kwargs)
+            value = _call_traced(fn, args, kwargs, trace_dir, task_id)
         except BaseException as exc:  # noqa: BLE001 - reported, not hidden
             results.put(
                 (
@@ -767,7 +812,13 @@ class FaultTolerantPool:
                     continue
                 start = time.perf_counter()
                 try:
-                    value = fn(*task.args, **dict(task.kwargs))
+                    value = _call_traced(
+                        fn,
+                        task.args,
+                        dict(task.kwargs),
+                        self.config.trace_dir,
+                        task.task_id,
+                    )
                 except Exception as exc:  # noqa: BLE001 - retried/quarantined
                     record.elapsed_s += time.perf_counter() - start
                     report.task_errors += 1
@@ -812,7 +863,13 @@ class FaultTolerantPool:
         inbox = self._context.Queue()
         process = self._context.Process(
             target=_worker_main,
-            args=(worker_id, inbox, result_queue, self.chaos),
+            args=(
+                worker_id,
+                inbox,
+                result_queue,
+                self.chaos,
+                self.config.trace_dir,
+            ),
             daemon=True,
             name=f"pool-worker-{worker_id}",
         )

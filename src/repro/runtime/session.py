@@ -24,6 +24,7 @@ import numpy as np
 
 from ..contracts import require_non_negative
 from ..network.predictor import BandwidthPredictor
+from ..obs.slo import BurnRateEvaluator, SLOPolicy, SLOStatus, make_burn_rate_breaker
 from ..obs.trace import get_recorder
 from ..perf import HistogramStat, get_registry
 from ..search.tree import ModelTree
@@ -65,6 +66,8 @@ class SessionStats:
     #: Typed environmental faults the session boundary absorbed instead
     #: of crashing the serving loop, counted per exception type name.
     swallowed_faults: Dict[str, int] = field(default_factory=dict)
+    #: Burn-rate alerting state (``None`` for a session without an SLO).
+    slo: Optional[SLOStatus] = None
 
 
 class InferenceSession:
@@ -80,6 +83,7 @@ class InferenceSession:
         verify: bool = True,
         policy: Optional[OffloadPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        slo: Optional[SLOPolicy] = None,
     ) -> None:
         if verify:
             # Admission-time static check: a malformed tree is rejected
@@ -104,12 +108,19 @@ class InferenceSession:
         self.fault_counts: Dict[str, int] = {}
         #: End-to-end simulated latency distribution across requests.
         self.latency_hist = HistogramStat()
+        self.slo_policy = slo
+        self.slo_evaluator = BurnRateEvaluator(slo) if slo is not None else None
         # A policy without an explicit breaker still gets one: the breaker
-        # is the session-scoped half of the resilience state machine.
+        # is the session-scoped half of the resilience state machine. With
+        # ``slo.degrade_on_alert`` the default breaker is burn-rate aware,
+        # so resolve_offload's degraded path also trips on latency burn.
         self.policy = policy
-        self.breaker = breaker if breaker is not None else (
-            CircuitBreaker() if policy is not None else None
-        )
+        if breaker is None and policy is not None:
+            if slo is not None and slo.degrade_on_alert:
+                breaker = make_burn_rate_breaker(self.slo_evaluator)
+            else:
+                breaker = CircuitBreaker()
+        self.breaker = breaker
         self._plan = TreePlan(tree, policy=self.policy, breaker=self.breaker)
 
     def infer(self, at_ms: Optional[float] = None) -> InferenceOutcome:
@@ -150,8 +161,15 @@ class InferenceSession:
                 degraded=outcome.degraded,
             )
         self.latency_hist.record(outcome.latency_ms)
-        get_registry().observe("session.infer.latency_ms", outcome.latency_ms)
-        self.clock_ms = start + outcome.latency_ms
+        done_ms = start + outcome.latency_ms
+        # Windowed alongside cumulative, keyed on the simulated completion
+        # time so brownout spikes stay visible inside long runs.
+        get_registry().observe_at(
+            "session.infer.latency_ms", outcome.latency_ms, t_ms=done_ms
+        )
+        if self.slo_evaluator is not None:
+            self.slo_evaluator.observe(outcome.latency_ms, t_ms=done_ms)
+        self.clock_ms = done_ms
         self.outcomes.append(outcome)
         return outcome
 
@@ -238,6 +256,7 @@ class InferenceSession:
                 else {}
             ),
             swallowed_faults=dict(self.fault_counts),
+            slo=SLOStatus.from_evaluator(self.slo_evaluator),
         )
 
     def reset(self) -> None:
@@ -249,8 +268,18 @@ class InferenceSession:
         self.outcomes.clear()
         self.fault_counts.clear()
         self.latency_hist = HistogramStat()
+        if self.slo_policy is not None:
+            self.slo_evaluator = BurnRateEvaluator(self.slo_policy)
         if self.breaker is not None:
-            self.breaker = CircuitBreaker(self.breaker.config)
+            if (
+                self.slo_policy is not None
+                and self.slo_policy.degrade_on_alert
+            ):
+                self.breaker = make_burn_rate_breaker(
+                    self.slo_evaluator, self.breaker.config
+                )
+            else:
+                self.breaker = CircuitBreaker(self.breaker.config)
             self._plan = TreePlan(
                 self.tree, policy=self.policy, breaker=self.breaker
             )

@@ -2,7 +2,13 @@
 
 import json
 
-from repro.obs.exporters import export_metrics, prometheus_text
+import pytest
+
+from repro.obs.exporters import (
+    export_metrics,
+    parse_prometheus_text,
+    prometheus_text,
+)
 from repro.perf import PerfRegistry
 
 
@@ -51,6 +57,105 @@ class TestPrometheusText:
         reg = PerfRegistry()
         reg.count("c")
         assert "edge_c 1" in prometheus_text(reg, prefix="edge")
+
+
+class TestRoundTrip:
+    """Conformance via parse-back instead of string matching."""
+
+    def test_every_family_carries_help(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        assert families
+        for family in families.values():
+            assert family.help, f"{family.name} missing # HELP"
+            assert family.kind != "untyped"
+
+    def test_counter_round_trips(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        family = families["repro_emulator_requests"]
+        assert family.kind == "counter"
+        assert family.sample_value("repro_emulator_requests") == 3.0
+
+    def test_summary_round_trips(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        family = families["repro_scenario_tree_ms"]
+        assert family.kind == "summary"
+        assert family.sample_value("repro_scenario_tree_ms_count") == 1.0
+        assert family.sample_value("repro_scenario_tree_ms_sum") == 12.5
+
+    def test_histogram_inf_bucket_equals_count(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        metric = "repro_emulator_request_latency_ms"
+        family = families[metric]
+        assert family.kind == "histogram"
+        inf_bucket = family.sample_value(f"{metric}_bucket", {"le": "+Inf"})
+        assert inf_bucket == family.sample_value(f"{metric}_count") == 2.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        family = families["repro_emulator_request_latency_ms"]
+        buckets = [v for name, _, v in family.samples if name.endswith("_bucket")]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 2.0
+
+    def test_percentile_gauges_are_their_own_families(self):
+        families = parse_prometheus_text(prometheus_text(make_registry()))
+        for label in ("p50", "p90", "p99"):
+            name = f"repro_emulator_request_latency_ms_{label}"
+            assert families[name].kind == "gauge"
+            assert families[name].sample_value(name) is not None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("this is not exposition format")
+
+
+class TestWindowGauges:
+    def make_windowed_registry(self):
+        reg = PerfRegistry()
+        reg.observe_at("emulator.request.latency_ms", 10.0, t_ms=500.0)
+        reg.observe_at("emulator.request.latency_ms", 30.0, t_ms=1500.0)
+        reg.count_at("emulator.requests", t_ms=500.0)
+        reg.count_at("emulator.requests", t_ms=1500.0)
+        return reg
+
+    def test_histogram_window_gauges_match_registry(self):
+        reg = self.make_windowed_registry()
+        families = parse_prometheus_text(prometheus_text(reg))
+        metric = "repro_emulator_request_latency_ms_window"
+        current = reg.window("emulator.request.latency_ms").window()
+        for label in ("p50", "p90", "p99"):
+            name = f"{metric}_{label}"
+            assert families[name].kind == "gauge"
+            assert families[name].sample_value(name) == pytest.approx(
+                getattr(current, label), abs=1e-6
+            )
+        count_name = f"{metric}_count"
+        assert families[count_name].sample_value(count_name) == 2.0
+        assert "simulated time" in families[f"{metric}_p50"].help
+
+    def test_counter_window_gauges_match_registry(self):
+        reg = self.make_windowed_registry()
+        families = parse_prometheus_text(prometheus_text(reg))
+        metric = "repro_emulator_requests_window"
+        counter = reg.window_counter("emulator.requests")
+        sum_name = f"{metric}_sum"
+        rate_name = f"{metric}_rate_per_s"
+        assert families[sum_name].sample_value(sum_name) == pytest.approx(
+            counter.window_sum()
+        )
+        assert families[rate_name].sample_value(rate_name) == pytest.approx(
+            counter.rate_per_s()
+        )
+
+    def test_json_snapshot_includes_windows(self, tmp_path):
+        reg = self.make_windowed_registry()
+        json_path = tmp_path / "metrics.json"
+        export_metrics(reg, json_path=json_path)
+        snapshot = json.loads(json_path.read_text())
+        windows = snapshot["windows"]
+        assert windows["emulator.request.latency_ms"]["kind"] == "histogram"
+        assert windows["emulator.requests"]["kind"] == "counter"
+        assert windows["emulator.request.latency_ms"]["current"]["count"] == 2
 
 
 class TestExportMetrics:

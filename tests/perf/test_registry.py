@@ -73,7 +73,12 @@ class TestDisabled:
         assert reg.counter("c") == 0
         assert reg.span_stat("s").count == 0
         assert reg.histogram("h").count == 0
-        assert reg.snapshot() == {"counters": {}, "spans": {}, "histograms": {}}
+        assert reg.snapshot() == {
+            "counters": {},
+            "spans": {},
+            "histograms": {},
+            "windows": {},
+        }
 
 
 class TestExport:
@@ -107,7 +112,12 @@ class TestExport:
         reg.record_span("s", 1.0)
         reg.observe("h", 1.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "spans": {}, "histograms": {}}
+        assert reg.snapshot() == {
+            "counters": {},
+            "spans": {},
+            "histograms": {},
+            "windows": {},
+        }
 
 
 class TestDefaultRegistry:

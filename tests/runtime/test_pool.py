@@ -343,6 +343,7 @@ class TestTelemetryMerge:
             "counters": {},
             "spans": {},
             "histograms": {},
+            "windows": {},
         }
 
 
